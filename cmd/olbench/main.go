@@ -1,0 +1,84 @@
+// Command olbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	olbench -exp fig10a                # one experiment, markdown to stdout
+//	olbench -exp all -format csv       # everything, CSV
+//	olbench -exp fig12 -size 262144    # bigger per-channel footprint
+//	olbench -list                      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orderlight"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment ID or 'all'")
+		size     = flag.Int64("size", 0, "bytes per channel per data structure (0 = default)")
+		format   = flag.String("format", "md", "output format: md, csv or chart")
+		chartCol = flag.Int("chartcol", -1, "column to chart (chart format; -1 = first numeric)")
+		channels = flag.Int("channels", 0, "override memory channel count (0 = Table 1's 16)")
+		ts       = flag.String("ts", "", "override temporary-storage fraction, e.g. 1/8")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range orderlight.Experiments() {
+			fmt.Printf("%-18s %s\n", id, orderlight.ExperimentTitle(id))
+		}
+		return
+	}
+
+	cfg := orderlight.DefaultConfig()
+	if *channels > 0 {
+		cfg.Memory.Channels = *channels
+		if need := (*channels + cfg.GPU.WarpsPerSM - 1) / cfg.GPU.WarpsPerSM; need < cfg.GPU.PIMSMs {
+			cfg.GPU.PIMSMs = need
+		}
+	}
+	if *ts != "" {
+		cfg = cfg.WithTSFraction(*ts)
+	}
+	sc := orderlight.Scale{BytesPerChannel: *size}
+
+	var tables []*orderlight.Table
+	if *exp == "all" {
+		var err error
+		tables, err = orderlight.RunAllExperiments(cfg, sc)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		t, err := orderlight.RunExperiment(*exp, cfg, sc)
+		if err != nil {
+			fatal(err)
+		}
+		tables = []*orderlight.Table{t}
+	}
+	for _, t := range tables {
+		switch *format {
+		case "csv":
+			fmt.Println("# " + t.ID + ": " + t.Title)
+			fmt.Print(t.CSV())
+		case "chart":
+			col := *chartCol
+			if col < 0 {
+				col = t.DefaultChartColumn()
+			}
+			fmt.Println(t.Chart(col))
+		default:
+			fmt.Println(t.Markdown())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "olbench:", err)
+	os.Exit(1)
+}

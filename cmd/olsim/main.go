@@ -1,0 +1,97 @@
+// Command olsim runs a single PIM kernel on the simulated machine and
+// prints its measurements.
+//
+// Usage:
+//
+//	olsim -kernel add -primitive orderlight -ts 1/8
+//	olsim -kernel kmeans -primitive fence -bytes 262144
+//	olsim -kernel add -primitive none        # functionally incorrect demo
+//	olsim -list                              # list kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orderlight"
+)
+
+func main() {
+	var (
+		name     = flag.String("kernel", "add", "Table 2 kernel name")
+		prim     = flag.String("primitive", "orderlight", "ordering primitive: none|fence|orderlight|seqno")
+		ts       = flag.String("ts", "1/8", "temporary storage as a row-buffer fraction")
+		bmf      = flag.Int("bmf", 16, "PIM bandwidth multiplication factor")
+		bytes    = flag.Int64("bytes", 128<<10, "bytes per channel per data structure")
+		channels = flag.Int("channels", 16, "memory channels")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		verify   = flag.Bool("verify", true, "check the result against the reference executor")
+		hostKind = flag.String("host", "gpu", "host front end: gpu (SIMT warps) or cpu (OoO cores, §9)")
+		spread   = flag.Bool("spread", false, "spread tiles across memory-groups")
+		routes   = flag.Int("routes", 1, "adaptive interconnect routes per channel (§9 NoC divergence)")
+		list     = flag.Bool("list", false, "list kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range orderlight.Kernels() {
+			spec, _ := orderlight.KernelSpec(n)
+			fmt.Printf("%-8s %-45s compute:memory %s\n", n, spec.Desc, spec.ComputeRatio)
+		}
+		return
+	}
+
+	cfg := orderlight.DefaultConfig()
+	p, err := orderlight.ParsePrimitive(*prim)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Run.Primitive = p
+	cfg.Run.Seed = *seed
+	cfg.Run.Verify = *verify
+	cfg.PIM.BMF = *bmf
+	cfg.Memory.Channels = *channels
+	if need := (*channels + cfg.GPU.WarpsPerSM - 1) / cfg.GPU.WarpsPerSM; need < cfg.GPU.PIMSMs {
+		cfg.GPU.PIMSMs = need
+	}
+	cfg = cfg.WithTSFraction(*ts)
+	cfg.GPU.IcntRoutes = *routes
+	switch *hostKind {
+	case "gpu":
+		cfg.Host.Kind = orderlight.HostGPU
+	case "cpu":
+		cfg.Host.Kind = orderlight.HostCPU
+	default:
+		fatal(fmt.Errorf("unknown host kind %q", *hostKind))
+	}
+
+	spec, err := orderlight.KernelSpec(*name)
+	if err != nil {
+		fatal(err)
+	}
+	if *spread {
+		spec = orderlight.SpreadTiles(spec)
+	}
+	k, err := orderlight.BuildCustomKernel(cfg, spec, *bytes)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := orderlight.NewMachine(cfg, k)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kernel %s, primitive %v, TS %dB (N=%d), BMF %dx, %d channels\n",
+		*name, cfg.Run.Primitive, cfg.PIM.TSBytes, cfg.CommandsPerTile(), cfg.PIM.BMF, cfg.Memory.Channels)
+	fmt.Printf("GPU-baseline (roofline): %.4f ms\n\n", orderlight.HostBaseline(cfg, k))
+	fmt.Print(res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "olsim:", err)
+	os.Exit(1)
+}

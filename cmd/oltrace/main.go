@@ -1,0 +1,101 @@
+// Command oltrace runs a short PIM kernel and dumps one channel's
+// device-issue order next to the warp's program order, making the memory
+// controller's (re)ordering decisions visible: with -primitive none the
+// two orders diverge (FR-FCFS row-hit-first), with orderlight they agree
+// phase-by-phase.
+//
+// Usage:
+//
+//	oltrace -kernel add -primitive none -limit 40
+//	oltrace -kernel add -primitive orderlight -channel 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orderlight"
+	"orderlight/internal/isa"
+)
+
+func main() {
+	var (
+		name     = flag.String("kernel", "add", "Table 2 kernel name")
+		prim     = flag.String("primitive", "orderlight", "ordering primitive: none|fence|orderlight|seqno")
+		ts       = flag.String("ts", "1/8", "temporary storage as a row-buffer fraction")
+		bytes    = flag.Int64("bytes", 8<<10, "bytes per channel per data structure")
+		channel  = flag.Int("channel", 0, "channel whose issue order to dump")
+		limit    = flag.Int("limit", 60, "max issued requests to print")
+		timeline = flag.Bool("timeline", false, "print per-request stage timelines instead of issue order")
+	)
+	flag.Parse()
+
+	cfg := orderlight.DefaultConfig()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+	p, err := orderlight.ParsePrimitive(*prim)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Run.Primitive = p
+	cfg = cfg.WithTSFraction(*ts)
+
+	if *channel < 0 || *channel >= cfg.Memory.Channels {
+		fatal(fmt.Errorf("channel %d out of range [0,%d)", *channel, cfg.Memory.Channels))
+	}
+
+	k, err := orderlight.BuildKernel(cfg, *name, *bytes)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := orderlight.NewMachine(cfg, k)
+	if err != nil {
+		fatal(err)
+	}
+	var log []isa.Request
+	m.Controller(*channel).IssueLog = &log
+	var tr *orderlight.Tracer
+	if *timeline {
+		tr = orderlight.NewTracer(1 << 16)
+		m.SetTracer(tr)
+	}
+
+	res, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *timeline {
+		fmt.Printf("kernel %s, primitive %v — stage timeline (times in core cycles)\n\n",
+			*name, cfg.Run.Primitive)
+		fmt.Print(tr.Timeline(*limit))
+		fmt.Printf("\nfunctionally correct: %v\n", res.Correct)
+		return
+	}
+	fmt.Printf("kernel %s, primitive %v, channel %d — %d requests issued to DRAM\n",
+		*name, cfg.Run.Primitive, *channel, len(log))
+	fmt.Printf("functionally correct: %v\n\n", res.Correct)
+	fmt.Println("device issue order (seq = warp program order; gaps/inversions = reordering):")
+	inversions := 0
+	var lastSeq uint64
+	for i, r := range log {
+		marker := "  "
+		if i > 0 && r.Seq < lastSeq {
+			marker = "<-" // issued earlier than an older (by program order) request
+			inversions++
+		}
+		lastSeq = r.Seq
+		if i < *limit {
+			fmt.Printf("%4d %s %v\n", i, marker, r)
+		}
+	}
+	if len(log) > *limit {
+		fmt.Printf("... (%d more)\n", len(log)-*limit)
+	}
+	fmt.Printf("\nprogram-order inversions at the device: %d\n", inversions)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oltrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Genomics: the sequence-filtering kernel (Gen_Fil, the GRIM algorithm
+// of Table 2). Filtering dominates sequence-alignment runtime (~65% per
+// the paper's §2.1) and issues irregular 128-byte PIM accesses whose
+// ordering granularity is fixed by the algorithm — so bigger temporary
+// storage cannot amortize fences, and OrderLight's advantage persists at
+// every TS size (§7.2).
+//
+//	go run ./examples/genomics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orderlight"
+)
+
+func main() {
+	cfg := orderlight.DefaultConfig()
+	const bytesPerChannel = 128 << 10
+
+	spec, err := orderlight.KernelSpec("gen_fil")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Kernel: %s — %s (compute:memory %s)\n\n", spec.Name, spec.Desc, spec.ComputeRatio)
+
+	fmt.Printf("%-9s %12s %12s %10s %22s\n", "TS", "fence ms", "OL ms", "speedup", "primitives/PIM instr")
+	for _, ts := range []string{"1/16", "1/8", "1/4", "1/2"} {
+		c := cfg.WithTSFraction(ts)
+
+		c.Run.Primitive = orderlight.PrimitiveFence
+		fe, err := orderlight.RunKernel(c, "gen_fil", bytesPerChannel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Run.Primitive = orderlight.PrimitiveOrderLight
+		ol, err := orderlight.RunKernel(c, "gen_fil", bytesPerChannel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %12.4f %12.4f %9.2fx %22.4f\n",
+			ts+" RB", fe.ExecMS(), ol.ExecMS(), fe.ExecMS()/ol.ExecMS(),
+			ol.PrimitivesPerPIMInstr())
+	}
+	fmt.Println()
+	fmt.Println("The primitive rate is flat across TS sizes: the filter's 128 B seed")
+	fmt.Println("granularity fixes the ordering points, so the fence column never")
+	fmt.Println("improves — exactly the Gen_Fil behavior in the paper's Figure 12.")
+}

@@ -1,0 +1,42 @@
+// Streamsweep: sweep the temporary-storage size for every stream kernel
+// and print the Figure 10-style comparison of fence versus OrderLight.
+//
+//	go run ./examples/streamsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orderlight"
+)
+
+func main() {
+	cfg := orderlight.DefaultConfig()
+	const bytesPerChannel = 128 << 10
+
+	fmt.Println("Stream benchmark sweep: PIM command bandwidth (GC/s) by TS size")
+	fmt.Printf("%-7s %-9s %12s %12s %10s\n", "kernel", "TS", "fence GC/s", "OL GC/s", "OL gain")
+	for _, name := range []string{"scale", "copy", "daxpy", "triad", "add"} {
+		for _, ts := range []string{"1/16", "1/8", "1/4", "1/2"} {
+			c := cfg.WithTSFraction(ts)
+
+			c.Run.Primitive = orderlight.PrimitiveFence
+			fe, err := orderlight.RunKernel(c, name, bytesPerChannel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.Run.Primitive = orderlight.PrimitiveOrderLight
+			ol, err := orderlight.RunKernel(c, name, bytesPerChannel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-7s %-9s %12.2f %12.2f %9.2fx\n",
+				name, ts+" RB", fe.CommandBW(), ol.CommandBW(),
+				ol.CommandBW()/fe.CommandBW())
+		}
+	}
+	fmt.Println()
+	fmt.Println("Fence bandwidth climbs with TS (fewer fences per command);")
+	fmt.Println("OrderLight sits near the DRAM-timing peak at every TS size.")
+}

@@ -1,0 +1,3 @@
+module orderlight
+
+go 1.22

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+)
+
+// Diverge describes a divergence point in the memory pipe (Figure 9):
+// normal requests are routed to exactly one sub-path, while an
+// OrderLight packet is replicated onto every sub-path that can carry
+// requests of its memory-group(s).
+type Diverge struct {
+	// NPaths is the number of sub-paths leaving the divergence point.
+	NPaths int
+	// Route maps a normal request to its sub-path.
+	Route func(isa.Request) int
+	// GroupPaths lists the sub-paths that may carry requests of a given
+	// memory-group. The divergence FSM uses the packet's channel and
+	// memory-group IDs to pick the relevant sub-paths (§5.3.2).
+	GroupPaths func(group int) []int
+}
+
+// Targets returns the sub-paths a request must be placed on: one path
+// for a normal request, the union of relevant paths for an OrderLight
+// packet (deduplicated, ascending by construction of GroupPaths).
+func (d *Diverge) Targets(r isa.Request) []int {
+	if r.Kind != isa.KindOrderLight {
+		return []int{d.Route(r)}
+	}
+	seen := make([]bool, d.NPaths)
+	var out []int
+	for _, g := range r.OL.Groups() {
+		for _, p := range d.GroupPaths(int(g)) {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	if len(out) == 0 {
+		// A packet whose groups map nowhere still needs one path so it
+		// is not silently dropped.
+		out = []int{0}
+	}
+	return out
+}
+
+// Replicate stamps the request with the number of copies the convergence
+// FSM must collect. Normal requests keep Copies == 0.
+func Replicate(r isa.Request, copies int) isa.Request {
+	r.Copies = copies
+	return r
+}
+
+// Converge is the convergence-point FSM of Figure 9. It owns the
+// sub-path FIFOs between a Diverge and the downstream pipe stage.
+// Normal requests drain from sub-path heads in round-robin order; an
+// OrderLight copy blocks its sub-path until every copy of the same
+// packet has reached the head of its own sub-path, at which point all
+// copies retire and a single merged packet is emitted. Requests behind a
+// copy therefore cannot overtake the packet, exactly as §5.3.2 requires.
+type Converge struct {
+	paths []*sim.Queue[isa.Request]
+	rr    int
+}
+
+// NewConverge creates a convergence point with nPaths sub-path FIFOs of
+// the given capacity each (0 = unbounded).
+func NewConverge(nPaths, capacity int) *Converge {
+	c := &Converge{paths: make([]*sim.Queue[isa.Request], nPaths)}
+	for i := range c.paths {
+		c.paths[i] = sim.NewQueue[isa.Request](capacity)
+	}
+	return c
+}
+
+// NPaths returns the number of sub-paths.
+func (c *Converge) NPaths() int { return len(c.paths) }
+
+// CanPush reports whether sub-path i has room.
+func (c *Converge) CanPush(i int) bool { return c.paths[i].CanPush() }
+
+// Push enqueues a request (or OrderLight copy) on sub-path i.
+func (c *Converge) Push(i int, r isa.Request) { c.paths[i].Push(r) }
+
+// Len returns the total number of queued entries across sub-paths.
+func (c *Converge) Len() int {
+	n := 0
+	for _, p := range c.paths {
+		n += p.Len()
+	}
+	return n
+}
+
+// Pop emits the next request from the convergence point, or ok=false if
+// nothing can proceed this cycle. At most one request is emitted per
+// call, modeling a single downstream slot per cycle.
+func (c *Converge) Pop() (isa.Request, bool) {
+	// First, try to complete a merge: find an OrderLight copy at a head
+	// whose sibling copies are all at their heads too.
+	for i := range c.paths {
+		h, ok := c.paths[i].Peek()
+		if !ok || h.Kind != isa.KindOrderLight {
+			continue
+		}
+		if c.mergeReady(h) {
+			c.popCopies(h.ID)
+			return Replicate(h, 0), true
+		}
+	}
+	// Otherwise drain a normal request, round-robin across sub-paths.
+	// Sub-paths headed by a waiting OrderLight copy are blocked.
+	for k := 0; k < len(c.paths); k++ {
+		i := (c.rr + k) % len(c.paths)
+		h, ok := c.paths[i].Peek()
+		if !ok || h.Kind == isa.KindOrderLight {
+			continue
+		}
+		c.paths[i].Pop()
+		c.rr = (i + 1) % len(c.paths)
+		return h, true
+	}
+	return isa.Request{}, false
+}
+
+// PopBest behaves like Pop but, when several sub-path heads are
+// eligible, picks the one the comparison function prefers instead of
+// round-robin. Used by the sequence-number baseline, whose memory
+// controller must drain requests in warp sequence order.
+func (c *Converge) PopBest(better func(a, b isa.Request) bool) (isa.Request, bool) {
+	for i := range c.paths {
+		h, ok := c.paths[i].Peek()
+		if !ok || h.Kind != isa.KindOrderLight {
+			continue
+		}
+		if c.mergeReady(h) {
+			c.popCopies(h.ID)
+			return Replicate(h, 0), true
+		}
+	}
+	best := -1
+	var bestReq isa.Request
+	for i := range c.paths {
+		h, ok := c.paths[i].Peek()
+		if !ok || h.Kind == isa.KindOrderLight {
+			continue
+		}
+		if best < 0 || better(h, bestReq) {
+			best, bestReq = i, h
+		}
+	}
+	if best < 0 {
+		return isa.Request{}, false
+	}
+	c.paths[best].Pop()
+	return bestReq, true
+}
+
+// mergeReady reports whether every copy of packet h is at the head of
+// some sub-path.
+func (c *Converge) mergeReady(h isa.Request) bool {
+	if h.Copies <= 0 {
+		return true // single-path packet: nothing to merge
+	}
+	n := 0
+	for _, p := range c.paths {
+		if hd, ok := p.Peek(); ok && hd.Kind == isa.KindOrderLight && hd.ID == h.ID {
+			n++
+		}
+	}
+	if n > h.Copies {
+		panic(fmt.Sprintf("core: %d copies of packet %d at heads, expected at most %d", n, h.ID, h.Copies))
+	}
+	return n == h.Copies
+}
+
+// popCopies removes every head-of-path copy of the packet.
+func (c *Converge) popCopies(id uint64) {
+	for _, p := range c.paths {
+		if hd, ok := p.Peek(); ok && hd.Kind == isa.KindOrderLight && hd.ID == id {
+			p.Pop()
+		}
+	}
+}

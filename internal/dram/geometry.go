@@ -1,0 +1,93 @@
+// Package dram models the HBM memory device of Table 1: address
+// geometry, per-bank timing state machines enforcing the paper's timing
+// parameters, and a functional backing store so that PIM commands move
+// real data.
+//
+// Address granularity. The unit of address in the simulator is one
+// command slot: the 32 B host-visible column access a fine-grained PIM
+// command performs. Under a bandwidth multiplication factor (BMF) of k,
+// the PIM units ganged behind a channel move k x 32 B per command, so
+// each slot carries 8*BMF int32 lanes of payload while occupying the
+// timing of a single 32 B column access. This matches the paper's
+// definition of PIM data bandwidth as command bandwidth x BMF (§6) and
+// keeps Figure 11's "8 column writes per 256 B temporary storage"
+// arithmetic exact.
+//
+// Refresh is not modeled; the paper's measurements are likewise
+// dominated by row activate/precharge and ordering stalls.
+package dram
+
+import (
+	"fmt"
+
+	"orderlight/internal/isa"
+)
+
+// Geometry describes the addressable organization of the memory system
+// in command slots.
+type Geometry struct {
+	Channels     int // memory channels
+	Banks        int // banks per channel
+	SlotsPerRow  int // 32 B command slots per row (RowBufferBytes / BusWidth)
+	Groups       int // PIM memory-groups per channel
+	LanesPerSlot int // int32 payload lanes per slot (8 * BMF)
+}
+
+// NewGeometry derives the slot geometry from raw byte parameters.
+func NewGeometry(channels, banks, rowBytes, busBytes, groups, bmf int) Geometry {
+	return Geometry{
+		Channels:     channels,
+		Banks:        banks,
+		SlotsPerRow:  rowBytes / busBytes,
+		Groups:       groups,
+		LanesPerSlot: busBytes / 4 * bmf,
+	}
+}
+
+// Loc is a decoded slot address.
+type Loc struct {
+	Channel int
+	Bank    int
+	Row     int
+	Col     int // slot index within the row
+}
+
+// Encode packs a location into a global slot address. The layout is
+// channel-interleaved at slot granularity with [row | bank | col] inside
+// the channel, so consecutive channel-local addresses walk the columns
+// of one row before switching banks.
+func (g Geometry) Encode(l Loc) isa.Addr {
+	if l.Channel < 0 || l.Channel >= g.Channels || l.Bank < 0 || l.Bank >= g.Banks ||
+		l.Col < 0 || l.Col >= g.SlotsPerRow || l.Row < 0 {
+		panic(fmt.Sprintf("dram: Encode out-of-range location %+v for %+v", l, g))
+	}
+	local := (uint64(l.Row)*uint64(g.Banks)+uint64(l.Bank))*uint64(g.SlotsPerRow) + uint64(l.Col)
+	return isa.Addr(local*uint64(g.Channels) + uint64(l.Channel))
+}
+
+// Decode unpacks a global slot address.
+func (g Geometry) Decode(a isa.Addr) Loc {
+	ch := int(uint64(a) % uint64(g.Channels))
+	local := uint64(a) / uint64(g.Channels)
+	col := int(local % uint64(g.SlotsPerRow))
+	rb := local / uint64(g.SlotsPerRow)
+	bank := int(rb % uint64(g.Banks))
+	row := int(rb / uint64(g.Banks))
+	return Loc{Channel: ch, Bank: bank, Row: row, Col: col}
+}
+
+// GroupOf returns the PIM memory-group a bank belongs to: banks are
+// partitioned into contiguous runs of Banks/Groups.
+func (g Geometry) GroupOf(bank int) int {
+	return bank / (g.Banks / g.Groups)
+}
+
+// BanksOfGroup returns the banks composing a memory-group, ascending.
+func (g Geometry) BanksOfGroup(group int) []int {
+	per := g.Banks / g.Groups
+	out := make([]int, per)
+	for i := range out {
+		out[i] = group*per + i
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package dram
+
+import (
+	"fmt"
+
+	"orderlight/internal/isa"
+)
+
+// Store is the functional backing memory: a lazily allocated map from
+// global slot address to the slot's int32 payload lanes. PIM units and
+// the reference executor read and write through it, so the bytes a run
+// produces are real and an ordering violation shows up as a wrong
+// answer.
+type Store struct {
+	lanes int
+	data  map[isa.Addr][]int32
+}
+
+// NewStore creates an empty store whose slots carry the given number of
+// int32 lanes (8 * BMF).
+func NewStore(lanes int) *Store {
+	if lanes <= 0 {
+		panic("dram: store needs at least one lane per slot")
+	}
+	return &Store{lanes: lanes, data: make(map[isa.Addr][]int32)}
+}
+
+// Lanes returns the number of int32 lanes per slot.
+func (s *Store) Lanes() int { return s.lanes }
+
+// Read returns the payload of a slot. Untouched slots read as zero.
+// The returned slice must not be mutated; use Write.
+func (s *Store) Read(a isa.Addr) []int32 {
+	if v, ok := s.data[a]; ok {
+		return v
+	}
+	return make([]int32, s.lanes)
+}
+
+// Write replaces the payload of a slot. The value slice is copied.
+func (s *Store) Write(a isa.Addr, v []int32) {
+	if len(v) != s.lanes {
+		panic(fmt.Sprintf("dram: write of %d lanes to %d-lane store", len(v), s.lanes))
+	}
+	dst, ok := s.data[a]
+	if !ok {
+		dst = make([]int32, s.lanes)
+		s.data[a] = dst
+	}
+	copy(dst, v)
+}
+
+// Update applies f lane-wise to the slot (read-modify-write, used by
+// PIM_Scale).
+func (s *Store) Update(a isa.Addr, f func(lane int, old int32) int32) {
+	cur := s.Read(a)
+	out := make([]int32, s.lanes)
+	for i, v := range cur {
+		out[i] = f(i, v)
+	}
+	s.Write(a, out)
+}
+
+// Touched returns the number of slots ever written.
+func (s *Store) Touched() int { return len(s.data) }
+
+// Clone deep-copies the store (used to snapshot initial state for the
+// reference executor).
+func (s *Store) Clone() *Store {
+	c := NewStore(s.lanes)
+	for a, v := range s.data {
+		nv := make([]int32, s.lanes)
+		copy(nv, v)
+		c.data[a] = nv
+	}
+	return c
+}
+
+// Equal reports whether two stores hold identical contents, treating
+// missing slots as zero-filled.
+func (s *Store) Equal(o *Store) bool {
+	if s.lanes != o.lanes {
+		return false
+	}
+	zero := func(v []int32) bool {
+		for _, x := range v {
+			if x != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for a, v := range s.data {
+		ov, ok := o.data[a]
+		if !ok {
+			if !zero(v) {
+				return false
+			}
+			continue
+		}
+		for i := range v {
+			if v[i] != ov[i] {
+				return false
+			}
+		}
+	}
+	for a, ov := range o.data {
+		if _, ok := s.data[a]; !ok && !zero(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns up to max addresses whose contents differ between the two
+// stores, for diagnostics.
+func (s *Store) Diff(o *Store, max int) []isa.Addr {
+	var out []isa.Addr
+	seen := map[isa.Addr]bool{}
+	for a := range s.data {
+		seen[a] = true
+	}
+	for a := range o.data {
+		seen[a] = true
+	}
+	for a := range seen {
+		av, bv := s.Read(a), o.Read(a)
+		for i := range av {
+			if av[i] != bv[i] {
+				out = append(out, a)
+				break
+			}
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}

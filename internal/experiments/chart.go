@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// chartWidth is the bar width of Chart, in character cells.
+const chartWidth = 40
+
+// Chart renders one numeric column of the table as horizontal ASCII
+// bars — a terminal rendition of the paper's figure the table encodes.
+// Rows whose cell is not numeric are skipped. col indexes Columns.
+func (t *Table) Chart(col int) string {
+	if col < 0 || col >= len(t.Columns) {
+		return fmt.Sprintf("(column %d out of range)\n", col)
+	}
+	type bar struct {
+		label string
+		val   float64
+	}
+	var bars []bar
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range t.Rows {
+		v, err := strconv.ParseFloat(r[col], 64)
+		if err != nil {
+			continue
+		}
+		label := strings.Join(r[:min(col, len(r))], " ")
+		if lw := len(label); lw > labelW {
+			labelW = lw
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+		bars = append(bars, bar{label: label, val: v})
+	}
+	if len(bars) == 0 || maxVal <= 0 {
+		return "(no numeric data to chart)\n"
+	}
+	if labelW > 36 {
+		labelW = 36
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n\n", t.ID, t.Title, t.Columns[col])
+	for _, bb := range bars {
+		n := int(bb.val / maxVal * chartWidth)
+		if n < 1 && bb.val > 0 {
+			n = 1
+		}
+		label := bb.label
+		if len(label) > labelW {
+			label = label[:labelW]
+		}
+		fmt.Fprintf(&b, "%-*s |%s %g\n", labelW, label, strings.Repeat("#", n), bb.val)
+	}
+	return b.String()
+}
+
+// DefaultChartColumn picks the column Chart uses when the caller does
+// not specify one: the first column whose first row parses as a number.
+func (t *Table) DefaultChartColumn() int {
+	if len(t.Rows) == 0 {
+		return -1
+	}
+	for c := range t.Columns {
+		if _, err := strconv.ParseFloat(t.Rows[0][c], 64); err == nil {
+			return c
+		}
+	}
+	return -1
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

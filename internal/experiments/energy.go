@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/stats"
+)
+
+// energyParams adapts the config's energy constants.
+func energyParams(cfg config.Config) stats.EnergyParams {
+	return stats.EnergyParams{
+		ActNJ:       cfg.Energy.ActNJ,
+		RdNJ:        cfg.Energy.RdNJ,
+		WrNJ:        cfg.Energy.WrNJ,
+		RefNJ:       cfg.Energy.RefNJ,
+		PIMOpNJ:     cfg.Energy.PIMOpNJ,
+		BackgroundW: cfg.Energy.BackgroundW,
+		Channels:    cfg.Memory.Channels,
+	}
+}
+
+// AblationEnergy compares memory-system energy across ordering
+// disciplines. All disciplines move the same data, so dynamic energy is
+// nearly identical; what separates them is background energy over their
+// very different runtimes — the fence loses once on delay and again on
+// energy, which the energy-delay product makes stark.
+func AblationEnergy(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ablation-energy", Title: "Memory-system energy by ordering discipline (Add kernel)",
+		Columns: []string{"Primitive", "Exec ms", "Dynamic uJ", "Background uJ", "Total uJ", "EDP (nJ*s)"},
+		Notes: []string{
+			"Same data moved => same dynamic energy; fences pay background power over a several-fold longer runtime and lose squared on EDP.",
+		},
+	}
+	p := energyParams(cfg)
+	for _, prim := range []config.Primitive{
+		config.PrimitiveFence, config.PrimitiveSeqno, config.PrimitiveOrderLight,
+	} {
+		st, _, err := runKernel(withPrimitive(cfg, prim), "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		e := st.EnergyBreakdown(p)
+		dynamic := e.TotalNJ() - e.BackgroundNJ
+		t.AddRow(prim.String(), f4(st.ExecMS()),
+			f2(dynamic/1e3), f2(e.BackgroundNJ/1e3), f2(e.TotalUJ()),
+			fmt.Sprintf("%.4g", st.EDP(p)))
+	}
+	return t, nil
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/isa"
+	"orderlight/internal/kernel"
+	"orderlight/internal/stats"
+)
+
+// Scale controls how much data each experiment pushes per channel. The
+// default keeps every experiment comfortably under a second of wall
+// time; benchmarks may raise it.
+type Scale struct {
+	BytesPerChannel int64
+}
+
+// DefaultScale is used when the caller passes a zero Scale. 256 KiB per
+// channel per data structure keeps the 220-cycle memory-pipe fill under
+// a few percent of each measurement while the full suite still runs in
+// well under a minute.
+var DefaultScale = Scale{BytesPerChannel: 256 * 1024}
+
+func (s Scale) orDefault() Scale {
+	if s.BytesPerChannel <= 0 {
+		return DefaultScale
+	}
+	return s
+}
+
+// TSFractions are the temporary-storage sizes every figure sweeps.
+var TSFractions = []string{"1/16", "1/8", "1/4", "1/2"}
+
+// runKernel builds and simulates one kernel under one configuration.
+func runKernel(cfg config.Config, name string, sc Scale) (*stats.Run, *kernel.Kernel, error) {
+	spec, err := kernel.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := kernel.Build(cfg, spec, sc.orDefault().BytesPerChannel)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s (%v, TS %dB): %w",
+			name, cfg.Run.Primitive, cfg.PIM.TSBytes, err)
+	}
+	return st, k, nil
+}
+
+// withPrimitive returns cfg configured for the given primitive.
+func withPrimitive(cfg config.Config, p config.Primitive) config.Config {
+	cfg.Run.Primitive = p
+	return cfg
+}
+
+// Table1 renders the simulator configuration (paper Table 1).
+func Table1(cfg config.Config, _ Scale) (*Table, error) {
+	t := &Table{ID: "table1", Title: "Simulator details", Columns: []string{"Parameter", "Value"}}
+	for _, row := range cfg.Table1() {
+		t.AddRow(row[0], row[1])
+	}
+	t.AddRow("PIM temporary storage", fmt.Sprintf("%d B (N=%d commands)", cfg.PIM.TSBytes, cfg.CommandsPerTile()))
+	t.AddRow("PIM bandwidth multiplier", fmt.Sprintf("%dx", cfg.PIM.BMF))
+	t.AddRow("Host front end", string(cfg.Host.Kind))
+	t.AddRow("Ordering primitive", cfg.Run.Primitive.String())
+	t.AddRow("Interconnect routes", fmt.Sprintf("%d", cfg.GPU.IcntRoutes))
+	refresh := "off"
+	if cfg.Memory.RefreshEnabled {
+		refresh = fmt.Sprintf("tREFI=%d tRFC=%d", cfg.Memory.REFI, cfg.Memory.RFC)
+	}
+	t.AddRow("Refresh", refresh)
+	return t, nil
+}
+
+// Table2 renders the workload suite (paper Table 2).
+func Table2(config.Config, Scale) (*Table, error) {
+	t := &Table{
+		ID: "table2", Title: "Summary of workloads",
+		Columns: []string{"Kernel", "Description", "Compute:Memory", ">1 data structure?"},
+	}
+	for _, s := range kernel.All() {
+		multi := "No"
+		if s.MultiDS {
+			multi = "Yes"
+		}
+		t.AddRow(s.Name, s.Desc, s.ComputeRatio, multi)
+	}
+	return t, nil
+}
+
+// Fig5 measures fence overhead for the vector_add kernel: execution time
+// and waiting cycles per fence across TS sizes, with the no-fence point
+// included to show it is fast but functionally incorrect.
+func Fig5(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "fig5", Title: "Fence overhead for vector_add",
+		Columns: []string{"Config", "Exec time (ms)", "Wait cycles/fence", "Functionally correct"},
+		Notes: []string{
+			"Paper: fences slow vector_add by 4.5x-25x over the (incorrect) no-fence run; 165-245 wait cycles per fence.",
+		},
+	}
+	none, _, err := runKernel(withPrimitive(cfg, config.PrimitiveNone).WithTSFraction("1/8"), "add", sc)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("No Fence", f4(none.ExecMS()), "0", fmt.Sprintf("%v", none.Correct))
+	for _, ts := range TSFractions {
+		st, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Fence "+ts+" RB", f4(st.ExecMS()), f1(st.WaitCyclesPerFence()), fmt.Sprintf("%v", st.Correct))
+	}
+	return t, nil
+}
+
+// Fig10a measures PIM command and data bandwidth for the five stream
+// kernels, fence versus OrderLight, across TS sizes (BMF 16).
+func Fig10a(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "fig10a", Title: "Stream: PIM command and data bandwidth, fence vs OrderLight",
+		Columns: []string{"Kernel", "TS", "Fence GC/s", "OL GC/s", "Fence GB/s", "OL GB/s", "OL/Fence"},
+		Notes: []string{
+			"Paper: OrderLight command bandwidth averages 2.6x fence on Add; OL data bandwidth exceeds the 405 GB/s external peak by ~4.3x on average.",
+		},
+	}
+	var sumRatio float64
+	var nRatio int
+	for _, s := range kernel.Stream() {
+		for _, ts := range TSFractions {
+			fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), s.Name, sc)
+			if err != nil {
+				return nil, err
+			}
+			ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction(ts), s.Name, sc)
+			if err != nil {
+				return nil, err
+			}
+			ratio := ol.CommandBW() / fe.CommandBW()
+			sumRatio += ratio
+			nRatio++
+			t.AddRow(s.Name, ts+" RB",
+				f2(fe.CommandBW()), f2(ol.CommandBW()),
+				f1(fe.DataBW()), f1(ol.DataBW()),
+				f2(ratio))
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("Measured mean OL/fence command-bandwidth ratio: %.2fx", sumRatio/float64(nRatio)))
+	return t, nil
+}
+
+// Fig10b measures execution time and core stall cycles for the stream
+// kernels: GPU baseline, fence, OrderLight.
+func Fig10b(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "fig10b", Title: "Stream: execution time and core stalls (GPU / fence / OrderLight)",
+		Columns: []string{"Kernel", "TS", "GPU ms", "Fence ms", "OL ms", "Fence stalls", "OL stalls", "OL speedup vs GPU"},
+		Notes: []string{
+			"Paper: fences show little benefit over the GPU except at large TS (2-3.4x); OrderLight beats the GPU at every TS by 3.5x-7.4x on average.",
+		},
+	}
+	for _, s := range kernel.Stream() {
+		for _, ts := range TSFractions {
+			fe, k, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), s.Name, sc)
+			if err != nil {
+				return nil, err
+			}
+			ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction(ts), s.Name, sc)
+			if err != nil {
+				return nil, err
+			}
+			gpuMS := k.HostTime(cfg).Milliseconds()
+			t.AddRow(s.Name, ts+" RB",
+				f4(gpuMS), f4(fe.ExecMS()), f4(ol.ExecMS()),
+				fmt.Sprintf("%d", fe.StallCycles()), fmt.Sprintf("%d", ol.StallCycles()),
+				f2(gpuMS/ol.ExecMS()))
+		}
+	}
+	return t, nil
+}
+
+// Fig11 derives the DRAM-timing bound on PIM command bandwidth: opening
+// a row, issuing 8 column writes, and switching to a conflicting row
+// costs tRCDW + 7*tCCDL + tWTP + tRP memory cycles, and a two-vector
+// store microkernel measured on the full machine approaches that peak
+// under OrderLight.
+func Fig11(cfg config.Config, sc Scale) (*Table, error) {
+	tm := cfg.Memory.Timing
+	burst := 8
+	cycles := tm.RCDW + (burst-1)*tm.CCDL + tm.WTP + tm.RP
+	memHz := float64(cfg.Memory.MemFreqMHz) * 1e6
+	peak := float64(burst) / float64(cycles) * memHz * float64(cfg.Memory.Channels) / 1e9
+
+	t := &Table{
+		ID: "fig11", Title: "DRAM timing bound for 8 writes between conflicting rows",
+		Columns: []string{"Quantity", "Value"},
+		Notes: []string{
+			"Paper: tRCDW(9) + 7xtCCDL(14) + tWTP(9) + tRP(12) = 44 cycles per 8 commands, ~2.3 GC/s peak; OrderLight measures ~2.1 GC/s.",
+		},
+	}
+	t.AddRow("row cycle (mem cycles)", fmt.Sprintf("%d", cycles))
+	t.AddRow("commands per row cycle", fmt.Sprintf("%d", burst))
+	t.AddRow("analytic peak (GC/s, all channels)", f2(peak))
+
+	// Measured: the two-vector store pattern (copy's store side is the
+	// closest Table 2 kernel; a dedicated p/q spec isolates the bound).
+	pq := kernel.Spec{
+		Name: "fig11_pq", Desc: "store p then store q per tile", ComputeRatio: "0:2",
+		DataStructs: 2, MultiDS: true,
+		Phases: []kernel.PhaseSpec{
+			{Name: "store p", Kind: isa.KindPIMStore, Vec: 0, CmdsPerN: 1},
+			{Name: "store q", Kind: isa.KindPIMStore, Vec: 1, CmdsPerN: 1},
+		},
+	}
+	c := withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction("1/8")
+	// The measurement needs enough bursts that the 220-cycle pipe fill
+	// is amortized; enforce a floor on the footprint.
+	bytes := sc.orDefault().BytesPerChannel
+	if bytes < 256*1024 {
+		bytes = 256 * 1024
+	}
+	k, err := kernel.Build(c, pq, bytes)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gpu.NewMachine(c, k.Store, k.Programs)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("measured OrderLight (GC/s)", f2(st.CommandBW()))
+	t.AddRow("measured / analytic peak", f2(st.CommandBW()/peak))
+	return t, nil
+}
+
+// Fig12 measures the application kernels: fence vs OrderLight execution
+// time, the speedup, and ordering primitives per PIM instruction.
+func Fig12(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "fig12", Title: "Applications: OrderLight speedup over fence and primitive rate",
+		Columns: []string{"Kernel", "TS", "Fence ms", "OL ms", "Speedup", "Primitives/PIM instr"},
+		Notes: []string{
+			"Paper: OrderLight delivers 5.5x-8.5x over fence across the suite; FC/KMeans/Gen_Fil keep high primitive rates at large TS and hence large wins.",
+		},
+	}
+	var minSp, maxSp float64
+	for _, s := range kernel.Apps() {
+		for _, ts := range TSFractions {
+			fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), s.Name, sc)
+			if err != nil {
+				return nil, err
+			}
+			ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction(ts), s.Name, sc)
+			if err != nil {
+				return nil, err
+			}
+			sp := fe.ExecMS() / ol.ExecMS()
+			if minSp == 0 || sp < minSp {
+				minSp = sp
+			}
+			if sp > maxSp {
+				maxSp = sp
+			}
+			t.AddRow(s.Name, ts+" RB", f4(fe.ExecMS()), f4(ol.ExecMS()), f2(sp), f4(ol.PrimitivesPerPIMInstr()))
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("Measured speedup range: %.1fx-%.1fx", minSp, maxSp))
+	return t, nil
+}
+
+// Fig13 sweeps the bandwidth multiplication factor for the Add kernel:
+// fence vs OrderLight vs the GPU baseline at BMF 4, 8, 16.
+func Fig13(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "fig13", Title: "Add kernel under different bandwidth multiplication factors",
+		Columns: []string{"BMF", "TS", "GPU ms", "Fence ms", "OL ms", "OL/fence"},
+		Notes: []string{
+			"Paper: OrderLight beats fence by 1.9x-3.1x across BMFs; fence is worse than or comparable to the GPU in 8 of 12 cases, OrderLight better in 10 of 12.",
+		},
+	}
+	for _, bmf := range []int{4, 8, 16} {
+		c := cfg
+		c.PIM.BMF = bmf
+		for _, ts := range TSFractions {
+			fe, k, err := runKernel(withPrimitive(c, config.PrimitiveFence).WithTSFraction(ts), "add", sc)
+			if err != nil {
+				return nil, err
+			}
+			ol, _, err := runKernel(withPrimitive(c, config.PrimitiveOrderLight).WithTSFraction(ts), "add", sc)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%dx", bmf), ts+" RB",
+				f4(k.HostTime(c).Milliseconds()), f4(fe.ExecMS()), f4(ol.ExecMS()),
+				f2(fe.ExecMS()/ol.ExecMS()))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"orderlight/internal/config"
+)
+
+// tinyScale keeps experiment tests fast.
+var tinyScale = Scale{BytesPerChannel: 16 * 1024}
+
+// tinyConfig shrinks the machine to 4 channels for test speed while
+// keeping the full pipe structure.
+func tinyConfig() config.Config {
+	cfg := config.Default()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+	cfg.Run.DeadlineMS = 50
+	return cfg
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q is not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 22 {
+		t.Fatalf("IDs() = %v, want 22 experiments", ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	if _, err := Run("bogus", tinyConfig(), tinyScale); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Run("table1", tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "FRFCFS") || !strings.Contains(md, "850 MHz") {
+		t.Fatalf("Table 1 markdown missing expected entries:\n%s", md)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := Run("table2", tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("Table 2 has %d rows, want 12", len(tab.Rows))
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "gen_fil") || !strings.Contains(csv, "10:1") {
+		t.Fatalf("Table 2 CSV missing entries:\n%s", csv)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab, err := Fig5(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Fig5 rows = %d, want 5 (no-fence + 4 TS)", len(tab.Rows))
+	}
+	// Row 0: no fence — fast but incorrect.
+	if tab.Rows[0][3] != "false" {
+		t.Error("no-fence run should be functionally incorrect")
+	}
+	noneMS := cell(t, tab, 0, 1)
+	for r := 1; r <= 4; r++ {
+		if tab.Rows[r][3] != "true" {
+			t.Errorf("fence run %s incorrect", tab.Rows[r][0])
+		}
+		if ms := cell(t, tab, r, 1); ms <= noneMS {
+			t.Errorf("fence at %s not slower than no-fence (%v <= %v)", tab.Rows[r][0], ms, noneMS)
+		}
+		if w := cell(t, tab, r, 2); w < 50 {
+			t.Errorf("wait cycles/fence at %s = %v, implausibly low", tab.Rows[r][0], w)
+		}
+	}
+	// Fence overhead shrinks with larger TS (fewer fences).
+	if !(cell(t, tab, 1, 1) > cell(t, tab, 4, 1)) {
+		t.Error("fence time should fall as TS grows")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tab, err := Fig11(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r[1]
+	}
+	if byName["row cycle (mem cycles)"] != "44" {
+		t.Fatalf("row cycle = %s, want 44", byName["row cycle (mem cycles)"])
+	}
+	frac, err := strconv.ParseFloat(byName["measured / analytic peak"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.80 || frac > 1.02 {
+		t.Fatalf("measured/peak = %.2f, want OrderLight close to the DRAM-timing bound", frac)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tab, err := Fig13(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("Fig13 rows = %d, want 12 (3 BMF x 4 TS)", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		ratio := cell(t, tab, i, 5)
+		if ratio < 1.0 {
+			t.Errorf("row %v: OrderLight slower than fence (ratio %.2f)", r[:2], ratio)
+		}
+	}
+	// Lower BMF means more commands for the same data, so the fence
+	// burden grows: OL/fence ratio at BMF 4 should exceed BMF 16 at the
+	// same (small) TS.
+	if !(cell(t, tab, 0, 5) > cell(t, tab, 8, 5)*0.9) {
+		t.Error("fence burden did not grow at lower BMF")
+	}
+}
+
+func TestAblationSubPartitions(t *testing.T) {
+	tab, err := AblationSubPartitions(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	base := cell(t, tab, 0, 1)
+	for i, r := range tab.Rows {
+		if r[3] != "true" {
+			t.Errorf("sub-partition config %s incorrect", r[0])
+		}
+		if ms := cell(t, tab, i, 1); ms > base*1.25 {
+			t.Errorf("OL time at %s sub-partitions = %v, want flat (~%v)", r[0], ms, base)
+		}
+	}
+}
+
+func TestAblationHostConcurrency(t *testing.T) {
+	tab, err := AblationHostConcurrency(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	served := cell(t, tab, 1, 3)
+	if served != 4*64 {
+		t.Fatalf("served = %v host loads, want 256", served)
+	}
+	// Host traffic in another group must see lower latency than traffic
+	// conservatively ordered inside the PIM group.
+	other, same := cell(t, tab, 1, 2), cell(t, tab, 2, 2)
+	if !(other < same) {
+		t.Errorf("other-group latency %.0f should beat PIM-group latency %.0f", other, same)
+	}
+}

@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFig10aShape(t *testing.T) {
+	tab, err := Fig10a(tinyConfig(), Scale{BytesPerChannel: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5*4 {
+		t.Fatalf("rows = %d, want 20 (5 kernels x 4 TS)", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		fence, ol := cell(t, tab, i, 2), cell(t, tab, i, 3)
+		if !(ol > fence) {
+			t.Errorf("%v @ %v: OL bandwidth %v not above fence %v", r[0], r[1], ol, fence)
+		}
+		dataBW, cmdBW := cell(t, tab, i, 5), ol
+		if dataBW < cmdBW {
+			t.Errorf("%v: data BW below command BW", r[0])
+		}
+	}
+	// Fence bandwidth must grow with TS within a kernel (fewer fences).
+	if !(cell(t, tab, 3, 2) > cell(t, tab, 0, 2)) {
+		t.Error("fence bandwidth did not grow with TS for scale")
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	// Needs a footprint large enough to amortize the memory-pipe fill,
+	// or OL cannot beat the GPU roofline (that effect is measured
+	// deliberately by sensitivity-granularity).
+	tab, err := Fig10b(tinyConfig(), Scale{BytesPerChannel: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		gpuMS, feMS, olMS := cell(t, tab, i, 2), cell(t, tab, i, 3), cell(t, tab, i, 4)
+		if !(olMS < feMS) {
+			t.Errorf("%v @ %v: OL (%v ms) not faster than fence (%v ms)", r[0], r[1], olMS, feMS)
+		}
+		if !(olMS < gpuMS) {
+			t.Errorf("%v @ %v: OL (%v ms) not faster than GPU (%v ms)", r[0], r[1], olMS, gpuMS)
+		}
+		feStalls, olStalls := cell(t, tab, i, 5), cell(t, tab, i, 6)
+		if !(feStalls > olStalls) {
+			t.Errorf("%v @ %v: fence stalls not above OL stalls", r[0], r[1])
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab, err := Fig12(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7*4 {
+		t.Fatalf("rows = %d, want 28 (7 kernels x 4 TS)", len(tab.Rows))
+	}
+	byKernel := map[string][]float64{}
+	for i, r := range tab.Rows {
+		sp := cell(t, tab, i, 4)
+		if sp <= 1.0 {
+			t.Errorf("%v @ %v: speedup %.2f <= 1", r[0], r[1], sp)
+		}
+		byKernel[r[0]] = append(byKernel[r[0]], sp)
+	}
+	// Gen_Fil's speedup must be flat across TS (fixed 128 B granularity).
+	gf := byKernel["gen_fil"]
+	if gf[0]/gf[3] > 1.1 || gf[3]/gf[0] > 1.1 {
+		t.Errorf("gen_fil speedups vary with TS: %v", gf)
+	}
+	// bn_fwd's speedup must fall with TS (primitive rate amortizes).
+	bn := byKernel["bn_fwd"]
+	if !(bn[0] > bn[3]) {
+		t.Errorf("bn_fwd speedup did not fall with TS: %v", bn)
+	}
+}
+
+func TestRelatedSeqnoShape(t *testing.T) {
+	tab, err := RelatedSeqno(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (fence, 3 credit levels, OL)", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "true" {
+			t.Errorf("%s not functionally correct", r[0])
+		}
+	}
+	fence := cell(t, tab, 0, 1)
+	seq8 := cell(t, tab, 1, 1)
+	seq128 := cell(t, tab, 3, 1)
+	ol := cell(t, tab, 4, 1)
+	if !(seq128 < seq8) {
+		t.Error("more credits should speed seqno up")
+	}
+	if !(ol <= seq128) {
+		t.Errorf("OrderLight (%v) should match or beat best seqno (%v)", ol, seq128)
+	}
+	if !(seq8 <= fence*1.2) {
+		t.Errorf("seqno with few credits (%v) should be at worst fence-like (%v)", seq8, fence)
+	}
+}
+
+func TestSensitivityGranularityShape(t *testing.T) {
+	tab, err := SensitivityGranularity(tinyConfig(), Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// OL's speedup over the GPU must grow with footprint (fixed costs
+	// amortize) and beat fence's at every size.
+	first := cell(t, tab, 0, 5)
+	last := cell(t, tab, 3, 5)
+	if !(last > first) {
+		t.Errorf("OL-vs-GPU did not grow with footprint: %v -> %v", first, last)
+	}
+	for i := range tab.Rows {
+		if !(cell(t, tab, i, 5) > cell(t, tab, i, 4)) {
+			t.Errorf("row %d: OL-vs-GPU not above fence-vs-GPU", i)
+		}
+	}
+}
+
+func TestSensitivitySMsShape(t *testing.T) {
+	cfg := tinyConfig() // 4 channels: sweep hits 2 and 4 SMs
+	tab, err := SensitivitySMs(cfg, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatalf("rows = %d, want >= 2", len(tab.Rows))
+	}
+	// Fence must stay essentially flat across SM counts.
+	feFirst, feLast := cell(t, tab, 0, 1), cell(t, tab, len(tab.Rows)-1, 1)
+	if feLast > feFirst*1.15 || feFirst > feLast*1.15 {
+		t.Errorf("fence time moved with SM count: %v -> %v", feFirst, feLast)
+	}
+}
+
+func TestTaxonomyArbitrationShape(t *testing.T) {
+	tab, err := TaxonomyArbitration(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fga, cga := cell(t, tab, 0, 2), cell(t, tab, 1, 2)
+	if !(cga > fga) {
+		t.Errorf("CGA host latency (%v) should exceed FGA (%v)", cga, fga)
+	}
+	ratio, err := strconv.ParseFloat(tab.Rows[1][3], 64)
+	if err != nil || ratio <= 1.0 {
+		t.Errorf("latency ratio = %v (%v)", tab.Rows[1][3], err)
+	}
+}
+
+func TestValidationHostBWShape(t *testing.T) {
+	tab, err := ValidationHostBW(tinyConfig(), Scale{BytesPerChannel: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tab.Rows {
+		measured, assumed := cell(t, tab, i, 4), cell(t, tab, i, 5)
+		if measured < assumed*0.65 || measured > assumed*1.25 {
+			t.Errorf("%s: measured host BW %v far from assumption %v", r[0], measured, assumed)
+		}
+	}
+}
+
+func TestAblationRefreshShape(t *testing.T) {
+	// Tighten tREFI so the short test run spans several refresh windows.
+	cfg := tinyConfig()
+	cfg.Memory.REFI = 400
+	cfg.Memory.RFC = 36
+	tab, err := AblationRefresh(cfg, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := cell(t, tab, 0, 1), cell(t, tab, 1, 1)
+	if !(on >= off) {
+		t.Errorf("refresh made the run faster (%v -> %v)?", off, on)
+	}
+	if on > off*1.25 {
+		t.Errorf("refresh overhead %v -> %v exceeds the ~10%% duty-cycle bound", off, on)
+	}
+	if tab.Rows[1][4] != "true" || tab.Rows[0][4] != "true" {
+		t.Error("refresh must not affect correctness")
+	}
+	refreshes := cell(t, tab, 1, 3)
+	if refreshes <= 0 {
+		t.Error("no refreshes performed with refresh enabled")
+	}
+}
+
+func TestAblationSchedShape(t *testing.T) {
+	tab, err := AblationSched(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row order: frfcfs/none, frfcfs/ol, fcfs/none, fcfs/ol.
+	if tab.Rows[1][5] != "true" || tab.Rows[3][5] != "true" {
+		t.Error("OrderLight must be correct under both schedulers")
+	}
+	frNoneBW, fcNoneBW := cell(t, tab, 0, 3), cell(t, tab, 2, 3)
+	if !(frNoneBW > fcNoneBW) {
+		t.Error("FR-FCFS should out-bandwidth FCFS on the unordered stream")
+	}
+}
+
+func TestAblationOoOShape(t *testing.T) {
+	tab, err := AblationOoOHost(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	if tab.Rows[0][4] != "false" {
+		t.Error("unordered OoO host should be incorrect")
+	}
+	for _, r := range tab.Rows[1:] {
+		if r[4] != "true" {
+			t.Errorf("%s on OoO host incorrect", r[0])
+		}
+	}
+	feMS, olMS := cell(t, tab, 1, 1), cell(t, tab, 3, 1)
+	if !(olMS < feMS) {
+		t.Error("OrderLight should beat fence on the OoO host")
+	}
+}
+
+func TestAblationNoCShape(t *testing.T) {
+	tab, err := AblationNoC(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	base := cell(t, tab, 1, 2) // 1 route, orderlight
+	for i, r := range tab.Rows {
+		if r[1] == "orderlight" {
+			if r[4] != "true" {
+				t.Errorf("%s routes: OrderLight incorrect across NoC divergence", r[0])
+			}
+			if ms := cell(t, tab, i, 2); ms > base*1.2 {
+				t.Errorf("%s routes: OL time %v not flat vs %v", r[0], ms, base)
+			}
+		}
+	}
+}
+
+func TestAblationPlacementShape(t *testing.T) {
+	tab, err := AblationPlacement(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: one/fence, one/ol, spread/fence, spread/ol.
+	oneOL, spreadOL := cell(t, tab, 1, 3), cell(t, tab, 3, 3)
+	if !(spreadOL > oneOL) {
+		t.Errorf("spreading did not raise OL bandwidth (%v -> %v)", oneOL, spreadOL)
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "true" {
+			t.Errorf("%s/%s incorrect", r[0], r[1])
+		}
+	}
+}
+
+func TestAblationCountersShape(t *testing.T) {
+	tab, err := AblationCounters(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	unlimited := cell(t, tab, 3, 1)
+	for i, r := range tab.Rows {
+		if r[3] != "true" {
+			t.Errorf("budget %s broke correctness", r[0])
+		}
+		if ms := cell(t, tab, i, 1); ms > unlimited*1.5 {
+			t.Errorf("budget %s cost %v vs unlimited %v — too conservative", r[0], ms, unlimited)
+		}
+	}
+}
+
+func TestAblationEnergyShape(t *testing.T) {
+	tab, err := AblationEnergy(tinyConfig(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// Dynamic energy identical across disciplines (same traffic).
+	dynF, dynO := cell(t, tab, 0, 2), cell(t, tab, 2, 2)
+	if dynF != dynO {
+		t.Errorf("dynamic energy differs: fence %v vs OL %v", dynF, dynO)
+	}
+	// Fence total and EDP must exceed OrderLight's.
+	if !(cell(t, tab, 0, 4) > cell(t, tab, 2, 4)) {
+		t.Error("fence total energy not above OrderLight")
+	}
+	if !(cell(t, tab, 0, 5) > cell(t, tab, 2, 5)) {
+		t.Error("fence EDP not above OrderLight")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"Kernel", "TS", "GC/s"},
+		Rows: [][]string{
+			{"add", "1/8", "2.50"},
+			{"scale", "1/8", "5.00"},
+			{"note", "1/8", "n/a"}, // non-numeric skipped
+		},
+	}
+	out := tab.Chart(2)
+	if !strings.Contains(out, "add 1/8") || !strings.Contains(out, "scale 1/8") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	// scale's bar must be twice add's.
+	var addBar, scaleBar int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "#")
+		switch {
+		case strings.HasPrefix(line, "add"):
+			addBar = n
+		case strings.HasPrefix(line, "scale"):
+			scaleBar = n
+		}
+	}
+	if scaleBar != 2*addBar || scaleBar == 0 {
+		t.Fatalf("bars add=%d scale=%d, want 1:2", addBar, scaleBar)
+	}
+	if strings.Contains(out, "n/a") {
+		t.Fatal("non-numeric row charted")
+	}
+	if got := tab.DefaultChartColumn(); got != 2 {
+		t.Fatalf("DefaultChartColumn = %d, want 2", got)
+	}
+	if !strings.Contains(tab.Chart(99), "out of range") {
+		t.Fatal("bad column not reported")
+	}
+	empty := &Table{ID: "e", Columns: []string{"a"}}
+	if empty.DefaultChartColumn() != -1 {
+		t.Fatal("empty table should have no chart column")
+	}
+}
+
+func TestRunAllAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	cfg := tinyConfig()
+	tabs, err := RunAll(cfg, Scale{BytesPerChannel: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != len(IDs()) {
+		t.Fatalf("RunAll returned %d tables, want %d", len(tabs), len(IDs()))
+	}
+	for _, tab := range tabs {
+		if tab.ID == "" || len(tab.Columns) == 0 {
+			t.Errorf("table %q malformed", tab.Title)
+		}
+		if tab.Markdown() == "" || tab.CSV() == "" {
+			t.Errorf("table %s renders empty", tab.ID)
+		}
+	}
+}

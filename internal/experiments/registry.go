@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"orderlight/internal/config"
+)
+
+// Runner is the signature every experiment driver shares.
+type Runner func(config.Config, Scale) (*Table, error)
+
+// registry maps experiment IDs to their drivers. IDs match the paper's
+// table/figure numbering plus the repository's own ablations.
+var registry = map[string]struct {
+	run   Runner
+	title string
+}{
+	"table1":                  {Table1, "simulator configuration (paper Table 1)"},
+	"table2":                  {Table2, "workload suite (paper Table 2)"},
+	"fig5":                    {Fig5, "fence overhead for vector_add (paper Figure 5)"},
+	"fig10a":                  {Fig10a, "stream command/data bandwidth (paper Figure 10a)"},
+	"fig10b":                  {Fig10b, "stream execution time and stalls (paper Figure 10b)"},
+	"fig11":                   {Fig11, "DRAM-timing peak command bandwidth (paper Figure 11)"},
+	"fig12":                   {Fig12, "application speedups and primitive rates (paper Figure 12)"},
+	"fig13":                   {Fig13, "bandwidth-multiplication-factor sweep (paper Figure 13)"},
+	"ablation-subpart":        {AblationSubPartitions, "ablation: L2 sub-partition count vs copy-and-merge cost"},
+	"ablation-host":           {AblationHostConcurrency, "ablation: concurrent host traffic under fine-grained arbitration"},
+	"ablation-placement":      {AblationPlacement, "ablation: operand placement across memory-groups (per-group ordering)"},
+	"ablation-ooo":            {AblationOoOHost, "ablation: OoO-CPU host under reservation-station reordering (§9)"},
+	"ablation-counters":       {AblationCounters, "ablation: per-SM OrderLight counter budget (§5.3.1)"},
+	"ablation-energy":         {AblationEnergy, "ablation: memory-system energy and EDP by ordering discipline"},
+	"ablation-noc":            {AblationNoC, "ablation: adaptive multi-route NoC divergence (§9)"},
+	"ablation-refresh":        {AblationRefresh, "ablation: all-bank DRAM refresh impact"},
+	"ablation-sched":          {AblationSched, "ablation: FR-FCFS vs strict FCFS scheduling"},
+	"related-seqno":           {RelatedSeqno, "related work: sequence-number ordering with credits (Kim et al., §8.1)"},
+	"sensitivity-sms":         {SensitivitySMs, "sensitivity: PIM-kernel SM apportionment (§6)"},
+	"taxonomy-arbitration":    {TaxonomyArbitration, "taxonomy: host QoS under fine vs coarse arbitration (§3.2)"},
+	"validation-hostbw":       {ValidationHostBW, "validation: measured host streaming bandwidth vs roofline assumption"},
+	"sensitivity-granularity": {SensitivityGranularity, "sensitivity: offload granularity break-even (§3.5)"},
+}
+
+// IDs lists every experiment, paper figures first, then ablations,
+// alphabetically within each class.
+func IDs() []string {
+	var figs, abl []string
+	for id := range registry {
+		if len(id) > 8 && id[:8] == "ablation" {
+			abl = append(abl, id)
+		} else {
+			figs = append(figs, id)
+		}
+	}
+	sort.Strings(figs)
+	sort.Strings(abl)
+	return append(figs, abl...)
+}
+
+// Title returns an experiment's one-line description.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment by ID.
+func Run(id string, cfg config.Config, sc Scale) (*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e.run(cfg, sc)
+}
+
+// RunAll executes every experiment in IDs() order. Experiments are
+// independent simulations, so they run concurrently (bounded by
+// GOMAXPROCS via the runtime); results come back in IDs() order and any
+// error aborts with the first failing experiment named.
+func RunAll(cfg config.Config, sc Scale) ([]*Table, error) {
+	ids := IDs()
+	out := make([]*Table, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			t, err := Run(id, cfg, sc)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: %s: %w", id, err)
+				return
+			}
+			out[i] = t
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

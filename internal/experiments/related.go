@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+)
+
+// RelatedSeqno compares OrderLight against the sequence-number ordering
+// of Kim et al. (§8.1): per-request sequence numbers released in order
+// at the memory controller with credit-based flow control at the core.
+// The paper's qualitative claims under test:
+//
+//   - sequence numbers need memory-side reorder buffering proportional
+//     to the credit count, where OrderLight needs none;
+//   - the credit round trip throttles PIM command bandwidth;
+//   - strict per-request order also forfeits FR-FCFS's freedom to
+//     reorder independent requests within a phase.
+func RelatedSeqno(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "related-seqno", Title: "OrderLight vs sequence-number ordering (Kim et al., §8.1)",
+		Columns: []string{"Mechanism", "Exec ms", "Cmd GC/s", "Stall cycles", "MC buffering needed", "Correct"},
+		Notes: []string{
+			"Sequence numbers serialize every PIM request at the controller and pay a credit round trip; OrderLight orders only at phase boundaries and needs no credit state.",
+		},
+	}
+	fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence), "add", sc)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("fence", f4(fe.ExecMS()), f2(fe.CommandBW()),
+		fmt.Sprintf("%d", fe.StallCycles()), "none", fmt.Sprintf("%v", fe.Correct))
+
+	for _, credits := range []int{8, 32, 128} {
+		c := withPrimitive(cfg, config.PrimitiveSeqno)
+		c.Run.SeqnoCredits = credits
+		st, _, err := runKernel(c, "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("seqno (%d credits)", credits), f4(st.ExecMS()), f2(st.CommandBW()),
+			fmt.Sprintf("%d", st.StallCycles()),
+			fmt.Sprintf("%d entries/warp", credits), fmt.Sprintf("%v", st.Correct))
+	}
+
+	ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight), "add", sc)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("OrderLight", f4(ol.ExecMS()), f2(ol.CommandBW()),
+		fmt.Sprintf("%d", ol.StallCycles()), "none", fmt.Sprintf("%v", ol.Correct))
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+)
+
+// SensitivitySMs reproduces the §6 observation about host-compute
+// apportionment: under fences, warps idle so much that a couple of SMs
+// (eight warps each, via context switching) can drive all 16 channels;
+// under OrderLight the command throughput is high enough that the paper
+// dedicates one SM per two channels. The sweep varies how many SMs the
+// PIM kernel occupies and shows fence performance is flat (core time is
+// all stall) while OrderLight speeds up with more front-end width.
+func SensitivitySMs(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "sensitivity-sms", Title: "PIM-kernel SM apportionment (§6 baseline-limitations discussion)",
+		Columns: []string{"SMs (warps/SM)", "Fence ms", "OL ms", "OL gain from SMs"},
+		Notes: []string{
+			"Fence runs are stall-bound and insensitive to front-end width; OrderLight converts extra SMs into command throughput until the DRAM bound.",
+		},
+	}
+	// Use the group-spread Add variant: with bank-group parallelism the
+	// DRAM stops being the sole bound and front-end width shows.
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		return nil, err
+	}
+	spread := kernel.WithSpread(spec)
+	channels := cfg.Memory.Channels
+	var olBase float64
+	for _, sms := range []int{2, 4, 8} {
+		if channels%sms != 0 {
+			continue
+		}
+		c := cfg
+		c.GPU.PIMSMs = sms
+		c.GPU.WarpsPerSM = channels / sms
+		runOne := func(prim config.Primitive) (float64, error) {
+			cc := withPrimitive(c, prim)
+			k, err := kernel.Build(cc, spread, sc.orDefault().BytesPerChannel)
+			if err != nil {
+				return 0, err
+			}
+			m, err := gpu.NewMachine(cc, k.Store, k.Programs)
+			if err != nil {
+				return 0, err
+			}
+			st, err := m.Run()
+			if err != nil {
+				return 0, err
+			}
+			return st.ExecMS(), nil
+		}
+		feMS, err := runOne(config.PrimitiveFence)
+		if err != nil {
+			return nil, err
+		}
+		olMS, err := runOne(config.PrimitiveOrderLight)
+		if err != nil {
+			return nil, err
+		}
+		if olBase == 0 {
+			olBase = olMS
+		}
+		t.AddRow(fmt.Sprintf("%d (%d)", sms, channels/sms),
+			f4(feMS), f4(olMS), f2(olBase/olMS))
+	}
+	return t, nil
+}
+
+// SensitivityGranularity sweeps the offload size — the heart of the
+// taxonomy argument (§3.5): fine-grained offload is only worth having if
+// small computations still win. Fixed costs (memory-pipe fill, and the
+// per-phase fence round trips) must amortize; OrderLight's break-even
+// point against the GPU baseline sits at a far smaller offload than the
+// fence's.
+func SensitivityGranularity(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "sensitivity-granularity", Title: "Offload granularity: PIM speedup vs kernel footprint",
+		Columns: []string{"Bytes/channel", "GPU ms", "Fence ms", "OL ms", "Fence vs GPU", "OL vs GPU"},
+		Notes: []string{
+			"Fine-grained offload pays off only if small offloads win; OrderLight crosses break-even at a much smaller footprint than fences (§3.5).",
+		},
+	}
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		return nil, err
+	}
+	for _, bytes := range []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		k, err := kernel.Build(withPrimitive(cfg, config.PrimitiveFence), spec, bytes)
+		if err != nil {
+			return nil, err
+		}
+		gpuMS := gpu.HostTime(cfg, k.HostBytes, k.HostOps).Milliseconds()
+		fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence), "add", Scale{BytesPerChannel: bytes})
+		if err != nil {
+			return nil, err
+		}
+		ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight), "add", Scale{BytesPerChannel: bytes})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", bytes),
+			f4(gpuMS), f4(fe.ExecMS()), f4(ol.ExecMS()),
+			f2(gpuMS/fe.ExecMS()), f2(gpuMS/ol.ExecMS()))
+	}
+	return t, nil
+}

@@ -1,0 +1,61 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6-§7): Table 1 (configuration), Table 2 (workloads),
+// Figure 5 (fence overhead), Figures 10a/10b (stream bandwidth and
+// time), Figure 11 (DRAM-timing peak command bandwidth), Figure 12
+// (application speedups and primitive rates) and Figure 13 (BMF sweep) —
+// plus two ablations on the design choices DESIGN.md calls out.
+//
+// Each experiment returns a Table whose rows are the series the paper
+// plots. Absolute values differ from the paper (different data-set
+// sizes; a purpose-built simulator instead of GPGPU-Sim), but the shape
+// — who wins, by what factor, where crossovers fall — is the
+// reproduction target. EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not
+// needed: no cell produced by this package contains a comma).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ",") + "\n")
+	}
+	return b.String()
+}
+
+// f1, f2, f3 format floats at fixed precision for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }

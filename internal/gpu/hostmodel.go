@@ -1,0 +1,39 @@
+package gpu
+
+import (
+	"orderlight/internal/config"
+	"orderlight/internal/sim"
+)
+
+// HostTime estimates the execution time of a kernel run on the host GPU
+// alone (no PIM) with a roofline model: the kernel takes the larger of
+// its memory time at the host's effective streaming bandwidth and its
+// compute time at the device's peak arithmetic throughput.
+//
+// Substitution note (see DESIGN.md): the paper measured its GPU baseline
+// bars in GPGPU-Sim. Every kernel in Table 2 is bandwidth-bound at the
+// host (that is the premise of offloading it to PIM), so the roofline's
+// memory term dominates and the baseline reduces to bytes moved over
+// effective bandwidth — the same quantity the cycle-accurate baseline
+// measures for streaming kernels.
+func HostTime(cfg config.Config, bytes, ops int64) sim.Time {
+	memSecs := float64(bytes) / HostEffectiveBW(cfg)
+	compSecs := float64(ops) / (cfg.GPU.PeakGFLOPs * 1e9)
+	secs := memSecs
+	if compSecs > secs {
+		secs = compSecs
+	}
+	return sim.Time(secs * sim.BaseTickHz)
+}
+
+// HostEffectiveBW returns the host's effective streaming bandwidth in
+// bytes/s: the quoted device bandwidth (Table 1's 405 GB/s at 16
+// channels) capped by the configured memory system's raw pin bandwidth,
+// derated by HostEff.
+func HostEffectiveBW(cfg config.Config) float64 {
+	peak := cfg.GPU.HostPeakGBs * 1e9
+	if raw := cfg.HostPeakBandwidth(); raw < peak {
+		peak = raw
+	}
+	return peak * cfg.GPU.HostEff
+}

@@ -1,0 +1,459 @@
+package gpu
+
+import (
+	"fmt"
+
+	"orderlight/internal/cache"
+	"orderlight/internal/config"
+	"orderlight/internal/core"
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/memctrl"
+	"orderlight/internal/noc"
+	"orderlight/internal/pim"
+	"orderlight/internal/sim"
+	"orderlight/internal/stats"
+	"orderlight/internal/trace"
+)
+
+// Machine assembles the full simulated system of Figure 6: PIM-kernel
+// SMs, per-channel interconnect pipes, L2 slices with sub-partitions,
+// L2-to-DRAM pipes, and memory controllers with PIM units. It owns the
+// dual-clock engine and the completion/verification logic.
+type Machine struct {
+	cfg      config.Config
+	geom     dram.Geometry
+	st       *stats.Run
+	eng      *sim.Engine
+	store    *dram.Store
+	initial  *dram.Store
+	programs []Program
+
+	hosts  []host
+	icnt   []*noc.Link // SM -> L2 interconnect, one per channel
+	slices []*cache.Slice
+	l2dram []*sim.Pipe[isa.Request] // L2 -> DRAM scheduler, one per channel
+	mcs    []*memctrl.Controller
+	acks   *sim.Pipe[int] // issued-to-DRAM acknowledgments (warp ids)
+	ft     *core.FenceTracker
+	nextID uint64
+
+	tracer *trace.Tracer // optional; see SetTracer
+
+	host        HostTraffic
+	hostRng     *sim.Rand
+	hostLeft    []int // per channel, requests still to inject
+	hostPending int   // injected but not yet serviced
+	hostSent    map[uint64]sim.Time
+	hostLatency sim.Time
+	hostServed  int64
+	hostHeld    []heldHost // CGA: loads waiting for the PIM kernel to finish
+}
+
+// heldHost is a host load blocked by coarse-grained arbitration.
+type heldHost struct {
+	ch      int
+	desired sim.Time // when it wanted to issue
+}
+
+// HostTraffic describes synthetic concurrent host accesses injected
+// alongside the PIM kernel — the fine-grained-arbitration scenario of
+// §3.4: the memory controller interleaves host loads with PIM commands
+// instead of blocking the host for the whole PIM computation.
+type HostTraffic struct {
+	PerChannel int // host loads to inject per channel (0 disables)
+	EveryN     int // injection period in core cycles
+	Group      int // memory-group the loads target
+	Rows       int // row span the loads are scattered over
+
+	// CoarseArbitration models the CGO/CGA class of §3.2: the host may
+	// not touch memory while the PIM computation runs, so every host
+	// load queues at the core until the PIM kernel drains. Latency is
+	// still measured from the moment the load *wanted* to issue, which
+	// is exactly the QoS damage the taxonomy discussion describes.
+	CoarseArbitration bool
+}
+
+// NewMachine builds the machine. The store holds the initial memory
+// image; it is mutated by the run. Each program drives one distinct
+// channel.
+func NewMachine(cfg config.Config, store *dram.Store, programs []Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Host.Kind != config.HostCPU && len(programs) > cfg.GPU.PIMSMs*cfg.GPU.WarpsPerSM {
+		return nil, fmt.Errorf("gpu: %d programs exceed %d PIM warps", len(programs), cfg.GPU.PIMSMs*cfg.GPU.WarpsPerSM)
+	}
+	seen := make(map[int]bool)
+	for _, p := range programs {
+		if p.Channel < 0 || p.Channel >= cfg.Memory.Channels {
+			return nil, fmt.Errorf("gpu: program channel %d out of range", p.Channel)
+		}
+		if seen[p.Channel] {
+			return nil, fmt.Errorf("gpu: two programs drive channel %d (one warp per PIM unit, §5.4)", p.Channel)
+		}
+		seen[p.Channel] = true
+	}
+
+	geom := dram.NewGeometry(cfg.Memory.Channels, cfg.Memory.BanksPerChannel,
+		cfg.Memory.RowBufferBytes, cfg.Memory.BusWidthBytes,
+		cfg.Memory.GroupsPerChannel, cfg.PIM.BMF)
+	if store.Lanes() != geom.LanesPerSlot {
+		return nil, fmt.Errorf("gpu: store has %d lanes per slot, geometry needs %d", store.Lanes(), geom.LanesPerSlot)
+	}
+
+	m := &Machine{
+		cfg:      cfg,
+		geom:     geom,
+		st:       stats.New(cfg.BytesPerCommand()),
+		eng:      sim.NewEngine(),
+		store:    store,
+		initial:  store.Clone(),
+		programs: programs,
+		ft:       core.NewFenceTracker(len(programs)),
+		acks:     sim.NewPipe[int](sim.Time(cfg.GPU.AckLatency)*sim.CoreTicks, 0),
+	}
+
+	// Memory-side plumbing, one lane per channel.
+	tagLines := cfg.GPU.L2SizeMB << 20 / cfg.Memory.Channels / cfg.Memory.BusWidthBytes
+	for ch := 0; ch < cfg.Memory.Channels; ch++ {
+		m.icnt = append(m.icnt, noc.NewLink(cfg.GPU.IcntRoutes,
+			sim.Time(cfg.GPU.InterconnectToL2)*sim.CoreTicks, 64/cfg.GPU.IcntRoutes+1))
+		slice := cache.NewSlice(ch, geom, cfg.GPU.L2SubPartitions, tagLines)
+		slice.OnHostHit = func(r isa.Request) { m.completeHost(r) }
+		m.slices = append(m.slices, slice)
+		m.l2dram = append(m.l2dram, sim.NewPipe[isa.Request](sim.Time(cfg.GPU.L2ToDRAM)*sim.CoreTicks, cfg.GPU.L2QueueSize))
+		mc := memctrl.New(ch, cfg, geom, store, m.st)
+		mc.OnIssue = m.onIssue
+		m.mcs = append(m.mcs, mc)
+	}
+
+	// Build the host front end: SIMT SMs (warps distributed WarpsPerSM
+	// per SM) or one OoO CPU core per channel program (§9 extension).
+	switch cfg.Host.Kind {
+	case config.HostCPU:
+		for i, p := range programs {
+			m.hosts = append(m.hosts, newOoOCore(i, cfg, geom, m.st, p, m.ft, &m.nextID, m.send))
+		}
+	default:
+		warpsPerSM := cfg.GPU.WarpsPerSM
+		for smID := 0; smID*warpsPerSM < len(programs); smID++ {
+			var ws []*warp
+			for wi := smID * warpsPerSM; wi < (smID+1)*warpsPerSM && wi < len(programs); wi++ {
+				ws = append(ws, &warp{id: wi, channel: programs[wi].Channel, prog: programs[wi].Instrs})
+			}
+			m.hosts = append(m.hosts, newSM(smID, cfg, geom, m.st, ws, m.ft, &m.nextID, m.send))
+		}
+	}
+
+	coreClk := m.eng.AddClock("core", sim.CoreTicks)
+	memClk := m.eng.AddClock("mem", sim.MemTicks)
+	coreClk.Register(sim.TickFunc(func(int64) { m.coreTick() }))
+	memClk.Register(sim.TickFunc(func(cy int64) { m.memTick(cy) }))
+	return m, nil
+}
+
+// Stats exposes the run's statistics accumulator.
+func (m *Machine) Stats() *stats.Run { return m.st }
+
+// SetTracer arms stage tracing for the run: every request's crossings of
+// the memory pipe's measurement points are recorded. Must be called
+// before Run.
+func (m *Machine) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// record traces one stage crossing if tracing is armed.
+func (m *Machine) record(stage trace.Stage, r isa.Request) {
+	if m.tracer != nil {
+		m.tracer.Record(m.eng.Now(), stage, r)
+	}
+}
+
+// SetHostTraffic arms synthetic host-load injection for the run. Must be
+// called before Run.
+func (m *Machine) SetHostTraffic(ht HostTraffic) {
+	m.host = ht
+	m.hostRng = sim.NewRand(m.cfg.Run.Seed ^ 0x4057_1a21)
+	m.hostLeft = make([]int, m.cfg.Memory.Channels)
+	for ch := range m.hostLeft {
+		m.hostLeft[ch] = ht.PerChannel
+	}
+	m.hostSent = make(map[uint64]sim.Time)
+}
+
+// HostLatency returns the mean core-to-DRAM-issue latency of serviced
+// host loads, in core cycles, and how many were serviced.
+func (m *Machine) HostLatency() (float64, int64) {
+	if m.hostServed == 0 {
+		return 0, 0
+	}
+	return float64(m.hostLatency) / float64(m.hostServed) / float64(sim.CoreTicks), m.hostServed
+}
+
+// injectHost pushes due host loads into the interconnect. Under
+// coarse-grained arbitration they are held at the core until the PIM
+// kernel drains.
+func (m *Machine) injectHost() {
+	if m.host.PerChannel == 0 {
+		return
+	}
+	now := m.eng.Now()
+	// CGA backlog drains once the PIM kernel (and its pipe) is idle.
+	hostProbe := isa.Request{Kind: isa.KindHostLoad}
+	if len(m.hostHeld) > 0 && m.pimIdle() {
+		kept := m.hostHeld[:0]
+		for _, h := range m.hostHeld {
+			if m.icnt[h.ch].CanPush(hostProbe) {
+				m.pushHostLoad(h.ch, now, h.desired)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		m.hostHeld = kept
+	}
+	every := m.host.EveryN
+	if every <= 0 {
+		every = 1
+	}
+	if now.CoreCycles()%int64(every) != 0 {
+		return
+	}
+	for ch := range m.hostLeft {
+		if m.hostLeft[ch] == 0 {
+			continue
+		}
+		if m.host.CoarseArbitration && !m.pimIdle() {
+			m.hostHeld = append(m.hostHeld, heldHost{ch: ch, desired: now})
+			m.hostLeft[ch]--
+			continue
+		}
+		if !m.icnt[ch].CanPush(hostProbe) {
+			continue
+		}
+		m.pushHostLoad(ch, now, now)
+		m.hostLeft[ch]--
+	}
+}
+
+// pimIdle reports whether every PIM warp has retired and the memory
+// system holds no PIM work (the CGA release condition).
+func (m *Machine) pimIdle() bool {
+	for _, h := range m.hosts {
+		if !h.Done() {
+			return false
+		}
+	}
+	for ch := range m.mcs {
+		if m.mcs[ch].Pending() > 0 || m.icnt[ch].Len() > 0 ||
+			m.slices[ch].Pending() > 0 || m.l2dram[ch].Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pushHostLoad materializes and injects one synthetic host load; its
+// latency clock starts at `desired`.
+func (m *Machine) pushHostLoad(ch int, now, desired sim.Time) {
+	rows := m.host.Rows
+	if rows <= 0 {
+		rows = 64
+	}
+	bank := m.host.Group * m.cfg.BanksPerGroup()
+	m.nextID++
+	addr := m.geom.Encode(dram.Loc{
+		Channel: ch, Bank: bank,
+		Row: 1024 + m.hostRng.Intn(rows), // away from PIM data
+		Col: m.hostRng.Intn(m.geom.SlotsPerRow),
+	})
+	loc := m.geom.Decode(addr)
+	r := isa.Request{
+		ID: m.nextID, Kind: isa.KindHostLoad, Addr: addr,
+		Channel: ch, Group: m.geom.GroupOf(loc.Bank), Bank: loc.Bank, Row: loc.Row,
+		Warp: -1,
+	}
+	m.icnt[ch].Push(now, r)
+	m.hostSent[r.ID] = desired
+	m.hostPending++
+}
+
+// Controller exposes a channel's memory controller (for tests/tracing).
+func (m *Machine) Controller(ch int) *memctrl.Controller { return m.mcs[ch] }
+
+// send pushes a request from an SM into its channel's interconnect.
+func (m *Machine) send(r isa.Request) bool {
+	l := m.icnt[r.Channel]
+	if !l.CanPush(r) {
+		return false
+	}
+	l.Push(m.eng.Now(), r)
+	m.record(trace.StageInject, r)
+	return true
+}
+
+// onIssue is called by a memory controller when a request issues to the
+// device; it starts the acknowledgment on its way back to the SM, or
+// completes a host load's latency measurement.
+func (m *Machine) onIssue(r isa.Request) {
+	m.record(trace.StageDevice, r)
+	if r.Kind.IsPIM() {
+		m.acks.Push(m.eng.Now(), r.Warp)
+		return
+	}
+	m.completeHost(r)
+}
+
+// completeHost finishes one injected host load (at the L2 on a hit, or
+// at the memory controller on a miss).
+func (m *Machine) completeHost(r isa.Request) {
+	if sent, ok := m.hostSent[r.ID]; ok {
+		m.hostLatency += m.eng.Now() - sent
+		m.hostServed++
+		m.hostPending--
+		delete(m.hostSent, r.ID)
+	}
+}
+
+// coreTick advances everything in the 1200 MHz core domain.
+func (m *Machine) coreTick() {
+	now := m.eng.Now()
+	m.injectHost()
+	// Acknowledgments reach the fence trackers.
+	for {
+		w, ok := m.acks.Pop(now)
+		if !ok {
+			break
+		}
+		m.ft.Acked(w)
+	}
+	// Interconnect -> L2 slice (one per channel per cycle).
+	for ch := range m.icnt {
+		if r, ok := m.icnt[ch].Peek(now); ok && m.slices[ch].CanAccept(r) {
+			m.icnt[ch].Pop(now)
+			m.slices[ch].Accept(r)
+			m.record(trace.StageL2, r)
+		}
+	}
+	// L2 slice -> L2-to-DRAM pipe (one per channel per cycle).
+	for ch := range m.slices {
+		if !m.l2dram[ch].CanPush() {
+			continue
+		}
+		if r, ok := m.slices[ch].Pop(); ok {
+			m.l2dram[ch].Push(now, r)
+			m.record(trace.StageToDRAM, r)
+		}
+	}
+	// Hosts issue last so a request needs a full cycle to reach the pipes.
+	for _, h := range m.hosts {
+		h.Tick(now)
+	}
+}
+
+// memTick advances the 850 MHz memory domain.
+func (m *Machine) memTick(cycle int64) {
+	now := m.eng.Now()
+	for ch, mc := range m.mcs {
+		if r, ok := m.l2dram[ch].Peek(now); ok && mc.CanAccept(r) {
+			m.l2dram[ch].Pop(now)
+			mc.Accept(r)
+			m.record(trace.StageMC, r)
+		}
+		mc.Tick(cycle)
+	}
+}
+
+// done reports whether the whole machine has drained.
+func (m *Machine) done() bool {
+	for _, h := range m.hosts {
+		if !h.Done() {
+			return false
+		}
+	}
+	for ch := range m.icnt {
+		if m.icnt[ch].Len() > 0 || m.slices[ch].Pending() > 0 ||
+			m.l2dram[ch].Len() > 0 || m.mcs[ch].Pending() > 0 {
+			return false
+		}
+	}
+	if m.hostPending > 0 || len(m.hostHeld) > 0 {
+		return false
+	}
+	for _, left := range m.hostLeft {
+		if left > 0 {
+			return false
+		}
+	}
+	return m.acks.Len() == 0
+}
+
+// Run simulates until completion (or the configured deadline) and
+// returns the statistics. When cfg.Run.Verify is set, the final memory
+// image is checked against the reference executor's program-order
+// result; a mismatch is recorded in the stats, not an error — it is the
+// expected outcome of running without an ordering primitive.
+func (m *Machine) Run() (*stats.Run, error) {
+	deadline := sim.Time(m.cfg.Run.DeadlineMS / 1e3 * sim.BaseTickHz)
+	m.st.Start = m.eng.Now()
+	if err := m.eng.Run(m.done, deadline); err != nil {
+		return m.st, err
+	}
+	m.st.End = m.eng.Now()
+	if m.cfg.Run.Verify {
+		if err := m.Verify(); err != nil {
+			return m.st, err
+		}
+	}
+	return m.st, nil
+}
+
+// Verify replays every program in order on the initial memory image and
+// compares the result with the machine's final memory.
+func (m *Machine) Verify() error {
+	ref := m.initial.Clone()
+	nslots := m.cfg.CommandsPerTile() * m.cfg.Memory.GroupsPerChannel
+	for _, p := range m.programs {
+		reqs := ExpandProgram(m.geom, m.cfg.CommandsPerTile(), p)
+		if err := pim.Replay(ref, p.Channel, nslots, reqs); err != nil {
+			return fmt.Errorf("gpu: reference replay failed: %w", err)
+		}
+	}
+	m.st.Verified = true
+	m.st.Correct = m.store.Equal(ref)
+	if !m.st.Correct {
+		m.st.DiffSlots = len(m.store.Diff(ref, 1<<20))
+	}
+	return nil
+}
+
+// ExpandProgram materializes a warp program as its request sequence in
+// program order, with the same lane expansion the SM performs: TS slots
+// wrap over the n-entry per-group temporary-storage partition and are
+// offset by the request's memory-group. It is the input to the
+// reference executor.
+func ExpandProgram(geom dram.Geometry, n int, p Program) []isa.Request {
+	var out []isa.Request
+	for _, in := range p.Instrs {
+		switch in.Kind {
+		case isa.KindFence:
+			out = append(out, isa.Request{Kind: isa.KindFence, Channel: p.Channel})
+		case isa.KindOrderLight:
+			out = append(out, isa.Request{Kind: isa.KindOrderLight, Channel: p.Channel, Group: in.Group})
+		default:
+			for lane := 0; lane < in.Count; lane++ {
+				r := isa.Request{
+					Kind: in.Kind, Op: in.Op, Channel: p.Channel,
+					Imm: in.Imm, Group: in.Group,
+				}
+				if in.Kind.IsMemAccess() {
+					r.Addr = in.Addr + isa.Addr(int64(lane)*in.Strd)
+					loc := geom.Decode(r.Addr)
+					r.Bank, r.Row = loc.Bank, loc.Row
+					r.Group = geom.GroupOf(loc.Bank)
+				}
+				r.TSlot = r.Group*n + (in.TSlot+lane)%n
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+	"orderlight/internal/trace"
+)
+
+// smallConfig is a 2-channel machine for fast integration tests.
+func smallConfig(p config.Primitive) config.Config {
+	cfg := config.Default()
+	cfg.Memory.Channels = 2
+	cfg.GPU.PIMSMs = 1
+	cfg.GPU.WarpsPerSM = 2
+	cfg.Run.Primitive = p
+	cfg.Run.DeadlineMS = 5
+	return cfg
+}
+
+func geomOf(cfg config.Config) dram.Geometry {
+	return dram.NewGeometry(cfg.Memory.Channels, cfg.Memory.BanksPerChannel,
+		cfg.Memory.RowBufferBytes, cfg.Memory.BusWidthBytes,
+		cfg.Memory.GroupsPerChannel, cfg.PIM.BMF)
+}
+
+// vectorAddSetup builds the Figure 4 vector_add kernel over `tiles`
+// tiles of N=8 commands per channel: vector a in row 0, b in row 1, c in
+// row 2 of bank 0, plus the requested ordering primitive between phases.
+func vectorAddSetup(cfg config.Config, tiles int) (*dram.Store, []Program) {
+	geom := geomOf(cfg)
+	store := dram.NewStore(geom.LanesPerSlot)
+	n := cfg.CommandsPerTile()
+	var programs []Program
+	for ch := 0; ch < cfg.Memory.Channels; ch++ {
+		var instrs []isa.Instr
+		order := func(group int) {
+			switch cfg.Run.Primitive {
+			case config.PrimitiveFence:
+				instrs = append(instrs, isa.Instr{Kind: isa.KindFence})
+			case config.PrimitiveOrderLight:
+				instrs = append(instrs, isa.Instr{Kind: isa.KindOrderLight, Group: group})
+			}
+		}
+		for t := 0; t < tiles; t++ {
+			col := (t * n) % geom.SlotsPerRow
+			rowOff := t * n / geom.SlotsPerRow
+			a := geom.Encode(dram.Loc{Channel: ch, Bank: 0, Row: 0 + rowOff, Col: col})
+			b := geom.Encode(dram.Loc{Channel: ch, Bank: 0, Row: 8 + rowOff, Col: col})
+			c := geom.Encode(dram.Loc{Channel: ch, Bank: 0, Row: 16 + rowOff, Col: col})
+			strd := int64(geom.Channels)
+			instrs = append(instrs, isa.Instr{Kind: isa.KindPIMLoad, Addr: a, Count: n, Strd: strd})
+			order(0)
+			instrs = append(instrs, isa.Instr{Kind: isa.KindPIMCompute, Op: isa.OpAdd, Addr: b, Count: n, Strd: strd})
+			order(0)
+			instrs = append(instrs, isa.Instr{Kind: isa.KindPIMStore, Addr: c, Count: n, Strd: strd})
+			order(0)
+			// Initialize a and b with distinguishable data.
+			for lane := 0; lane < n; lane++ {
+				av := make([]int32, geom.LanesPerSlot)
+				bv := make([]int32, geom.LanesPerSlot)
+				for l := range av {
+					av[l] = int32(1000*ch + 10*t + lane)
+					bv[l] = int32(7 + t)
+				}
+				store.Write(a+isa.Addr(int64(lane)*strd), av)
+				store.Write(b+isa.Addr(int64(lane)*strd), bv)
+			}
+		}
+		programs = append(programs, Program{Channel: ch, Instrs: instrs})
+	}
+	return store, programs
+}
+
+func runVectorAdd(t *testing.T, prim config.Primitive, tiles int) *Machine {
+	t.Helper()
+	cfg := smallConfig(prim)
+	store, programs := vectorAddSetup(cfg, tiles)
+	m, err := NewMachine(cfg, store, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineOrderLightCorrectness(t *testing.T) {
+	m := runVectorAdd(t, config.PrimitiveOrderLight, 8)
+	st := m.Stats()
+	if !st.Verified || !st.Correct {
+		t.Fatalf("OrderLight run incorrect: %d differing slots", st.DiffSlots)
+	}
+	if st.OLCount != 2*8*3 {
+		t.Fatalf("OLCount = %d, want 48 (2 channels x 8 tiles x 3)", st.OLCount)
+	}
+	if st.FenceCount != 0 {
+		t.Fatal("fences executed in an OrderLight run")
+	}
+	if st.PIMCommands != 2*8*24 {
+		t.Fatalf("PIMCommands = %d, want 384", st.PIMCommands)
+	}
+	if st.OLMerges != st.OLCount {
+		t.Fatalf("OLMerges = %d, want %d (every packet merges once at its MC)", st.OLMerges, st.OLCount)
+	}
+}
+
+func TestMachineFenceCorrectButSlow(t *testing.T) {
+	ol := runVectorAdd(t, config.PrimitiveOrderLight, 8)
+	fe := runVectorAdd(t, config.PrimitiveFence, 8)
+	if !fe.Stats().Correct {
+		t.Fatal("fence run functionally incorrect")
+	}
+	if fe.Stats().FenceCount != 48 {
+		t.Fatalf("FenceCount = %d, want 48", fe.Stats().FenceCount)
+	}
+	// The paper's core claim, in miniature: fences stall the core for
+	// hundreds of cycles each, OrderLight barely stalls at all, and the
+	// fence run is several times slower.
+	if w := fe.Stats().WaitCyclesPerFence(); w < 100 {
+		t.Errorf("WaitCyclesPerFence = %.1f, expected >100 (memory-pipe round trip)", w)
+	}
+	ratio := float64(fe.Stats().ExecTime()) / float64(ol.Stats().ExecTime())
+	if ratio < 1.5 {
+		t.Errorf("fence/OrderLight time ratio = %.2f, want > 1.5", ratio)
+	}
+	if fe.Stats().FenceStallCycles <= ol.Stats().OLStallCycles {
+		t.Error("fence stalls should dwarf OrderLight stalls")
+	}
+}
+
+func TestMachineNoPrimitiveIsFunctionallyIncorrect(t *testing.T) {
+	// Figure 5's leftmost configuration: without any ordering primitive
+	// the FR-FCFS scheduler's row-hit-first reordering corrupts the
+	// result (tile t+1's loads overwrite TS before tile t's stores).
+	m := runVectorAdd(t, config.PrimitiveNone, 8)
+	st := m.Stats()
+	if !st.Verified {
+		t.Fatal("verification did not run")
+	}
+	if st.Correct {
+		t.Fatal("no-primitive run produced a correct result; the hazard did not manifest")
+	}
+}
+
+func TestMachineOrderLightFasterThanNone(t *testing.T) {
+	// OrderLight's cost over no ordering at all should be modest: the
+	// packets consume pipe slots but barely stall the core.
+	ol := runVectorAdd(t, config.PrimitiveOrderLight, 8)
+	no := runVectorAdd(t, config.PrimitiveNone, 8)
+	// The unordered run reorders freely across the full 64-entry
+	// scheduler window, so it genuinely pipelines better — but the
+	// correctness tax of OrderLight must stay modest (and nothing like
+	// the fence's multiple-x).
+	ratio := float64(ol.Stats().ExecTime()) / float64(no.Stats().ExecTime())
+	if ratio > 2.0 {
+		t.Errorf("OrderLight/no-order time ratio = %.2f, want < 2.0", ratio)
+	}
+}
+
+// TestMachineMultiGroupOrderLightPacket exercises the §5.3.1 extension:
+// one OrderLight packet ordering two memory-groups at once. Writes land
+// in groups 0 and 1, a single multi-group packet follows, then loads
+// re-read both locations into TS and store them elsewhere; the loads
+// must observe the writes.
+func TestMachineMultiGroupOrderLightPacket(t *testing.T) {
+	cfg := smallConfig(config.PrimitiveOrderLight)
+	geom := geomOf(cfg)
+	store := dram.NewStore(geom.LanesPerSlot)
+	strd := int64(geom.Channels)
+
+	// Group 0 = banks 0-3, group 1 = banks 4-7.
+	src0 := geom.Encode(dram.Loc{Channel: 0, Bank: 0, Row: 0, Col: 0})
+	src1 := geom.Encode(dram.Loc{Channel: 0, Bank: 4, Row: 0, Col: 0})
+	dst0 := geom.Encode(dram.Loc{Channel: 0, Bank: 1, Row: 3, Col: 0})
+	dst1 := geom.Encode(dram.Loc{Channel: 0, Bank: 5, Row: 3, Col: 0})
+	seed := func(a isa.Addr, v int32) {
+		vals := make([]int32, geom.LanesPerSlot)
+		for i := range vals {
+			vals[i] = v
+		}
+		store.Write(a, vals)
+	}
+	seed(src0, 100)
+	seed(src1, 200)
+
+	prog := Program{Channel: 0, Instrs: []isa.Instr{
+		// Phase 1: scale both sources in place (writes in two groups).
+		{Kind: isa.KindPIMScale, Op: isa.OpScale, Addr: src0, Count: 2, Strd: strd, Imm: 3},
+		{Kind: isa.KindPIMScale, Op: isa.OpScale, Addr: src1, Count: 2, Strd: strd, Imm: 5},
+		// One packet ordering both groups via the extension field.
+		{Kind: isa.KindOrderLight, Group: 0, XGroups: []uint8{1}},
+		// Phase 2: read back and copy out, in each group.
+		{Kind: isa.KindPIMLoad, Addr: src0, Count: 2, Strd: strd},
+		{Kind: isa.KindPIMLoad, Addr: src1, Count: 2, Strd: strd},
+		{Kind: isa.KindOrderLight, Group: 0, XGroups: []uint8{1}},
+		{Kind: isa.KindPIMStore, Addr: dst0, Count: 2, Strd: strd},
+		{Kind: isa.KindPIMStore, Addr: dst1, Count: 2, Strd: strd},
+	}}
+	m, err := NewMachine(cfg, store, []Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Correct {
+		t.Fatalf("multi-group packet run incorrect (%d diff slots)", st.DiffSlots)
+	}
+	if got := store.Read(dst0)[0]; got != 300 {
+		t.Fatalf("dst0 = %d, want 300 (load ordered after scale)", got)
+	}
+	if got := store.Read(dst1)[0]; got != 1000 {
+		t.Fatalf("dst1 = %d, want 1000", got)
+	}
+	// The packet merged once per relevant sub-path set at each stage;
+	// just assert it flowed (two packets injected).
+	if st.OLCount != 2 {
+		t.Fatalf("OLCount = %d, want 2", st.OLCount)
+	}
+}
+
+func TestMachineMultiRouteNoC(t *testing.T) {
+	// With the adaptive multi-route interconnect (§9 divergence point),
+	// OrderLight stays correct and the unordered run stays broken.
+	for _, routes := range []int{2, 4} {
+		cfg := smallConfig(config.PrimitiveOrderLight)
+		cfg.GPU.IcntRoutes = routes
+		store, programs := vectorAddSetup(cfg, 8)
+		m, err := NewMachine(cfg, store, programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("%d routes: %v", routes, err)
+		}
+		if !st.Correct {
+			t.Fatalf("%d routes: OrderLight run incorrect", routes)
+		}
+
+		cfgN := smallConfig(config.PrimitiveNone)
+		cfgN.GPU.IcntRoutes = routes
+		storeN, programsN := vectorAddSetup(cfgN, 8)
+		mN, err := NewMachine(cfgN, storeN, programsN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stN, err := mN.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stN.Correct {
+			t.Fatalf("%d routes: unordered run verified correct", routes)
+		}
+	}
+}
+
+func TestMachineTracerStampsCoherent(t *testing.T) {
+	cfg := smallConfig(config.PrimitiveOrderLight)
+	store, programs := vectorAddSetup(cfg, 2)
+	m, err := NewMachine(cfg, store, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(4096)
+	m.SetTracer(tr)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lcs := tr.Lifecycles()
+	if len(lcs) == 0 {
+		t.Fatal("tracer captured nothing")
+	}
+	icnt := sim.Time(cfg.GPU.InterconnectToL2) * sim.CoreTicks
+	l2dram := sim.Time(cfg.GPU.L2ToDRAM) * sim.CoreTicks
+	for _, lc := range lcs {
+		s := lc.Stamps
+		// Per-request stage stamps must be monotonic, and the pipe
+		// stages must reflect at least their configured latencies.
+		if s[trace.StageL2] != 0 && s[trace.StageL2]-s[trace.StageInject] < icnt {
+			t.Fatalf("req %d reached L2 after %v, below the %v interconnect latency",
+				lc.Req.ID, s[trace.StageL2]-s[trace.StageInject], icnt)
+		}
+		if s[trace.StageMC] != 0 && s[trace.StageToDRAM] != 0 &&
+			s[trace.StageMC]-s[trace.StageToDRAM] < l2dram {
+			t.Fatalf("req %d crossed L2->DRAM pipe too fast", lc.Req.ID)
+		}
+		last := sim.Time(0)
+		for st := trace.StageInject; st <= trace.StageDevice; st++ {
+			if s[st] == 0 {
+				continue
+			}
+			if s[st] < last {
+				t.Fatalf("req %d stage %v went backwards", lc.Req.ID, st)
+			}
+			last = s[st]
+		}
+	}
+}
+
+func TestMachineDeadline(t *testing.T) {
+	cfg := smallConfig(config.PrimitiveOrderLight)
+	cfg.Run.DeadlineMS = 1e-5 // 10 ns: nothing can finish
+	store, programs := vectorAddSetup(cfg, 4)
+	m, err := NewMachine(cfg, store, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); !errors.Is(err, sim.ErrDeadline) {
+		t.Fatalf("Run = %v, want ErrDeadline", err)
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	cfg := smallConfig(config.PrimitiveOrderLight)
+	store, programs := vectorAddSetup(cfg, 1)
+
+	// Duplicate channel.
+	dup := []Program{programs[0], programs[0]}
+	if _, err := NewMachine(cfg, store, dup); err == nil {
+		t.Error("duplicate-channel programs accepted")
+	}
+	// Out-of-range channel.
+	bad := []Program{{Channel: 99}}
+	if _, err := NewMachine(cfg, store, bad); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	// Too many programs.
+	cfg2 := cfg
+	cfg2.GPU.PIMSMs = 1
+	cfg2.GPU.WarpsPerSM = 1
+	cfg2.Memory.Channels = 1
+	if _, err := NewMachine(cfg2, store, programs); err == nil {
+		t.Error("more programs than warps accepted")
+	}
+	// Wrong store lanes.
+	if _, err := NewMachine(cfg, dram.NewStore(4), programs); err == nil {
+		t.Error("lane-mismatched store accepted")
+	}
+}
+
+func TestExpandProgramLaneExpansion(t *testing.T) {
+	cfg := smallConfig(config.PrimitiveOrderLight)
+	geom := geomOf(cfg)
+	p := Program{Channel: 1, Instrs: []isa.Instr{
+		{Kind: isa.KindPIMLoad, Addr: geom.Encode(dram.Loc{Channel: 1, Bank: 0, Row: 0, Col: 0}), Count: 3, Strd: int64(geom.Channels)},
+		{Kind: isa.KindOrderLight, Group: 2},
+		{Kind: isa.KindFence},
+	}}
+	reqs := ExpandProgram(geom, cfg.CommandsPerTile(), p)
+	if len(reqs) != 5 {
+		t.Fatalf("expanded %d requests, want 5", len(reqs))
+	}
+	for lane := 0; lane < 3; lane++ {
+		r := reqs[lane]
+		if r.Kind != isa.KindPIMLoad || r.TSlot != lane {
+			t.Fatalf("lane %d = %v", lane, r)
+		}
+		if loc := geom.Decode(r.Addr); loc.Col != lane || loc.Channel != 1 {
+			t.Fatalf("lane %d decoded to %+v", lane, loc)
+		}
+	}
+	if reqs[3].Kind != isa.KindOrderLight || reqs[3].Group != 2 {
+		t.Fatalf("reqs[3] = %v", reqs[3])
+	}
+	if reqs[4].Kind != isa.KindFence {
+		t.Fatalf("reqs[4] = %v", reqs[4])
+	}
+}
+
+func TestHostTimeRoofline(t *testing.T) {
+	cfg := config.Default()
+	// Pure streaming: 324 GB at 324 GB/s effective = 1 s.
+	bytes := int64(cfg.GPU.HostPeakGBs * cfg.GPU.HostEff * 1e9)
+	got := HostTime(cfg, bytes, 0)
+	if s := got.Seconds(); s < 0.99 || s > 1.01 {
+		t.Fatalf("HostTime = %v s, want ~1", s)
+	}
+	// Compute-bound override.
+	ops := int64(cfg.GPU.PeakGFLOPs * 2e9)
+	got = HostTime(cfg, 1, ops)
+	if s := got.Seconds(); s < 1.99 || s > 2.01 {
+		t.Fatalf("compute-bound HostTime = %v s, want ~2", s)
+	}
+}

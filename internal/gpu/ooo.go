@@ -1,0 +1,175 @@
+package gpu
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/core"
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+	"orderlight/internal/stats"
+)
+
+// host is the front-end abstraction the machine drives: SIMT SMs (the
+// paper's evaluation host) or OoO CPU cores (the §9 extension).
+type host interface {
+	Tick(now sim.Time)
+	Done() bool
+}
+
+// OoOCore models an out-of-order CPU core running one PIM kernel, per
+// the paper's conclusion: renaming/reservation stations can reorder the
+// moment a memory operation leaves the core, so ordering must be
+// maintained there the way the operand collector maintains it on a GPU.
+//
+// The model: instruction lanes dispatch in program order into a
+// reorder-buffer/reservation-station window; memory issue picks *any*
+// ready window entry each cycle (seeded pseudo-random arbitration — the
+// adversarial reordering source). An OrderLight instruction blocks
+// dispatch only until the window holds no older PIM request for its
+// group(s), then injects its packet; a fence blocks dispatch until the
+// window is empty AND every issued request has been acknowledged from
+// the memory side.
+type OoOCore struct {
+	id   int
+	cfg  config.Config
+	geom dram.Geometry
+	st   *stats.Run
+
+	w      warp // reuses the warp program-cursor state (one thread per core)
+	window []isa.Request
+	rs     *core.CollectorCounter // unissued PIM requests per (channel, group)
+	ft     *core.FenceTracker
+	rng    *sim.Rand
+
+	send   func(r isa.Request) bool
+	nextID *uint64
+}
+
+// newOoOCore builds one CPU core driving the given channel's program.
+func newOoOCore(id int, cfg config.Config, geom dram.Geometry, st *stats.Run,
+	prog Program, ft *core.FenceTracker, nextID *uint64, send func(isa.Request) bool) *OoOCore {
+	return &OoOCore{
+		id:     id,
+		cfg:    cfg,
+		geom:   geom,
+		st:     st,
+		w:      warp{id: id, channel: prog.Channel, prog: prog.Instrs},
+		rs:     core.NewCollectorCounterBudget(geom.Channels, geom.Groups, cfg.GPU.CollectorTags),
+		ft:     ft,
+		rng:    sim.NewRand(cfg.Run.Seed ^ 0x0002_a0c0 ^ uint64(id)<<40),
+		send:   send,
+		nextID: nextID,
+	}
+}
+
+// Done reports whether the core retired its program and drained its
+// window.
+func (c *OoOCore) Done() bool {
+	return c.w.state == warpDone && len(c.window) == 0
+}
+
+// Tick advances the core one cycle: memory issue first (so freshly
+// dispatched lanes wait at least a cycle), then dispatch.
+func (c *OoOCore) Tick(now sim.Time) {
+	c.issueMemory()
+	c.dispatch()
+}
+
+// issueMemory sends up to MemPorts window entries into the memory pipe,
+// chosen pseudo-randomly among all waiting entries — the reservation
+// station does not honor program order between independent requests.
+func (c *OoOCore) issueMemory() {
+	for port := 0; port < c.cfg.Host.MemPorts && len(c.window) > 0; port++ {
+		i := c.rng.Intn(len(c.window))
+		r := c.window[i]
+		if !c.send(r) {
+			c.st.IssueStallCycles++
+			return
+		}
+		c.rs.Release(r.Channel, r.Group)
+		if r.Kind.IsPIM() {
+			c.ft.Issued(c.w.id)
+		}
+		c.window = append(c.window[:i], c.window[i+1:]...)
+	}
+}
+
+// dispatch moves up to DispatchWidth program lanes into the window, in
+// program order, resolving ordering instructions at the dispatch stage.
+func (c *OoOCore) dispatch() {
+	for slot := 0; slot < c.cfg.Host.DispatchWidth; slot++ {
+		if c.w.pc >= len(c.w.prog) {
+			c.w.state = warpDone
+			return
+		}
+		in := c.w.prog[c.w.pc]
+		switch in.Kind {
+		case isa.KindFence:
+			c.w.state = warpFence
+			if len(c.window) > 0 || !c.ft.Drained(c.w.id) {
+				c.st.FenceStallCycles++
+				return
+			}
+			c.st.FenceCount++
+			c.w.state = warpReady
+			c.w.pc++
+		case isa.KindOrderLight:
+			c.w.state = warpOL
+			drained := c.rs.Zero(c.w.channel, in.Group)
+			for _, g := range in.XGroups {
+				drained = drained && c.rs.Zero(c.w.channel, int(g))
+			}
+			if !drained {
+				c.st.OLStallCycles++
+				return
+			}
+			*c.nextID++
+			pkt := isa.Request{
+				ID: *c.nextID, Kind: isa.KindOrderLight,
+				Channel: c.w.channel, Group: in.Group,
+				SM: c.id, Warp: c.w.id, Seq: c.w.seq,
+				OL: isa.OLPacket{
+					PktID:       isa.PktIDOrderLight,
+					Channel:     uint8(c.w.channel),
+					Group:       uint8(in.Group),
+					Number:      c.w.pktNum,
+					ExtraGroups: in.XGroups,
+				},
+			}
+			c.w.seq++
+			c.w.pktNum++
+			if !c.send(pkt) {
+				c.st.IssueStallCycles++
+				return
+			}
+			c.st.OLCount++
+			c.st.WarpInstrs++
+			c.w.state = warpReady
+			c.w.pc++
+		default:
+			if !in.Kind.IsPIM() {
+				panic(fmt.Sprintf("gpu: OoO core %d cannot dispatch %v", c.id, in.Kind))
+			}
+			if c.cfg.Run.Primitive == config.PrimitiveSeqno &&
+				c.ft.Outstanding(c.w.id)+len(c.window) >= c.cfg.Run.SeqnoCredits {
+				c.st.CreditStallCycles++
+				return
+			}
+			if len(c.window) >= c.cfg.Host.ROBSize {
+				c.st.IssueStallCycles++
+				return
+			}
+			r := laneRequest(c.cfg, c.geom, &c.w, in, c.id, c.nextID)
+			c.window = append(c.window, r)
+			c.rs.Alloc(r.Channel, r.Group)
+			c.w.lane++
+			if c.w.lane >= in.Count {
+				c.w.lane = 0
+				c.w.pc++
+				c.st.WarpInstrs++
+			}
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package gpu models the host accelerator: the streaming-multiprocessor
+// (SM) front end of Figure 6 — warp scheduler, operand collector, LDST
+// queue — together with the whole-machine assembly (SMs, interconnect,
+// L2 slices, memory controllers) and the roofline host-execution model
+// used for the GPU baseline bars of Figures 10b, 12 and 13.
+//
+// The SM executes PIM kernels: warp programs of fine-grained PIM
+// instructions plus ordering primitives. The two primitives differ
+// exactly as §5 describes:
+//
+//   - Fence: the warp stalls until every prior PIM request has been
+//     issued to the DRAM device and acknowledged (FenceTracker).
+//   - OrderLight: the warp waits only until the operand collector's
+//     per-(channel, group) counter reads zero, then injects the packet
+//     into the LDST queue and continues (CollectorCounter).
+package gpu
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/core"
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+	"orderlight/internal/stats"
+)
+
+// Program is the PIM kernel executed by one warp. Each warp drives
+// exactly one memory channel (§5.4: one host warp per PIM unit).
+type Program struct {
+	Channel int
+	Instrs  []isa.Instr
+}
+
+// warpState enumerates why a warp is not issuing.
+type warpState uint8
+
+const (
+	warpReady warpState = iota
+	warpFence           // stalled on a fence drain
+	warpOL              // waiting to inject an OrderLight packet
+	warpDone
+)
+
+// warp is the execution state of one PIM warp.
+type warp struct {
+	id      int // global warp id
+	channel int
+	prog    []isa.Instr
+	pc      int
+	lane    int // next SIMT lane of the current instruction
+	state   warpState
+	pktNum  uint32 // per-(channel,group) OrderLight packet number; one warp owns its channel
+	seq     uint64 // program-order sequence for emitted requests
+}
+
+// collectorEntry is a PIM request being gathered in the operand
+// collector.
+type collectorEntry struct {
+	r     isa.Request
+	ready sim.Time
+}
+
+// SM models one streaming multiprocessor running PIM warps.
+type SM struct {
+	id   int
+	cfg  config.Config
+	geom dram.Geometry
+	st   *stats.Run
+
+	warps     []*warp
+	rr        int // round-robin warp pointer
+	collector []collectorEntry
+	ldst      *sim.Queue[isa.Request]
+	cc        *core.CollectorCounter
+	ft        *core.FenceTracker
+
+	// send pushes a request into the interconnect toward its channel;
+	// it returns false when the channel pipe is full this cycle.
+	send func(r isa.Request) bool
+
+	nextID *uint64 // shared request-ID counter
+}
+
+// newSM builds an SM hosting the given warps.
+func newSM(id int, cfg config.Config, geom dram.Geometry, st *stats.Run,
+	warps []*warp, ft *core.FenceTracker, nextID *uint64, send func(isa.Request) bool) *SM {
+	return &SM{
+		id:     id,
+		cfg:    cfg,
+		geom:   geom,
+		st:     st,
+		warps:  warps,
+		ldst:   sim.NewQueue[isa.Request](cfg.GPU.LDSTQueueSize),
+		cc:     core.NewCollectorCounterBudget(geom.Channels, geom.Groups, cfg.GPU.CollectorTags),
+		ft:     ft,
+		send:   send,
+		nextID: nextID,
+	}
+}
+
+// Done reports whether every warp has retired its program and all
+// SM-local buffers are empty.
+func (s *SM) Done() bool {
+	for _, w := range s.warps {
+		if w.state != warpDone {
+			return false
+		}
+	}
+	return len(s.collector) == 0 && s.ldst.Len() == 0
+}
+
+// Tick advances the SM by one core cycle.
+func (s *SM) Tick(now sim.Time) {
+	s.drainLDST()
+	s.completeCollector(now)
+	s.issue(now)
+}
+
+// drainLDST moves up to IssuePerCycle requests per cycle from the LDST
+// queue into the interconnect (the LDST unit's ports), subject to
+// backpressure.
+func (s *SM) drainLDST() {
+	for port := 0; port < s.cfg.GPU.IssuePerCycle; port++ {
+		r, ok := s.ldst.Peek()
+		if !ok {
+			return
+		}
+		if !s.send(r) {
+			s.st.IssueStallCycles++
+			return
+		}
+		s.ldst.Pop()
+	}
+}
+
+// completeCollector releases finished operand-collector entries into the
+// LDST queue, in order.
+func (s *SM) completeCollector(now sim.Time) {
+	for len(s.collector) > 0 {
+		e := s.collector[0]
+		if e.ready > now || !s.ldst.CanPush() {
+			return
+		}
+		s.ldst.Push(e.r)
+		s.cc.Release(e.r.Channel, e.r.Group)
+		s.collector = s.collector[1:]
+	}
+}
+
+// issue runs the warp schedulers: up to IssuePerCycle instruction lanes
+// per cycle, each from a distinct warp, round-robin.
+func (s *SM) issue(now sim.Time) {
+	n := len(s.warps)
+	start := s.rr
+	slots := s.cfg.GPU.IssuePerCycle
+	for k := 0; k < n && slots > 0; k++ {
+		i := (start + k) % n
+		w := s.warps[i]
+		if w.state == warpDone {
+			continue
+		}
+		if s.step(w, now) {
+			slots--
+			s.rr = (i + 1) % n
+		}
+	}
+}
+
+// step attempts to advance warp w; it reports whether the warp consumed
+// the issue slot.
+func (s *SM) step(w *warp, now sim.Time) bool {
+	if w.pc >= len(w.prog) {
+		w.state = warpDone
+		return false
+	}
+	in := w.prog[w.pc]
+	switch in.Kind {
+	case isa.KindFence:
+		w.state = warpFence
+		if !s.ft.Drained(w.id) {
+			s.st.FenceStallCycles++
+			return true // the warp occupies its slot spinning
+		}
+		s.st.FenceCount++
+		w.state = warpReady
+		w.pc++
+		return true
+	case isa.KindOrderLight:
+		w.state = warpOL
+		drained := s.cc.Zero(w.channel, in.Group)
+		for _, g := range in.XGroups {
+			drained = drained && s.cc.Zero(w.channel, int(g))
+		}
+		if !drained || !s.ldst.CanPush() {
+			s.st.OLStallCycles++
+			return true
+		}
+		pkt := isa.OLPacket{
+			PktID:       isa.PktIDOrderLight,
+			Channel:     uint8(w.channel),
+			Group:       uint8(in.Group),
+			Number:      w.pktNum,
+			ExtraGroups: in.XGroups,
+		}
+		w.pktNum++
+		*s.nextID++
+		s.ldst.Push(isa.Request{
+			ID: *s.nextID, Kind: isa.KindOrderLight,
+			Channel: w.channel, Group: in.Group,
+			SM: s.id, Warp: w.id, Seq: w.seq, OL: pkt,
+		})
+		w.seq++
+		s.st.OLCount++
+		s.st.WarpInstrs++
+		w.state = warpReady
+		w.pc++
+		return true
+	default:
+		if !in.Kind.IsPIM() && !in.Kind.IsMemAccess() {
+			panic(fmt.Sprintf("gpu: warp %d cannot issue %v", w.id, in.Kind))
+		}
+		if s.cfg.Run.Primitive == config.PrimitiveSeqno &&
+			s.ft.Outstanding(w.id) >= s.cfg.Run.SeqnoCredits {
+			// Credit-based flow control: the §8.1 baseline may not have
+			// more unacknowledged requests in flight than the memory
+			// side has reorder-buffer credits for.
+			s.st.CreditStallCycles++
+			return true
+		}
+		if len(s.collector) >= s.cfg.GPU.CollectorUnits {
+			s.st.IssueStallCycles++
+			return true
+		}
+		r := laneRequest(s.cfg, s.geom, w, in, s.id, s.nextID)
+		s.collector = append(s.collector, collectorEntry{
+			r:     r,
+			ready: now + sim.Time(s.cfg.GPU.CollectorLat)*sim.CoreTicks,
+		})
+		s.cc.Alloc(r.Channel, r.Group)
+		if r.Kind.IsPIM() {
+			// Host accesses are never fenced or acknowledged; only PIM
+			// requests enter the fence tracker's outstanding count.
+			s.ft.Issued(w.id)
+		}
+		w.lane++
+		if w.lane >= in.Count {
+			w.lane = 0
+			w.pc++
+			s.st.WarpInstrs++
+		}
+		return true
+	}
+}
+
+// laneRequest materializes the current lane of a warp (or OoO-thread)
+// instruction as a memory-pipe request, resolving the address mapping
+// the way the compiled PIM kernel would (§5.4). Each memory-group owns
+// its own temporary-storage partition (§4.1 allows multiple PIM units
+// per channel), so concurrent tiles in different groups never clobber
+// each other's slots.
+func laneRequest(cfg config.Config, geom dram.Geometry, w *warp, in isa.Instr, hostID int, nextID *uint64) isa.Request {
+	*nextID++
+	r := isa.Request{
+		ID:      *nextID,
+		Kind:    in.Kind,
+		Op:      in.Op,
+		Channel: w.channel,
+		SM:      hostID,
+		Warp:    w.id,
+		Seq:     w.seq,
+		Imm:     in.Imm,
+		Group:   in.Group,
+	}
+	w.seq++
+	if in.Kind.IsMemAccess() {
+		r.Addr = in.Addr + isa.Addr(int64(w.lane)*in.Strd)
+		loc := geom.Decode(r.Addr)
+		if loc.Channel != w.channel {
+			panic(fmt.Sprintf("gpu: warp %d (channel %d) built request for channel %d", w.id, w.channel, loc.Channel))
+		}
+		r.Bank, r.Row = loc.Bank, loc.Row
+		r.Group = geom.GroupOf(loc.Bank)
+	}
+	n := cfg.CommandsPerTile()
+	r.TSlot = r.Group*n + (in.TSlot+w.lane)%n
+	return r
+}

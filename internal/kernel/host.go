@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"orderlight/internal/config"
+	"orderlight/internal/dram"
+	"orderlight/internal/gpu"
+	"orderlight/internal/isa"
+)
+
+// BuildHost generates the host-execution version of a kernel: the same
+// data footprint streamed through ordinary loads and stores instead of
+// PIM commands. It exists to *measure* the GPU baseline on the very same
+// DRAM timing model the PIM runs use, validating the roofline's
+// effective-bandwidth assumption (the validation-hostbw experiment).
+//
+// Two modeling notes. First, a host column access moves 32 B while a
+// PIM command moves 32xBMF B, so the host streams each phase BMF times
+// over the footprint (the slot address space cannot subdivide a slot;
+// the repetition reproduces the command count and approximates row
+// locality — each repetition re-pays the row activates, which lands the
+// measured efficiency near the ~80% the roofline assumes). Second, host
+// kernels carry no ordering primitives: the core's register dependences
+// handle ordering when the data comes back to the core (§4.3).
+func BuildHost(cfg config.Config, spec Spec, bytesPerChannel int64) (*Kernel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	geom := dram.NewGeometry(cfg.Memory.Channels, cfg.Memory.BanksPerChannel,
+		cfg.Memory.RowBufferBytes, cfg.Memory.BusWidthBytes,
+		cfg.Memory.GroupsPerChannel, cfg.PIM.BMF)
+
+	// Slots covered per structure (same footprint as the PIM build).
+	slots := int(bytesPerChannel / int64(cfg.BytesPerCommand()))
+	if slots < 1 {
+		slots = 1
+	}
+	k := &Kernel{Spec: spec, Geom: geom, Store: dram.NewStore(geom.LanesPerSlot)}
+
+	for ch := 0; ch < cfg.Memory.Channels; ch++ {
+		var instrs []isa.Instr
+		for _, p := range spec.Phases {
+			if !p.Kind.IsMemAccess() {
+				continue // pure-ALU work stays on the SMs; no memory traffic
+			}
+			kind := isa.KindHostLoad
+			if p.Kind.IsWrite() {
+				kind = isa.KindHostStore
+			}
+			// Host structures lie consecutively in the channel's linear
+			// slot space, which the geometry interleaves across banks at
+			// row granularity — the streaming-friendly layout a GPU
+			// driver would pick for ordinary data.
+			vbase := int64(p.Vec) * int64(slots+geom.SlotsPerRow)
+			base := isa.Addr(vbase*int64(geom.Channels) + int64(ch))
+			// BMF passes over the structure (see the doc comment).
+			for pass := 0; pass < cfg.PIM.BMF; pass++ {
+				remaining := slots
+				idx := 0
+				for remaining > 0 {
+					count := remaining
+					if count > 32 { // one warp instruction = 32 SIMT lanes
+						count = 32
+					}
+					instrs = append(instrs, isa.Instr{
+						Kind: kind,
+						Addr: base + isa.Addr(int64(idx)*int64(geom.Channels)),
+						// Host lanes walk consecutive slots.
+						Count: count,
+						Strd:  int64(geom.Channels),
+					})
+					k.MemCmds += int64(count)
+					idx += count
+					remaining -= count
+				}
+			}
+		}
+		k.Programs = append(k.Programs, gpu.Program{Channel: ch, Instrs: instrs})
+	}
+	k.HostBytes = k.MemCmds * int64(cfg.Memory.BusWidthBytes)
+	return k, nil
+}

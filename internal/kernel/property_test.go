@@ -1,0 +1,323 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+)
+
+// randomSpec builds a structurally valid random kernel: 1-5 phases over
+// 1-4 data structures, mixed command kinds, commutative exec ops, and
+// occasionally fixed-granularity or scattered phases.
+func randomSpec(rng *sim.Rand, idx int) Spec {
+	nvecs := 1 + rng.Intn(4)
+	nphases := 1 + rng.Intn(5)
+	spec := Spec{
+		Name:         fmt.Sprintf("rand%d", idx),
+		Desc:         "randomized property-test kernel",
+		ComputeRatio: "?:?",
+		DataStructs:  nvecs,
+		MultiDS:      nvecs > 1,
+	}
+	if rng.Intn(4) == 0 {
+		spec.ExtraOrderEvery = 8 + rng.Intn(24)
+	}
+	if rng.Intn(4) == 0 {
+		spec.SpreadTiles = true
+	}
+	hasMem := false
+	for p := 0; p < nphases; p++ {
+		ph := PhaseSpec{Name: fmt.Sprintf("p%d", p), Vec: rng.Intn(nvecs)}
+		switch rng.Intn(5) {
+		case 0:
+			ph.Kind, ph.CmdsPerN = isa.KindPIMLoad, 1
+			hasMem = true
+		case 1:
+			ph.Kind, ph.Op, ph.Imm, ph.CmdsPerN = isa.KindPIMCompute, isa.OpAdd, 0, 1
+			hasMem = true
+		case 2:
+			ph.Kind, ph.CmdsPerN = isa.KindPIMStore, 1
+			hasMem = true
+		case 3:
+			ph.Kind, ph.Op, ph.Imm, ph.CmdsPerN = isa.KindPIMScale, isa.OpScale, int32(1+rng.Intn(5)), 1
+			hasMem = true
+		default:
+			// Commutative exec op so intra-phase slot reuse is safe.
+			ops := []isa.ALUOp{isa.OpAdd, isa.OpMul, isa.OpMax, isa.OpXor}
+			ph.Kind, ph.Op, ph.Imm = isa.KindPIMExec, ops[rng.Intn(len(ops))], int32(rng.Intn(7))
+			ph.CmdsPerN = []float64{0.5, 1, 2, 3}[rng.Intn(4)]
+		}
+		if ph.Kind.IsMemAccess() && rng.Intn(6) == 0 {
+			ph.RandomRows = true
+		}
+		if rng.Intn(8) == 0 {
+			ph.FixedCmds = 1 + rng.Intn(8)
+		}
+		spec.Phases = append(spec.Phases, ph)
+	}
+	if !hasMem {
+		spec.Phases = append(spec.Phases, PhaseSpec{Name: "anchor", Kind: isa.KindPIMLoad, Vec: 0, CmdsPerN: 1})
+	}
+	return spec
+}
+
+// TestRandomKernelsCorrectUnderOrderLight is the repository's main
+// robustness property: ANY structurally valid kernel, at any temporary
+// storage size, with any seed, must verify functionally when ordered
+// with OrderLight packets.
+func TestRandomKernelsCorrectUnderOrderLight(t *testing.T) {
+	rng := sim.NewRand(0xC0FFEE)
+	tsFracs := []string{"1/16", "1/8", "1/4", "1/2"}
+	for i := 0; i < 24; i++ {
+		spec := randomSpec(rng, i)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("generated invalid spec: %v", err)
+		}
+		cfg := smallCfg(config.PrimitiveOrderLight).WithTSFraction(tsFracs[i%len(tsFracs)])
+		cfg.Run.Seed = rng.Uint64()
+		k, err := Build(cfg, spec, int64(4096+rng.Intn(4)*4096))
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("spec %d (%d phases): %v", i, len(spec.Phases), err)
+		}
+		if !st.Correct {
+			t.Fatalf("spec %d (%+v) incorrect under OrderLight: %d diff slots",
+				i, spec, st.DiffSlots)
+		}
+	}
+}
+
+// TestRandomKernelsCorrectUnderFenceOnOoOHost stresses the other
+// correct-by-construction pairing: fences on the out-of-order host.
+func TestRandomKernelsCorrectUnderFenceOnOoOHost(t *testing.T) {
+	rng := sim.NewRand(0xBEEF)
+	for i := 0; i < 8; i++ {
+		spec := randomSpec(rng, 100+i)
+		cfg := smallCfg(config.PrimitiveFence)
+		cfg.Host.Kind = config.HostCPU
+		cfg.Run.Seed = rng.Uint64()
+		k, err := Build(cfg, spec, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if !st.Correct {
+			t.Fatalf("spec %d incorrect under fence on OoO host", i)
+		}
+	}
+}
+
+// TestRandomKernelsCorrectUnderSeqno stresses the third correct
+// discipline on random kernels: strict per-request sequencing at the
+// controller.
+func TestRandomKernelsCorrectUnderSeqno(t *testing.T) {
+	rng := sim.NewRand(0xFACE)
+	for i := 0; i < 8; i++ {
+		spec := randomSpec(rng, 300+i)
+		cfg := smallCfg(config.PrimitiveSeqno)
+		cfg.Run.Seed = rng.Uint64()
+		k, err := Build(cfg, spec, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if !st.Correct {
+			t.Fatalf("spec %d incorrect under seqno", i)
+		}
+	}
+}
+
+// TestRandomKernelsCorrectUnderOrderLightMultiRouteNoC adds the §9 NoC
+// divergence to the random-kernel property.
+func TestRandomKernelsCorrectUnderOrderLightMultiRouteNoC(t *testing.T) {
+	rng := sim.NewRand(0xD00D)
+	for i := 0; i < 8; i++ {
+		spec := randomSpec(rng, 400+i)
+		cfg := smallCfg(config.PrimitiveOrderLight)
+		cfg.GPU.IcntRoutes = 2 + int(rng.Uint64()%3)
+		cfg.Run.Seed = rng.Uint64()
+		k, err := Build(cfg, spec, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if !st.Correct {
+			t.Fatalf("spec %d incorrect under OrderLight with %d NoC routes", i, cfg.GPU.IcntRoutes)
+		}
+	}
+}
+
+// TestVectorsNeverOverlap: distinct data structures of one kernel must
+// occupy disjoint addresses (otherwise phases would alias and even the
+// reference executor's semantics would be accidental).
+func TestVectorsNeverOverlap(t *testing.T) {
+	rng := sim.NewRand(7)
+	for i := 0; i < 10; i++ {
+		spec := randomSpec(rng, 200+i)
+		cfg := smallCfg(config.PrimitiveOrderLight)
+		k, err := Build(cfg, spec, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := map[isa.Addr]int{}
+		for _, p := range k.Programs {
+			vecAt := map[isa.Addr]int{}
+			// Recover each phase's vec by walking instrs alongside spec
+			// phases is fragile; instead assert via geometry: addresses
+			// of different base rows (vec strips) never collide.
+			_ = vecAt
+			for _, in := range p.Instrs {
+				if !in.Kind.IsMemAccess() {
+					continue
+				}
+				for lane := 0; lane < in.Count; lane++ {
+					a := in.Addr + isa.Addr(int64(lane)*in.Strd)
+					loc := k.Geom.Decode(a)
+					strip := loc.Row / rowSpanOf(k)
+					if prev, ok := owner[a]; ok && prev != strip {
+						t.Fatalf("address %#x claimed by vec strips %d and %d", uint64(a), prev, strip)
+					}
+					owner[a] = strip
+				}
+			}
+		}
+	}
+}
+
+// rowSpanOf recovers the per-vector row span the builder used by
+// scanning the program's rows (max row + 1 over structures count).
+func rowSpanOf(k *Kernel) int {
+	// The builder allocates vec v at base row v*rowSpan; the smallest
+	// non-zero base row across instructions is the span. Fall back to a
+	// large span when only one structure exists.
+	span := 1 << 30
+	for _, p := range k.Programs {
+		for _, in := range p.Instrs {
+			if !in.Kind.IsMemAccess() {
+				continue
+			}
+			row := k.Geom.Decode(in.Addr).Row
+			if row > 0 && row < span {
+				span = row
+			}
+		}
+	}
+	if span == 1<<30 {
+		return 1 << 30
+	}
+	return span
+}
+
+// TestMemCmdsInvariantAcrossTS: the total memory commands of a stream
+// kernel depend only on the data footprint and BMF, never on the
+// temporary-storage size.
+func TestMemCmdsInvariantAcrossTS(t *testing.T) {
+	spec, _ := ByName("triad")
+	var want int64 = -1
+	for _, ts := range []string{"1/16", "1/8", "1/4", "1/2"} {
+		cfg := smallCfg(config.PrimitiveOrderLight).WithTSFraction(ts)
+		k, err := Build(cfg, spec, 64*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want < 0 {
+			want = k.MemCmds
+		} else if k.MemCmds != want {
+			t.Fatalf("MemCmds at TS %s = %d, want %d", ts, k.MemCmds, want)
+		}
+	}
+}
+
+// TestOrderLightCorrectAcrossSeeds: the scheduler seed must never affect
+// correctness, only (possibly) timing.
+func TestOrderLightCorrectAcrossSeeds(t *testing.T) {
+	spec, _ := ByName("daxpy")
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := smallCfg(config.PrimitiveOrderLight)
+		cfg.Run.Seed = seed
+		k, err := Build(cfg, spec, 16*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Correct {
+			t.Fatalf("seed %d: OrderLight run incorrect", seed)
+		}
+	}
+}
+
+func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	base := func() Spec {
+		s, _ := ByName("add")
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"no phases", func(s *Spec) { s.Phases = nil }},
+		{"ordering as phase", func(s *Spec) {
+			s.Phases = append(s.Phases, PhaseSpec{Kind: isa.KindOrderLight, CmdsPerN: 1})
+		}},
+		{"host kind phase", func(s *Spec) {
+			s.Phases[0].Kind = isa.KindHostLoad
+		}},
+		{"zero-rate phase", func(s *Spec) { s.Phases[0].CmdsPerN = 0 }},
+		{"negative fixed", func(s *Spec) { s.Phases[0].FixedCmds = -1 }},
+		{"vec out of range", func(s *Spec) { s.Phases[0].Vec = 99 }},
+		{"negative extra order", func(s *Spec) { s.ExtraOrderEvery = -1 }},
+		{"exec only", func(s *Spec) {
+			s.Phases = []PhaseSpec{{Kind: isa.KindPIMExec, Op: isa.OpAdd, CmdsPerN: 1}}
+		}},
+	}
+	for _, c := range cases {
+		s := base()
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate() passed, want error", c.name)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("registry spec failed validation: %v", err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package memctrl implements one memory channel's controller: separate
+// read/write queues (Table 1: 64 entries each), an FR-FCFS transaction
+// scheduler, DRAM command generation subject to the timing model, and —
+// the paper's §5.3.2 augmentation — OrderLight enforcement via a
+// per-memory-group request counter and flag (generalized to epochs).
+//
+// The controller is where the two ordering designs meet:
+//
+//   - With fences, the controller is unmodified; correctness relies on
+//     the core never having two dependent commands in flight at once.
+//   - With OrderLight, packets replicated into the read and write queues
+//     merge at the scheduler stage (copy-and-merge, Figure 9) and gate
+//     FR-FCFS's reordering freedom per memory-group.
+//   - With no primitive at all, FR-FCFS's row-hit-first policy freely
+//     reorders dependent PIM commands and the functional result is
+//     corrupted — Figure 5's "functionally incorrect" configuration.
+package memctrl
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/core"
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/pim"
+	"orderlight/internal/stats"
+)
+
+// Controller drives one memory channel.
+type Controller struct {
+	channel int
+	geom    dram.Geometry
+	timing  *dram.Timing
+	unit    *pim.Unit
+	tracker *core.Tracker
+	div     *core.Diverge
+	conv    *core.Converge
+	txq     []txEntry
+	txqCap  int
+	st      *stats.Run
+
+	// Sequence-number baseline state (§8.1): when enabled, PIM requests
+	// issue to the device strictly in warp sequence order.
+	seqno   bool
+	nextSeq uint64
+	fcfs    bool // strict oldest-first scheduling (ablation)
+
+	// All-bank refresh state (optional; off in the paper's setup).
+	refreshOn    bool
+	refi, rfc    int64
+	nextRefresh  int64
+	refreshUntil int64
+	draining     bool
+
+	// OnIssue, if set, is called when a request's column command (or a
+	// PIMExec's bus slot) issues to the device — the completion event
+	// acknowledgments are generated from.
+	OnIssue func(r isa.Request)
+
+	// IssueLog, if non-nil, records requests in device issue order (used
+	// by tests and the trace tool).
+	IssueLog *[]isa.Request
+}
+
+// txEntry is one transaction in the scheduler's working set.
+type txEntry struct {
+	r      isa.Request
+	epoch  core.Epoch
+	didACT bool // this transaction triggered its own activate (row miss)
+}
+
+// Sub-path indices of the read/write queue divergence point.
+const (
+	pathRead  = 0
+	pathWrite = 1
+)
+
+// New creates the controller for one channel.
+func New(channel int, cfg config.Config, geom dram.Geometry, store *dram.Store, st *stats.Run) *Controller {
+	c := &Controller{
+		channel: channel,
+		geom:    geom,
+		timing:  dram.NewTiming(cfg.Memory.Timing, geom.Banks),
+		unit:    pim.NewUnit(channel, cfg.CommandsPerTile()*cfg.Memory.GroupsPerChannel, store),
+		tracker: core.NewTracker(geom.Groups),
+		conv:    core.NewConverge(2, cfg.GPU.RWQueueSize),
+		txqCap:  cfg.GPU.RWQueueSize,
+		st:      st,
+		seqno:   cfg.Run.Primitive == config.PrimitiveSeqno,
+		fcfs:    cfg.Memory.Sched == config.SchedFCFS,
+
+		refreshOn:   cfg.Memory.RefreshEnabled,
+		refi:        int64(cfg.Memory.REFI),
+		rfc:         int64(cfg.Memory.RFC),
+		nextRefresh: int64(cfg.Memory.REFI),
+	}
+	c.div = &core.Diverge{
+		NPaths: 2,
+		Route: func(r isa.Request) int {
+			if r.Kind.IsWrite() {
+				return pathWrite
+			}
+			return pathRead
+		},
+		// An OrderLight packet must visit both queues regardless of
+		// group: either queue may hold older requests of its group.
+		GroupPaths: func(int) []int { return []int{pathRead, pathWrite} },
+	}
+	return c
+}
+
+// Unit exposes the channel's PIM unit (for result verification).
+func (c *Controller) Unit() *pim.Unit { return c.unit }
+
+// Tracker exposes the ordering tracker (for tests).
+func (c *Controller) Tracker() *core.Tracker { return c.tracker }
+
+// CanAccept reports whether the controller can take the request from
+// the L2-to-DRAM pipe this cycle: every divergence target must have room.
+func (c *Controller) CanAccept(r isa.Request) bool {
+	for _, p := range c.div.Targets(r) {
+		if !c.conv.CanPush(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accept places the request into the read/write queues, replicating an
+// OrderLight packet onto both (§5.3.2). Callers must check CanAccept.
+func (c *Controller) Accept(r isa.Request) {
+	targets := c.div.Targets(r)
+	rep := core.Replicate(r, 0)
+	if r.Kind == isa.KindOrderLight && len(targets) > 1 {
+		rep = core.Replicate(r, len(targets))
+	}
+	for _, p := range targets {
+		if !c.conv.CanPush(p) {
+			panic(fmt.Sprintf("memctrl: Accept without room on path %d for %v", p, r))
+		}
+		c.conv.Push(p, rep)
+	}
+}
+
+// Pending returns the number of requests buffered anywhere in the
+// controller (queues plus scheduler working set).
+func (c *Controller) Pending() int { return c.conv.Len() + len(c.txq) }
+
+// Tick advances the controller by one memory-clock cycle.
+func (c *Controller) Tick(memCycle int64) {
+	c.dequeue()
+	if c.refresh(memCycle) {
+		return // the refresh machinery owns the command bus this cycle
+	}
+	c.schedule(memCycle)
+}
+
+// refresh runs the all-bank refresh state machine: when tREFI elapses,
+// open banks are drained with precharges, then the whole channel blocks
+// for tRFC. Returns true while refresh activity blocks scheduling.
+func (c *Controller) refresh(cycle int64) bool {
+	if !c.refreshOn {
+		return false
+	}
+	if cycle < c.refreshUntil {
+		return true // mid-refresh
+	}
+	if !c.draining {
+		if cycle < c.nextRefresh {
+			return false
+		}
+		c.draining = true
+	}
+	// Drain: close any open bank (one precharge per cycle as timing
+	// allows); the command bus stays reserved during the drain.
+	for b := 0; b < c.geom.Banks; b++ {
+		open := c.timing.OpenRow(b)
+		if open < 0 {
+			continue
+		}
+		if c.timing.CanIssue(dram.CmdPRE, b, open, cycle) {
+			c.timing.Issue(dram.CmdPRE, b, open, cycle)
+			c.st.PreCmds++
+		}
+		return true
+	}
+	// All banks closed: refresh proper.
+	c.draining = false
+	c.refreshUntil = cycle + c.rfc
+	c.nextRefresh += c.refi
+	c.st.Refreshes++
+	return true
+}
+
+// dequeue moves one entry per cycle from the queue stage into the
+// scheduler's working set, registering it with the ordering tracker in
+// arrival order (merged OrderLight packets program the tracker here).
+func (c *Controller) dequeue() {
+	if len(c.txq) >= c.txqCap {
+		return
+	}
+	var r isa.Request
+	var ok bool
+	if c.seqno {
+		// Drain the read/write queues in warp sequence order so the
+		// scheduler's working set always contains the next expected
+		// request (otherwise the bounded working set could fill with
+		// younger requests and deadlock).
+		r, ok = c.conv.PopBest(func(a, b isa.Request) bool {
+			if a.Kind.IsPIM() != b.Kind.IsPIM() {
+				return !a.Kind.IsPIM() // host traffic is unordered; let it through
+			}
+			return a.Seq < b.Seq
+		})
+	} else {
+		r, ok = c.conv.Pop()
+	}
+	if !ok {
+		return
+	}
+	if r.Kind == isa.KindOrderLight {
+		c.st.OLMerges++
+		for _, g := range r.OL.Groups() {
+			if err := c.tracker.OrderLight(int(g), r.OL.Number); err != nil {
+				panic(fmt.Sprintf("memctrl: %v", err))
+			}
+		}
+		return
+	}
+	epoch := c.tracker.Arrive(r.Group)
+	c.txq = append(c.txq, txEntry{r: r, epoch: epoch})
+}
+
+// schedule issues at most one DRAM command (or PIMExec bus slot) per
+// memory cycle, FR-FCFS among transactions the ordering tracker allows.
+func (c *Controller) schedule(memCycle int64) {
+	if len(c.txq) == 0 {
+		return
+	}
+	// Pass 1: oldest column-ready candidate (row-hit-first).
+	anyCandidate := false
+	for i := range c.txq {
+		e := &c.txq[i]
+		if !c.tracker.CanIssue(e.r.Group, e.epoch) {
+			continue
+		}
+		if c.seqno && e.r.Kind.IsPIM() && e.r.Seq != c.nextSeq {
+			continue // strict in-order release under sequence numbers
+		}
+		anyCandidate = true
+		if c.columnReady(e, memCycle) {
+			c.issueColumn(i, memCycle)
+			return
+		}
+		if c.fcfs {
+			break // strict FCFS: never hoist a younger row hit
+		}
+	}
+	if !anyCandidate {
+		c.st.OLFlagBlocked++
+		return
+	}
+	// Pass 2: progress the oldest candidate's bank (precharge/activate).
+	for i := range c.txq {
+		e := &c.txq[i]
+		if !c.tracker.CanIssue(e.r.Group, e.epoch) {
+			continue
+		}
+		if c.seqno && e.r.Kind.IsPIM() && e.r.Seq != c.nextSeq {
+			continue
+		}
+		if e.r.Kind == isa.KindPIMExec {
+			continue // never needs bank progress; bus contention only
+		}
+		open := c.timing.OpenRow(e.r.Bank)
+		switch {
+		case open == e.r.Row:
+			// Row already open; just waiting out column timing.
+			return
+		case open >= 0:
+			if c.timing.CanIssue(dram.CmdPRE, e.r.Bank, open, memCycle) {
+				c.timing.Issue(dram.CmdPRE, e.r.Bank, open, memCycle)
+				c.st.PreCmds++
+				return
+			}
+		default:
+			if c.timing.CanIssue(dram.CmdACT, e.r.Bank, e.r.Row, memCycle) {
+				c.timing.Issue(dram.CmdACT, e.r.Bank, e.r.Row, memCycle)
+				c.st.ActCmds++
+				e.didACT = true
+				return
+			}
+		}
+		// The oldest candidate's bank is waiting out timing; allow a
+		// younger candidate on a different bank to make progress instead
+		// (bank-level parallelism), but never issue more than one
+		// command per cycle.
+		if c.fcfs {
+			return // strict FCFS: only the oldest may touch the device
+		}
+	}
+}
+
+// columnReady reports whether the transaction's final command could
+// issue this cycle.
+func (c *Controller) columnReady(e *txEntry, memCycle int64) bool {
+	if e.r.Kind == isa.KindPIMExec {
+		return true // consumes only the command-bus slot
+	}
+	cmd := dram.CmdRD
+	if e.r.Kind.IsWrite() {
+		cmd = dram.CmdWR
+	}
+	return c.timing.CanIssue(cmd, e.r.Bank, e.r.Row, memCycle)
+}
+
+// issueColumn completes transaction i: the column command (or exec slot)
+// issues to the device, the PIM unit executes the command functionally,
+// ordering state advances, and the completion callback fires.
+func (c *Controller) issueColumn(i int, memCycle int64) {
+	e := c.txq[i]
+	if e.r.Kind != isa.KindPIMExec {
+		cmd := dram.CmdRD
+		if e.r.Kind.IsWrite() {
+			cmd = dram.CmdWR
+		}
+		c.timing.Issue(cmd, e.r.Bank, e.r.Row, memCycle)
+		if e.didACT {
+			c.st.RowMisses++
+		} else {
+			c.st.RowHits++
+		}
+	}
+	if e.r.Kind.IsPIM() {
+		if err := c.unit.Exec(e.r); err != nil {
+			panic(fmt.Sprintf("memctrl: PIM execution failed: %v", err))
+		}
+	}
+	c.st.CountCmd(e.r.Kind)
+	c.tracker.Issued(e.r.Group, e.epoch)
+	if c.seqno && e.r.Kind.IsPIM() {
+		c.nextSeq = e.r.Seq + 1
+	}
+	if c.IssueLog != nil {
+		*c.IssueLog = append(*c.IssueLog, e.r)
+	}
+	if c.OnIssue != nil {
+		c.OnIssue(e.r)
+	}
+	c.txq = append(c.txq[:i], c.txq[i+1:]...)
+}

@@ -1,0 +1,180 @@
+// Package noc models the interconnection network between the SMs and
+// the L2 slices. Its reason to exist is the paper's §9 observation that
+// networks-on-chip "may unorder PIM requests — ideas related to path
+// divergence are applicable here": a Link can be configured with
+// several parallel routes and adaptive (least-occupied) routing, which
+// reorders same-channel requests in flight. An OrderLight packet is
+// replicated across every route and merged at the receiving end with
+// the Figure 9 copy-and-merge discipline, so ordering survives exactly
+// the way it survives the L2 sub-partition divergence.
+//
+// With a single route the Link degenerates to the plain in-order,
+// fixed-latency pipe of the baseline configuration.
+package noc
+
+import (
+	"fmt"
+
+	"orderlight/internal/core"
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+)
+
+// Link is a multi-route, fixed-latency hop with bounded per-route
+// buffering.
+type Link struct {
+	routes []*sim.Pipe[isa.Request]
+	rr     int
+
+	// Merges counts completed OrderLight copy-merges at the receiver.
+	Merges int64
+}
+
+// NewLink creates a link with the given number of parallel routes, each
+// with the same transport latency and per-route capacity.
+func NewLink(routes int, latency sim.Time, capPerRoute int) *Link {
+	if routes < 1 {
+		panic("noc: link needs at least one route")
+	}
+	l := &Link{routes: make([]*sim.Pipe[isa.Request], routes)}
+	for i := range l.routes {
+		l.routes[i] = sim.NewPipe[isa.Request](latency, capPerRoute)
+	}
+	return l
+}
+
+// Routes returns the number of parallel routes.
+func (l *Link) Routes() int { return len(l.routes) }
+
+// Len returns the number of in-flight entries across routes.
+func (l *Link) Len() int {
+	n := 0
+	for _, r := range l.routes {
+		n += r.Len()
+	}
+	return n
+}
+
+// CanPush reports whether the request can enter the link this cycle:
+// any route with room for a normal request, every route for an
+// OrderLight packet (which must be replicated onto all of them).
+func (l *Link) CanPush(r isa.Request) bool {
+	if r.Kind == isa.KindOrderLight {
+		for _, rt := range l.routes {
+			if !rt.CanPush() {
+				return false
+			}
+		}
+		return true
+	}
+	for _, rt := range l.routes {
+		if rt.CanPush() {
+			return true
+		}
+	}
+	return false
+}
+
+// Push routes the request: least-occupied route for normal requests
+// (the adaptive-routing reordering source), replication across all
+// routes for OrderLight packets.
+func (l *Link) Push(now sim.Time, r isa.Request) {
+	if r.Kind == isa.KindOrderLight {
+		rep := r
+		if len(l.routes) > 1 {
+			rep = core.Replicate(r, len(l.routes))
+		}
+		for _, rt := range l.routes {
+			rt.Push(now, rep)
+		}
+		return
+	}
+	best := -1
+	for i, rt := range l.routes {
+		if !rt.CanPush() {
+			continue
+		}
+		if best < 0 || rt.Len() < l.routes[best].Len() {
+			best = i
+		}
+	}
+	if best < 0 {
+		panic(fmt.Sprintf("noc: push into full link (%v)", r))
+	}
+	l.routes[best].Push(now, r)
+}
+
+// Peek returns the request Pop would emit this cycle without removing
+// it. The selection is deterministic, so a Peek followed by a Pop in
+// the same cycle returns the same request — the pattern the machine
+// uses to apply downstream backpressure.
+func (l *Link) Peek(now sim.Time) (isa.Request, bool) {
+	for _, rt := range l.routes {
+		h, ok := rt.Peek(now)
+		if !ok || h.Kind != isa.KindOrderLight {
+			continue
+		}
+		if l.mergeReady(now, h) {
+			return core.Replicate(h, 0), true
+		}
+	}
+	for k := 0; k < len(l.routes); k++ {
+		i := (l.rr + k) % len(l.routes)
+		h, ok := l.routes[i].Peek(now)
+		if !ok || h.Kind == isa.KindOrderLight {
+			continue
+		}
+		return h, true
+	}
+	return isa.Request{}, false
+}
+
+// Pop emits the next request at the receiving end, at most one per
+// call. A route whose head is a waiting OrderLight copy is blocked; the
+// merged packet is emitted once every copy has arrived at its route's
+// head, and no younger request overtakes it.
+func (l *Link) Pop(now sim.Time) (isa.Request, bool) {
+	// Merge pass.
+	for _, rt := range l.routes {
+		h, ok := rt.Peek(now)
+		if !ok || h.Kind != isa.KindOrderLight {
+			continue
+		}
+		if l.mergeReady(now, h) {
+			for _, o := range l.routes {
+				if oh, ok := o.Peek(now); ok && oh.Kind == isa.KindOrderLight && oh.ID == h.ID {
+					o.Pop(now)
+				}
+			}
+			l.Merges++
+			return core.Replicate(h, 0), true
+		}
+	}
+	// Round-robin drain of ready non-OL heads.
+	for k := 0; k < len(l.routes); k++ {
+		i := (l.rr + k) % len(l.routes)
+		h, ok := l.routes[i].Peek(now)
+		if !ok || h.Kind == isa.KindOrderLight {
+			continue
+		}
+		l.routes[i].Pop(now)
+		l.rr = (i + 1) % len(l.routes)
+		return h, true
+	}
+	return isa.Request{}, false
+}
+
+// mergeReady reports whether all copies of h have arrived at their
+// routes' heads.
+func (l *Link) mergeReady(now sim.Time, h isa.Request) bool {
+	if h.Copies <= 0 {
+		return true
+	}
+	n := 0
+	for _, rt := range l.routes {
+		if hd, ok := rt.Peek(now); ok && hd.Kind == isa.KindOrderLight && hd.ID == h.ID {
+			n++
+		}
+	}
+	return n == h.Copies
+}

@@ -1,0 +1,116 @@
+// Package pim implements the generic, parameterized PIM compute unit of
+// §4.1: a SIMD ALU coupled with temporary storage (TS), attached to one
+// memory channel. The unit executes fine-grained PIM commands
+// functionally over real int32 data in the DRAM backing store, in the
+// exact order the memory controller issues them — so a run whose
+// ordering is wrong produces wrong bytes, not just wrong statistics.
+//
+// The bandwidth multiplication factor (BMF) of the unit is embodied in
+// the lane width of the store's slots: one command moves 8*BMF int32
+// lanes while occupying the channel like a single 32 B column access.
+package pim
+
+import (
+	"fmt"
+
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+)
+
+// Unit is one PIM compute unit. It is not safe for concurrent use; the
+// simulator drives it from the single-threaded event loop.
+type Unit struct {
+	channel int
+	lanes   int
+	slots   [][]int32
+	store   *dram.Store
+
+	// Executed counts commands by kind, for statistics.
+	Executed map[isa.Kind]int64
+}
+
+// NewUnit creates a PIM unit with nslots temporary-storage slots over
+// the given backing store.
+func NewUnit(channel, nslots int, store *dram.Store) *Unit {
+	u := &Unit{
+		channel:  channel,
+		lanes:    store.Lanes(),
+		slots:    make([][]int32, nslots),
+		store:    store,
+		Executed: make(map[isa.Kind]int64),
+	}
+	for i := range u.slots {
+		u.slots[i] = make([]int32, u.lanes)
+	}
+	return u
+}
+
+// Slots returns the temporary-storage capacity in slots.
+func (u *Unit) Slots() int { return len(u.slots) }
+
+// Slot returns a copy of a TS slot's contents, for tests.
+func (u *Unit) Slot(i int) []int32 {
+	out := make([]int32, u.lanes)
+	copy(out, u.slots[i])
+	return out
+}
+
+// Exec executes one fine-grained PIM command. It returns an error for
+// malformed commands (wrong channel, bad TS slot, non-PIM kind); the
+// simulator treats such an error as a fatal modeling bug.
+func (u *Unit) Exec(r isa.Request) error {
+	if r.Channel != u.channel {
+		return fmt.Errorf("pim: command for channel %d reached unit of channel %d", r.Channel, u.channel)
+	}
+	if r.Kind != isa.KindPIMScale && r.Kind.IsPIM() {
+		if r.TSlot < 0 || r.TSlot >= len(u.slots) {
+			return fmt.Errorf("pim: TS slot %d out of range [0,%d) for %v", r.TSlot, len(u.slots), r)
+		}
+	}
+	switch r.Kind {
+	case isa.KindPIMLoad:
+		copy(u.slots[r.TSlot], u.store.Read(r.Addr))
+	case isa.KindPIMCompute:
+		operand := u.store.Read(r.Addr)
+		slot := u.slots[r.TSlot]
+		for l := range slot {
+			slot[l] = r.Op.Apply(slot[l], operand[l], r.Imm)
+		}
+	case isa.KindPIMStore:
+		u.store.Write(r.Addr, u.slots[r.TSlot])
+	case isa.KindPIMScale:
+		u.store.Update(r.Addr, func(_ int, old int32) int32 {
+			return r.Op.Apply(old, old, r.Imm)
+		})
+	case isa.KindPIMExec:
+		slot := u.slots[r.TSlot]
+		for l := range slot {
+			slot[l] = r.Op.Apply(slot[l], r.Imm, r.Imm)
+		}
+	default:
+		return fmt.Errorf("pim: unit cannot execute %v", r.Kind)
+	}
+	u.Executed[r.Kind]++
+	return nil
+}
+
+// Replay executes a command sequence in the given (program) order on a
+// fresh PIM unit over the store. It is the reference executor used to
+// compute golden results: running the same commands through the full
+// simulator must leave the store in the same state whenever the ordering
+// primitive did its job.
+func Replay(store *dram.Store, channel, nslots int, reqs []isa.Request) error {
+	u := NewUnit(channel, nslots, store)
+	for _, r := range reqs {
+		if r.Kind == isa.KindOrderLight || r.Kind == isa.KindFence {
+			continue // ordering primitives are no-ops functionally
+		}
+		if !r.Kind.IsPIM() {
+			continue // host traffic does not touch PIM state
+		}
+		if err := u.Exec(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

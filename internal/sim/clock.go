@@ -1,0 +1,60 @@
+package sim
+
+// Ticker is a component driven by a Clock. Tick is called exactly once
+// per clock cycle, in registration order, with the current cycle number.
+type Ticker interface {
+	Tick(cycle int64)
+}
+
+// TickFunc adapts a plain function to the Ticker interface.
+type TickFunc func(cycle int64)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(cycle int64) { f(cycle) }
+
+// Clock is one clock domain: a fixed period in base ticks and an ordered
+// set of Tickers that are advanced together on every rising edge.
+// Registration order is the evaluation order within a cycle, which keeps
+// runs deterministic.
+type Clock struct {
+	name    string
+	period  Time
+	cycle   int64
+	next    Time
+	tickers []Ticker
+}
+
+// NewClock creates a clock with the given period in base ticks. The first
+// edge fires at time 0.
+func NewClock(name string, period Time) *Clock {
+	if period <= 0 {
+		panic("sim: clock period must be positive")
+	}
+	return &Clock{name: name, period: period}
+}
+
+// Name returns the clock's name (for tracing).
+func (c *Clock) Name() string { return c.name }
+
+// Period returns the clock period in base ticks.
+func (c *Clock) Period() Time { return c.period }
+
+// Cycle returns the number of edges that have fired so far.
+func (c *Clock) Cycle() int64 { return c.cycle }
+
+// NextEdge returns the time of the next rising edge.
+func (c *Clock) NextEdge() Time { return c.next }
+
+// Register appends a ticker to the domain. Must not be called after the
+// engine starts running if deterministic replay matters.
+func (c *Clock) Register(t Ticker) { c.tickers = append(c.tickers, t) }
+
+// edge fires one clock edge: all tickers run with the current cycle
+// number, then the cycle counter and next-edge time advance.
+func (c *Clock) edge() {
+	for _, t := range c.tickers {
+		t.Tick(c.cycle)
+	}
+	c.cycle++
+	c.next += c.period
+}

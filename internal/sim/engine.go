@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadline is returned by Engine.Run when the completion predicate did
+// not become true before the configured horizon.
+var ErrDeadline = errors.New("sim: run exceeded deadline without completing")
+
+// Engine multiplexes one or more clock domains over the shared base-tick
+// timeline. On every step it fires the earliest pending clock edge; when
+// several domains share an edge time, they fire in the order they were
+// added, which keeps the simulation deterministic.
+type Engine struct {
+	now    Time
+	clocks []*Clock
+}
+
+// NewEngine creates an engine with no clocks.
+func NewEngine() *Engine { return &Engine{} }
+
+// AddClock creates and registers a clock domain with the given period.
+func (e *Engine) AddClock(name string, period Time) *Clock {
+	c := NewClock(name, period)
+	e.clocks = append(e.clocks, c)
+	return c
+}
+
+// Now returns the current simulated time in base ticks.
+func (e *Engine) Now() Time { return e.now }
+
+// Step advances to the next pending clock edge and fires every clock
+// whose edge lands on that instant. It reports false when there are no
+// clocks at all.
+func (e *Engine) Step() bool {
+	if len(e.clocks) == 0 {
+		return false
+	}
+	next := TimeInf
+	for _, c := range e.clocks {
+		if c.next < next {
+			next = c.next
+		}
+	}
+	e.now = next
+	for _, c := range e.clocks {
+		if c.next == next {
+			c.edge()
+		}
+	}
+	return true
+}
+
+// Run steps the simulation until done() reports true (checked between
+// steps) or the deadline in base ticks passes, in which case ErrDeadline
+// is returned wrapped with the elapsed time.
+func (e *Engine) Run(done func() bool, deadline Time) error {
+	for !done() {
+		if e.now >= deadline {
+			return fmt.Errorf("%w (t=%v)", ErrDeadline, e.now)
+		}
+		if !e.Step() {
+			return errors.New("sim: no clocks registered")
+		}
+	}
+	return nil
+}
+
+// RunFor advances the simulation by the given number of base ticks,
+// firing every edge inside the window.
+func (e *Engine) RunFor(d Time) {
+	end := e.now + d
+	for {
+		next := TimeInf
+		for _, c := range e.clocks {
+			if c.next < next {
+				next = c.next
+			}
+		}
+		if next > end || next == TimeInf {
+			e.now = end
+			return
+		}
+		e.Step()
+	}
+}

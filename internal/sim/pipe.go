@@ -1,0 +1,134 @@
+package sim
+
+// Pipe is an order-preserving latency FIFO: an entry pushed at time t
+// becomes visible to the consumer no earlier than t+latency, and entries
+// always emerge in push order. It models fixed-latency, in-order
+// transport such as the SM-to-L2 interconnect hop or the L2-to-DRAM
+// scheduler path of Figure 6. A capacity bound provides backpressure.
+type Pipe[T any] struct {
+	latency Time
+	cap     int
+	q       []pipeEntry[T]
+}
+
+type pipeEntry[T any] struct {
+	ready Time
+	v     T
+}
+
+// NewPipe creates a pipe with the given transport latency in base ticks
+// and capacity in entries. capacity <= 0 means unbounded.
+func NewPipe[T any](latency Time, capacity int) *Pipe[T] {
+	return &Pipe[T]{latency: latency, cap: capacity}
+}
+
+// Latency returns the transport latency in base ticks.
+func (p *Pipe[T]) Latency() Time { return p.latency }
+
+// Len returns the number of in-flight entries.
+func (p *Pipe[T]) Len() int { return len(p.q) }
+
+// CanPush reports whether the pipe has room for another entry.
+func (p *Pipe[T]) CanPush() bool { return p.cap <= 0 || len(p.q) < p.cap }
+
+// Push inserts v at time now. It panics if the pipe is full; callers must
+// check CanPush first (backpressure is part of the model).
+func (p *Pipe[T]) Push(now Time, v T) {
+	if !p.CanPush() {
+		panic("sim: push into full pipe")
+	}
+	p.q = append(p.q, pipeEntry[T]{ready: now + p.latency, v: v})
+}
+
+// Peek returns the oldest entry if it has arrived by time now.
+func (p *Pipe[T]) Peek(now Time) (T, bool) {
+	var zero T
+	if len(p.q) == 0 || p.q[0].ready > now {
+		return zero, false
+	}
+	return p.q[0].v, true
+}
+
+// Pop removes and returns the oldest entry if it has arrived by time now.
+func (p *Pipe[T]) Pop(now Time) (T, bool) {
+	v, ok := p.Peek(now)
+	if !ok {
+		return v, false
+	}
+	copy(p.q, p.q[1:])
+	p.q = p.q[:len(p.q)-1]
+	return v, true
+}
+
+// Drain removes and returns every entry that has arrived by time now, in
+// order.
+func (p *Pipe[T]) Drain(now Time) []T {
+	var out []T
+	for {
+		v, ok := p.Pop(now)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Queue is a bounded zero-latency FIFO used for the finite hardware
+// queues of the model (LDST queue, L2 queues, memory-controller
+// read/write queues). capacity <= 0 means unbounded.
+type Queue[T any] struct {
+	cap int
+	q   []T
+}
+
+// NewQueue creates a queue with the given capacity in entries.
+func NewQueue[T any](capacity int) *Queue[T] { return &Queue[T]{cap: capacity} }
+
+// Len returns the number of queued entries.
+func (q *Queue[T]) Len() int { return len(q.q) }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// CanPush reports whether the queue has room for another entry.
+func (q *Queue[T]) CanPush() bool { return q.cap <= 0 || len(q.q) < q.cap }
+
+// Push appends v. It panics if the queue is full.
+func (q *Queue[T]) Push(v T) {
+	if !q.CanPush() {
+		panic("sim: push into full queue")
+	}
+	q.q = append(q.q, v)
+}
+
+// Peek returns the oldest entry without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.q) == 0 {
+		return zero, false
+	}
+	return q.q[0], true
+}
+
+// Pop removes and returns the oldest entry.
+func (q *Queue[T]) Pop() (T, bool) {
+	v, ok := q.Peek()
+	if !ok {
+		return v, false
+	}
+	copy(q.q, q.q[1:])
+	q.q = q.q[:len(q.q)-1]
+	return v, true
+}
+
+// At returns the i-th oldest entry (0 = head). It panics if out of range.
+func (q *Queue[T]) At(i int) T { return q.q[i] }
+
+// RemoveAt removes and returns the i-th oldest entry, preserving the
+// order of the others. Used by out-of-order pickers such as FR-FCFS.
+func (q *Queue[T]) RemoveAt(i int) T {
+	v := q.q[i]
+	copy(q.q[i:], q.q[i+1:])
+	q.q = q.q[:len(q.q)-1]
+	return v
+}

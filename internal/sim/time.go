@@ -1,0 +1,62 @@
+// Package sim provides the deterministic discrete-time simulation kernel
+// used by every other subsystem in the OrderLight reproduction.
+//
+// The simulator has two clock domains (the GPU core clock and the HBM
+// memory clock). To keep all arithmetic exact, time is measured in an
+// integer number of base ticks whose frequency is the least common
+// multiple of the two domain frequencies: with a 1200 MHz core and an
+// 850 MHz memory clock the base tick runs at 20.4 GHz, so one core cycle
+// is exactly 17 ticks and one memory cycle is exactly 24 ticks. All
+// latencies in the model are integer tick counts and every run is fully
+// deterministic.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, measured in base ticks.
+type Time int64
+
+// TimeInf is a sentinel meaning "never" / "no pending event".
+const TimeInf Time = 1<<63 - 1
+
+// BaseTickHz is the frequency of the base tick domain. It is the least
+// common multiple of the 1200 MHz core clock and the 850 MHz memory
+// clock used by the paper's Table 1 configuration (GCD 50 MHz).
+const BaseTickHz = 20_400_000_000
+
+// Base-tick periods of the two Table 1 clock domains.
+const (
+	// CoreTicks is the number of base ticks per 1200 MHz core cycle.
+	CoreTicks Time = 17
+	// MemTicks is the number of base ticks per 850 MHz memory cycle.
+	MemTicks Time = 24
+)
+
+// Seconds converts a tick count to seconds of simulated time.
+func (t Time) Seconds() float64 { return float64(t) / BaseTickHz }
+
+// Nanoseconds converts a tick count to nanoseconds of simulated time.
+func (t Time) Nanoseconds() float64 { return t.Seconds() * 1e9 }
+
+// Milliseconds converts a tick count to milliseconds of simulated time.
+func (t Time) Milliseconds() float64 { return t.Seconds() * 1e3 }
+
+// CoreCycles reports how many full core-clock cycles fit in t.
+func (t Time) CoreCycles() int64 { return int64(t / CoreTicks) }
+
+// MemCycles reports how many full memory-clock cycles fit in t.
+func (t Time) MemCycles() int64 { return int64(t / MemTicks) }
+
+// String renders the time in a human-friendly unit.
+func (t Time) String() string {
+	switch {
+	case t == TimeInf:
+		return "inf"
+	case t.Seconds() >= 1e-3:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t.Seconds() >= 1e-6:
+		return fmt.Sprintf("%.3fus", t.Seconds()*1e6)
+	default:
+		return fmt.Sprintf("%.1fns", t.Nanoseconds())
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import "fmt"
+
+// EnergyParams are per-event energies and background power for the
+// memory system, DRAMPower-style. Defaults live in the config package;
+// the values are representative HBM2-class constants — the reproduction
+// target is relative energy between ordering disciplines, which is
+// dominated by runtime (background) differences, not the absolute nJ.
+type EnergyParams struct {
+	ActNJ       float64 // one activate+precharge pair
+	RdNJ        float64 // one 32 B column read, incl. I/O
+	WrNJ        float64 // one 32 B column write, incl. I/O
+	RefNJ       float64 // one all-bank refresh
+	PIMOpNJ     float64 // one PIM command executed at the unit (ALU + TS)
+	BackgroundW float64 // static + peripheral power per channel, watts
+	Channels    int
+}
+
+// Energy is a per-component energy breakdown in nanojoules.
+type Energy struct {
+	ActivateNJ   float64
+	ReadNJ       float64
+	WriteNJ      float64
+	RefreshNJ    float64
+	PIMOpNJ      float64
+	BackgroundNJ float64
+}
+
+// TotalNJ sums the breakdown.
+func (e Energy) TotalNJ() float64 {
+	return e.ActivateNJ + e.ReadNJ + e.WriteNJ + e.RefreshNJ + e.PIMOpNJ + e.BackgroundNJ
+}
+
+// TotalUJ returns the total in microjoules.
+func (e Energy) TotalUJ() float64 { return e.TotalNJ() / 1e3 }
+
+// String renders the breakdown.
+func (e Energy) String() string {
+	return fmt.Sprintf("total %.2f uJ (act %.2f, rd %.2f, wr %.2f, ref %.2f, pim %.2f, bg %.2f)",
+		e.TotalUJ(), e.ActivateNJ/1e3, e.ReadNJ/1e3, e.WriteNJ/1e3,
+		e.RefreshNJ/1e3, e.PIMOpNJ/1e3, e.BackgroundNJ/1e3)
+}
+
+// EnergyBreakdown derives the run's memory-system energy from its event
+// counters and duration.
+func (r *Run) EnergyBreakdown(p EnergyParams) Energy {
+	var reads, writes int64
+	for k, n := range r.CmdsByKind {
+		if !k.IsMemAccess() {
+			continue
+		}
+		if k.IsWrite() {
+			writes += n
+		} else {
+			reads += n
+		}
+	}
+	return Energy{
+		ActivateNJ:   float64(r.ActCmds) * p.ActNJ,
+		ReadNJ:       float64(reads) * p.RdNJ,
+		WriteNJ:      float64(writes) * p.WrNJ,
+		RefreshNJ:    float64(r.Refreshes) * p.RefNJ,
+		PIMOpNJ:      float64(r.PIMCommands) * p.PIMOpNJ,
+		BackgroundNJ: p.BackgroundW * float64(p.Channels) * r.ExecTime().Seconds() * 1e9,
+	}
+}
+
+// EDP returns the energy-delay product in nJ*s for the run under the
+// given parameters — the figure of merit where slow-but-same-traffic
+// configurations (fences) lose twice.
+func (r *Run) EDP(p EnergyParams) float64 {
+	return r.EnergyBreakdown(p).TotalNJ() * r.ExecTime().Seconds()
+}

@@ -1,0 +1,197 @@
+// Package orderlight is a from-scratch reproduction of "OrderLight:
+// Lightweight Memory-Ordering Primitive for Efficient Fine-Grained PIM
+// Computations" (Nag and Balasubramonian, MICRO 2021).
+//
+// The package is the public facade over the cycle-level simulator in
+// internal/: a GPU host issuing fine-grained PIM commands through an
+// in-order memory pipe into HBM channels equipped with PIM compute
+// units. Three ordering disciplines are available — none (functionally
+// incorrect under FR-FCFS reordering), traditional core-centric fences,
+// and the paper's memory-centric OrderLight packets — together with the
+// full Table 2 workload suite and drivers that regenerate every table
+// and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := orderlight.DefaultConfig()
+//	cfg.Run.Primitive = orderlight.PrimitiveOrderLight
+//	res, err := orderlight.RunKernel(cfg, "add", 256<<10)
+//	fmt.Println(res)
+package orderlight
+
+import (
+	"orderlight/internal/config"
+	"orderlight/internal/experiments"
+	"orderlight/internal/gpu"
+	"orderlight/internal/isa"
+	"orderlight/internal/kernel"
+	"orderlight/internal/stats"
+	"orderlight/internal/trace"
+)
+
+// Config is the complete simulator configuration (Table 1 plus PIM and
+// run parameters). See internal/config for field documentation.
+type Config = config.Config
+
+// Primitive selects the memory-ordering discipline of a run.
+type Primitive = config.Primitive
+
+// The four ordering disciplines: no ordering (functionally incorrect),
+// the core-centric fence baseline, the paper's OrderLight, and the §8.1
+// sequence-number related-work baseline.
+const (
+	PrimitiveNone       = config.PrimitiveNone
+	PrimitiveFence      = config.PrimitiveFence
+	PrimitiveOrderLight = config.PrimitiveOrderLight
+	PrimitiveSeqno      = config.PrimitiveSeqno
+)
+
+// Host kinds: the paper's GPU host and the §9 OoO-CPU extension.
+const (
+	HostGPU = config.HostGPU
+	HostCPU = config.HostCPU
+)
+
+// Result holds every measurement of a run: execution time, PIM command
+// and data bandwidth, stall cycles, primitive counts, and the functional
+// verification verdict.
+type Result = stats.Run
+
+// Kernel is a generated, runnable PIM kernel (programs + memory image).
+type Kernel = kernel.Kernel
+
+// Spec describes a workload's per-tile phase structure. User code may
+// define its own Spec and run it with BuildCustomKernel; Spec.Validate
+// reports structural problems.
+type Spec = kernel.Spec
+
+// PhaseSpec is one command group within a kernel tile.
+type PhaseSpec = kernel.PhaseSpec
+
+// Kind classifies a PIM command; ALUOp selects its arithmetic. These
+// re-exports let user code author custom kernel specs.
+type (
+	Kind  = isa.Kind
+	ALUOp = isa.ALUOp
+)
+
+// PIM command kinds for custom kernel phases.
+const (
+	KindPIMLoad    = isa.KindPIMLoad
+	KindPIMCompute = isa.KindPIMCompute
+	KindPIMStore   = isa.KindPIMStore
+	KindPIMScale   = isa.KindPIMScale
+	KindPIMExec    = isa.KindPIMExec
+)
+
+// ALU operations for custom kernel phases.
+const (
+	OpNop   = isa.OpNop
+	OpAdd   = isa.OpAdd
+	OpMul   = isa.OpMul
+	OpMAC   = isa.OpMAC
+	OpScale = isa.OpScale
+	OpCopy  = isa.OpCopy
+	OpSub   = isa.OpSub
+	OpMax   = isa.OpMax
+	OpXor   = isa.OpXor
+	OpIncr  = isa.OpIncr
+)
+
+// Machine is the assembled simulated system.
+type Machine = gpu.Machine
+
+// HostTraffic configures synthetic concurrent host loads (fine-grained
+// arbitration scenarios).
+type HostTraffic = gpu.HostTraffic
+
+// Table is a rendered experiment result (one paper table or figure).
+type Table = experiments.Table
+
+// Tracer records per-request stage crossings through the memory pipe;
+// arm one with Machine.SetTracer before Run.
+type Tracer = trace.Tracer
+
+// NewTracer creates a tracer retaining the most recent max events.
+func NewTracer(max int) *Tracer { return trace.New(max) }
+
+// Scale controls the data footprint experiments simulate.
+type Scale = experiments.Scale
+
+// DefaultConfig returns the paper's Table 1 configuration: Volta-class
+// GPU, 16-channel HBM, BMF 16, 1/8-row-buffer temporary storage,
+// OrderLight primitive.
+func DefaultConfig() Config { return config.Default() }
+
+// ParsePrimitive converts "none", "fence" or "orderlight" to a Primitive.
+func ParsePrimitive(s string) (Primitive, error) { return config.ParsePrimitive(s) }
+
+// Kernels lists the Table 2 workload names.
+func Kernels() []string { return kernel.Names() }
+
+// KernelSpec returns a workload's specification by name.
+func KernelSpec(name string) (Spec, error) { return kernel.ByName(name) }
+
+// BuildKernel generates a kernel's programs and initial memory image for
+// the given per-channel data footprint in bytes.
+func BuildKernel(cfg Config, name string, bytesPerChannel int64) (*Kernel, error) {
+	spec, err := kernel.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return kernel.Build(cfg, spec, bytesPerChannel)
+}
+
+// BuildCustomKernel generates a runnable kernel from a user-defined
+// spec — the "intrinsics" programming model of §5.4: describe the
+// per-tile phase structure and the generator emits the fine-grained PIM
+// commands and ordering primitives.
+func BuildCustomKernel(cfg Config, spec Spec, bytesPerChannel int64) (*Kernel, error) {
+	return kernel.Build(cfg, spec, bytesPerChannel)
+}
+
+// SpreadTiles returns a copy of the spec with tiles spread across
+// memory-groups (per-group ordering makes this safe; see the
+// ablation-placement experiment).
+func SpreadTiles(spec Spec) Spec { return kernel.WithSpread(spec) }
+
+// NewMachine assembles a simulator around a built kernel.
+func NewMachine(cfg Config, k *Kernel) (*Machine, error) {
+	return gpu.NewMachine(cfg, k.Store, k.Programs)
+}
+
+// RunKernel builds and simulates a named kernel and returns its
+// measurements.
+func RunKernel(cfg Config, name string, bytesPerChannel int64) (*Result, error) {
+	k, err := BuildKernel(cfg, name, bytesPerChannel)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewMachine(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// HostBaseline returns the roofline GPU-only execution time for a built
+// kernel, in milliseconds — the paper's GPU bars.
+func HostBaseline(cfg Config, k *Kernel) float64 {
+	return k.HostTime(cfg).Milliseconds()
+}
+
+// Experiments lists every reproducible table/figure ID.
+func Experiments() []string { return experiments.IDs() }
+
+// ExperimentTitle returns an experiment's one-line description.
+func ExperimentTitle(id string) string { return experiments.Title(id) }
+
+// RunExperiment regenerates one paper table/figure (or ablation).
+func RunExperiment(id string, cfg Config, sc Scale) (*Table, error) {
+	return experiments.Run(id, cfg, sc)
+}
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(cfg Config, sc Scale) ([]*Table, error) {
+	return experiments.RunAll(cfg, sc)
+}

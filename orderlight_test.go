@@ -1,0 +1,94 @@
+package orderlight
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+	return cfg
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Run.Primitive = PrimitiveOrderLight
+	res, err := RunKernel(cfg, "add", 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("quickstart run incorrect")
+	}
+	if res.CommandBW() <= 0 || res.DataBW() <= res.CommandBW() {
+		t.Fatalf("bandwidths implausible: %v GC/s, %v GB/s", res.CommandBW(), res.DataBW())
+	}
+	if !strings.Contains(res.String(), "command bandwidth") {
+		t.Fatal("Result.String() missing report fields")
+	}
+}
+
+func TestPublicKernelRegistry(t *testing.T) {
+	if len(Kernels()) != 12 {
+		t.Fatalf("Kernels() = %v", Kernels())
+	}
+	if _, err := KernelSpec("kmeans"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildKernel(smallConfig(), "not-a-kernel", 1024); err == nil {
+		t.Fatal("bogus kernel accepted")
+	}
+}
+
+func TestPublicPrimitiveComparison(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Run.Primitive = PrimitiveFence
+	fe, err := RunKernel(cfg, "triad", 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Run.Primitive = PrimitiveOrderLight
+	ol, err := RunKernel(cfg, "triad", 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fe.ExecMS() > ol.ExecMS()) {
+		t.Fatalf("fence (%v ms) not slower than OrderLight (%v ms)", fe.ExecMS(), ol.ExecMS())
+	}
+}
+
+func TestPublicHostBaseline(t *testing.T) {
+	cfg := smallConfig()
+	k, err := BuildKernel(cfg, "copy", 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HostBaseline(cfg, k) <= 0 {
+		t.Fatal("host baseline must be positive")
+	}
+}
+
+func TestPublicExperimentAccess(t *testing.T) {
+	if len(Experiments()) != 22 {
+		t.Fatalf("Experiments() = %v", Experiments())
+	}
+	tab, err := RunExperiment("table2", smallConfig(), Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ExperimentTitle("fig5") == "" {
+		t.Fatal("missing experiment title")
+	}
+	if !strings.Contains(tab.Markdown(), "gen_fil") {
+		t.Fatal("table2 markdown incomplete")
+	}
+}
+
+func TestPublicParsePrimitive(t *testing.T) {
+	p, err := ParsePrimitive("orderlight")
+	if err != nil || p != PrimitiveOrderLight {
+		t.Fatal("ParsePrimitive failed")
+	}
+}
