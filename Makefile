@@ -1,0 +1,54 @@
+GO ?= go
+SMOKE_EXP ?= fig5
+SMOKE_SIZE ?= 32768
+
+.PHONY: ci vet build test race smoke speedup bench clean
+
+# ci is the tier-1 gate: vet, build, the full test suite under the race
+# detector, and a parallel-vs-sequential smoke of the CLIs.
+ci: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# smoke checks the two CLI contracts end to end: olsim exits non-zero
+# exactly when verification fails, and olbench's parallel sweep renders
+# byte-identical output to a sequential (-parallel 1) one.
+smoke:
+	@$(GO) build -o /tmp/ol-smoke-olsim ./cmd/olsim
+	@$(GO) build -o /tmp/ol-smoke-olbench ./cmd/olbench
+	@/tmp/ol-smoke-olsim -kernel add -primitive orderlight -bytes $(SMOKE_SIZE) >/dev/null
+	@if /tmp/ol-smoke-olsim -kernel add -primitive none -bytes $(SMOKE_SIZE) >/dev/null 2>&1; then \
+		echo "smoke: FAIL: incorrect run did not exit non-zero"; exit 1; fi
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -parallel 1 >$$tmp/seq.md 2>$$tmp/seq.log; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) >$$tmp/par.md 2>$$tmp/par.log; \
+	diff $$tmp/seq.md $$tmp/par.md >/dev/null || { \
+		echo "smoke: FAIL: parallel output differs from sequential"; exit 1; }; \
+	cat $$tmp/seq.log $$tmp/par.log; \
+	echo "smoke: OK (parallel output byte-identical to sequential)"
+
+# speedup times the full experiment sweep sequentially and in parallel.
+# Informational: the ratio tracks the core count (expect ~Nx on N CPUs,
+# ~1x on a single-CPU machine).
+speedup:
+	@$(GO) build -o /tmp/ol-speedup-olbench ./cmd/olbench
+	@echo "sequential (-parallel 1):"; \
+	time /tmp/ol-speedup-olbench -exp all -parallel 1 >/dev/null
+	@echo "parallel (all CPUs):"; \
+	time /tmp/ol-speedup-olbench -exp all >/dev/null
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+clean:
+	rm -f /tmp/ol-smoke-olsim /tmp/ol-smoke-olbench /tmp/ol-speedup-olbench

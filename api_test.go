@@ -1,0 +1,96 @@
+package orderlight_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"orderlight"
+)
+
+func apiConfig() orderlight.Config {
+	cfg := orderlight.DefaultConfig()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+	cfg.Run.DeadlineMS = 50
+	return cfg
+}
+
+func TestSentinelUnknownKernel(t *testing.T) {
+	_, err := orderlight.RunKernelContext(context.Background(), apiConfig(), "no-such-kernel", 8<<10)
+	if !errors.Is(err, orderlight.ErrUnknownKernel) {
+		t.Fatalf("error %v does not match ErrUnknownKernel", err)
+	}
+	if _, err := orderlight.RunKernel(apiConfig(), "no-such-kernel", 8<<10); !errors.Is(err, orderlight.ErrUnknownKernel) {
+		t.Fatalf("legacy RunKernel error %v does not match ErrUnknownKernel", err)
+	}
+}
+
+func TestSentinelUnknownExperiment(t *testing.T) {
+	_, err := orderlight.RunExperimentContext(context.Background(), "no-such-experiment", apiConfig())
+	if !errors.Is(err, orderlight.ErrUnknownExperiment) {
+		t.Fatalf("error %v does not match ErrUnknownExperiment", err)
+	}
+}
+
+func TestSentinelInvalidSpec(t *testing.T) {
+	var empty orderlight.Spec
+	if err := empty.Validate(); !errors.Is(err, orderlight.ErrInvalidSpec) {
+		t.Fatalf("Validate() = %v, want ErrInvalidSpec", err)
+	}
+	if _, _, err := orderlight.RunSpecContext(context.Background(), apiConfig(), empty, 8<<10); !errors.Is(err, orderlight.ErrInvalidSpec) {
+		t.Fatalf("RunSpecContext error %v does not match ErrInvalidSpec", err)
+	}
+}
+
+func TestSentinelCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := orderlight.RunKernelContext(ctx, apiConfig(), "add", 8<<10); !errors.Is(err, orderlight.ErrCanceled) {
+		t.Fatalf("canceled RunKernelContext error %v does not match ErrCanceled", err)
+	}
+	if _, err := orderlight.RunAllExperimentsContext(ctx, apiConfig()); !errors.Is(err, orderlight.ErrCanceled) {
+		t.Fatalf("canceled RunAllExperimentsContext error %v does not match ErrCanceled", err)
+	}
+}
+
+func TestContextVariantsMatchLegacy(t *testing.T) {
+	cfg := apiConfig()
+	legacy, err := orderlight.RunKernel(cfg, "add", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := orderlight.RunKernelContext(context.Background(), cfg, "add", 8<<10,
+		orderlight.WithParallelism(1), orderlight.WithKernelCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.String() != viaCtx.String() {
+		t.Errorf("context run differs from legacy run:\n%s\nvs\n%s", legacy, viaCtx)
+	}
+}
+
+func TestOptionsDoNotChangeOutput(t *testing.T) {
+	cfg := apiConfig()
+	sc := orderlight.Scale{BytesPerChannel: 16 << 10}
+	base, err := orderlight.RunExperimentContext(context.Background(), "fig5", cfg,
+		orderlight.WithScale(sc), orderlight.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	tuned, err := orderlight.RunExperimentContext(context.Background(), "fig5", cfg,
+		orderlight.WithScale(sc),
+		orderlight.WithParallelism(8),
+		orderlight.WithKernelCache(false),
+		orderlight.WithProgress(func(done, total int) { calls++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Markdown() != tuned.Markdown() {
+		t.Errorf("options changed experiment output")
+	}
+	if calls == 0 {
+		t.Error("progress callback never invoked")
+	}
+}

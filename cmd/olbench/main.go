@@ -1,17 +1,29 @@
 // Command olbench regenerates the paper's tables and figures.
 //
+// Experiment cells (kernel x primitive x scale) execute on a worker
+// pool — one worker per CPU unless -parallel says otherwise — and the
+// output is byte-identical to a sequential (-parallel 1) run. Ctrl-C
+// cancels the sweep at the next cell boundary.
+//
 // Usage:
 //
 //	olbench -exp fig10a                # one experiment, markdown to stdout
 //	olbench -exp all -format csv       # everything, CSV
+//	olbench -exp all -progress         # live cell counter on stderr
+//	olbench -exp all -parallel 1       # sequential reference run
 //	olbench -exp fig12 -size 262144    # bigger per-channel footprint
 //	olbench -list                      # list experiment IDs
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"orderlight"
 )
@@ -24,13 +36,16 @@ func main() {
 		chartCol = flag.Int("chartcol", -1, "column to chart (chart format; -1 = first numeric)")
 		channels = flag.Int("channels", 0, "override memory channel count (0 = Table 1's 16)")
 		ts       = flag.String("ts", "", "override temporary-storage fraction, e.g. 1/8")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
+		progress = flag.Bool("progress", false, "report completed cells on stderr")
+		cache    = flag.Bool("cache", true, "share built kernel images between identical cells")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range orderlight.Experiments() {
-			fmt.Printf("%-18s %s\n", id, orderlight.ExperimentTitle(id))
+			fmt.Printf("%-24s %s\n", id, orderlight.ExperimentTitle(id))
 		}
 		return
 	}
@@ -43,24 +58,52 @@ func main() {
 		}
 	}
 	if *ts != "" {
-		cfg = cfg.WithTSFraction(*ts)
+		tsBytes, err := cfg.TSFraction(*ts)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.PIM.TSBytes = tsBytes
 	}
-	sc := orderlight.Scale{BytesPerChannel: *size}
 
-	var tables []*orderlight.Table
-	if *exp == "all" {
-		var err error
-		tables, err = orderlight.RunAllExperiments(cfg, sc)
-		if err != nil {
-			fatal(err)
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var cells int
+	opts := []orderlight.Option{
+		orderlight.WithScale(orderlight.Scale{BytesPerChannel: *size}),
+		orderlight.WithParallelism(*parallel),
+		orderlight.WithKernelCache(*cache),
+	}
+	if *progress {
+		opts = append(opts, orderlight.WithProgress(func(done, total int) {
+			cells = total
+			fmt.Fprintf(os.Stderr, "\rolbench: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
 	} else {
-		t, err := orderlight.RunExperiment(*exp, cfg, sc)
-		if err != nil {
-			fatal(err)
-		}
+		opts = append(opts, orderlight.WithProgress(func(done, total int) { cells = total }))
+	}
+
+	start := time.Now()
+	var tables []*orderlight.Table
+	var err error
+	if *exp == "all" {
+		tables, err = orderlight.RunAllExperimentsContext(ctx, cfg, opts...)
+	} else {
+		var t *orderlight.Table
+		t, err = orderlight.RunExperimentContext(ctx, *exp, cfg, opts...)
 		tables = []*orderlight.Table{t}
 	}
+	if err != nil {
+		if errors.Is(err, orderlight.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "olbench: canceled")
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+
 	for _, t := range tables {
 		switch *format {
 		case "csv":
@@ -76,6 +119,15 @@ func main() {
 			fmt.Println(t.Markdown())
 		}
 	}
+	fmt.Fprintf(os.Stderr, "olbench: %d experiment(s), %d cells in %.1fs (parallelism %s)\n",
+		len(tables), cells, time.Since(start).Seconds(), parallelismLabel(*parallel))
+}
+
+func parallelismLabel(n int) string {
+	if n <= 0 {
+		return "all CPUs"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 func fatal(err error) {

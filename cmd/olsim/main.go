@@ -1,18 +1,27 @@
 // Command olsim runs a single PIM kernel on the simulated machine and
 // prints its measurements.
 //
+// olsim exits 0 only when the run completes and — with -verify, the
+// default — the result matches the reference executor. A run that
+// verifies incorrect (including the deliberately broken -primitive
+// none demo) exits 1 with a diagnostic on stderr; pass -verify=false
+// to observe an incorrect run's measurements without the failure exit.
+//
 // Usage:
 //
 //	olsim -kernel add -primitive orderlight -ts 1/8
 //	olsim -kernel kmeans -primitive fence -bytes 262144
-//	olsim -kernel add -primitive none        # functionally incorrect demo
-//	olsim -list                              # list kernels
+//	olsim -kernel add -primitive none -verify=false  # incorrect-run demo
+//	olsim -list                                      # list kernels
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"orderlight"
 )
@@ -55,7 +64,11 @@ func main() {
 	if need := (*channels + cfg.GPU.WarpsPerSM - 1) / cfg.GPU.WarpsPerSM; need < cfg.GPU.PIMSMs {
 		cfg.GPU.PIMSMs = need
 	}
-	cfg = cfg.WithTSFraction(*ts)
+	tsBytes, err := cfg.TSFraction(*ts)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.PIM.TSBytes = tsBytes
 	cfg.GPU.IcntRoutes = *routes
 	switch *hostKind {
 	case "gpu":
@@ -73,15 +86,10 @@ func main() {
 	if *spread {
 		spec = orderlight.SpreadTiles(spec)
 	}
-	k, err := orderlight.BuildCustomKernel(cfg, spec, *bytes)
-	if err != nil {
-		fatal(err)
-	}
-	m, err := orderlight.NewMachine(cfg, k)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := m.Run()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, k, err := orderlight.RunSpecContext(ctx, cfg, spec, *bytes)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,6 +97,11 @@ func main() {
 		*name, cfg.Run.Primitive, cfg.PIM.TSBytes, cfg.CommandsPerTile(), cfg.PIM.BMF, cfg.Memory.Channels)
 	fmt.Printf("GPU-baseline (roofline): %.4f ms\n\n", orderlight.HostBaseline(cfg, k))
 	fmt.Print(res)
+	if *verify && !res.Correct {
+		fmt.Fprintf(os.Stderr, "olsim: kernel %s under primitive %v failed functional verification\n",
+			*name, cfg.Run.Primitive)
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

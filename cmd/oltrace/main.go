@@ -39,7 +39,11 @@ func main() {
 		fatal(err)
 	}
 	cfg.Run.Primitive = p
-	cfg = cfg.WithTSFraction(*ts)
+	tsBytes, err := cfg.TSFraction(*ts)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.PIM.TSBytes = tsBytes
 
 	if *channel < 0 || *channel >= cfg.Memory.Channels {
 		fatal(fmt.Errorf("channel %d out of range [0,%d)", *channel, cfg.Memory.Channels))
@@ -70,6 +74,7 @@ func main() {
 			*name, cfg.Run.Primitive)
 		fmt.Print(tr.Timeline(*limit))
 		fmt.Printf("\nfunctionally correct: %v\n", res.Correct)
+		checkCorrect(p, res.Correct)
 		return
 	}
 	fmt.Printf("kernel %s, primitive %v, channel %d — %d requests issued to DRAM\n",
@@ -93,6 +98,16 @@ func main() {
 		fmt.Printf("... (%d more)\n", len(log)-*limit)
 	}
 	fmt.Printf("\nprogram-order inversions at the device: %d\n", inversions)
+	checkCorrect(p, res.Correct)
+}
+
+// checkCorrect turns an unexpected verification failure into a failure
+// exit: every primitive except the deliberately unordered "none" must
+// produce a functionally correct run.
+func checkCorrect(p orderlight.Primitive, correct bool) {
+	if p != orderlight.PrimitiveNone && !correct {
+		fatal(fmt.Errorf("primitive %v verified incorrect — ordering bug", p))
+	}
 }
 
 func fatal(err error) {

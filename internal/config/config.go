@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"orderlight/internal/olerrors"
 )
 
 // Primitive selects the memory-ordering primitive the generated PIM
@@ -280,18 +282,18 @@ func Default() Config {
 func (c Config) TSFraction(frac string) (int, error) {
 	num, den, ok := strings.Cut(frac, "/")
 	if !ok {
-		return 0, fmt.Errorf("config: TS fraction %q must look like 1/8", frac)
+		return 0, fmt.Errorf("config: %w: TS fraction %q must look like 1/8", olerrors.ErrInvalidSpec, frac)
 	}
 	n, err := strconv.Atoi(strings.TrimSpace(num))
 	if err != nil {
-		return 0, fmt.Errorf("config: bad TS fraction numerator: %w", err)
+		return 0, fmt.Errorf("config: %w: bad TS fraction numerator: %v", olerrors.ErrInvalidSpec, err)
 	}
 	d, err := strconv.Atoi(strings.TrimSpace(den))
 	if err != nil {
-		return 0, fmt.Errorf("config: bad TS fraction denominator: %w", err)
+		return 0, fmt.Errorf("config: %w: bad TS fraction denominator: %v", olerrors.ErrInvalidSpec, err)
 	}
 	if n <= 0 || d <= 0 || c.Memory.RowBufferBytes*n%d != 0 {
-		return 0, fmt.Errorf("config: TS fraction %q does not divide the %d B row buffer", frac, c.Memory.RowBufferBytes)
+		return 0, fmt.Errorf("config: %w: TS fraction %q does not divide the %d B row buffer", olerrors.ErrInvalidSpec, frac, c.Memory.RowBufferBytes)
 	}
 	return c.Memory.RowBufferBytes * n / d, nil
 }
@@ -333,8 +335,16 @@ func (c Config) HostPeakBandwidth() float64 {
 }
 
 // Validate checks internal consistency and returns a descriptive error
-// for the first violated invariant.
+// for the first violated invariant, wrapping olerrors.ErrInvalidSpec so
+// callers can classify with errors.Is.
 func (c Config) Validate() error {
+	if err := c.validate(); err != nil {
+		return fmt.Errorf("%w: %v", olerrors.ErrInvalidSpec, err)
+	}
+	return nil
+}
+
+func (c Config) validate() error {
 	m := c.Memory
 	switch {
 	case c.GPU.PIMSMs <= 0 || c.GPU.WarpsPerSM <= 0:

@@ -6,6 +6,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/gpu"
 	"orderlight/internal/kernel"
+	"orderlight/internal/runner"
 )
 
 // AblationSubPartitions varies the number of divergent L2 sub-partition
@@ -13,6 +14,26 @@ import (
 // design claim under test: copy-and-merge keeps OrderLight cheap no
 // matter how wide the divergence is, and correctness holds throughout.
 func AblationSubPartitions(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-subpart", cfg, sc)
+}
+
+var subPartCounts = []int{1, 2, 4}
+
+func ablationSubPartCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, nsub := range subPartCounts {
+		c := withPrimitive(cfg, config.PrimitiveOrderLight)
+		c.GPU.L2SubPartitions = nsub
+		cell, err := simCell(c, "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func ablationSubPartAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-subpart", Title: "OrderLight cost vs L2 sub-partition count (copy-and-merge)",
 		Columns: []string{"Sub-partitions", "OL ms", "OL merges", "Correct"},
@@ -20,13 +41,9 @@ func AblationSubPartitions(cfg config.Config, sc Scale) (*Table, error) {
 			"Each packet is replicated across every sub-path serving its memory-group and merged at the convergence point; execution time should be essentially flat.",
 		},
 	}
-	for _, nsub := range []int{1, 2, 4} {
-		c := withPrimitive(cfg, config.PrimitiveOrderLight)
-		c.GPU.L2SubPartitions = nsub
-		st, _, err := runKernel(c, "add", sc)
-		if err != nil {
-			return nil, err
-		}
+	cur := cursor{res: res}
+	for _, nsub := range subPartCounts {
+		st := cur.next().Run
 		t.AddRow(fmt.Sprintf("%d", nsub), f4(st.ExecMS()),
 			fmt.Sprintf("%d", st.OLMerges), fmt.Sprintf("%v", st.Correct))
 	}
@@ -40,6 +57,28 @@ func AblationSubPartitions(cfg config.Config, sc Scale) (*Table, error) {
 // only that tile's group ID, so independent tiles overlap across bank
 // groups and row cycles hide behind each other.
 func AblationPlacement(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-placement", cfg, sc)
+}
+
+func ablationPlacementCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		return nil, err
+	}
+	var cells []runner.Cell
+	for _, spread := range []bool{false, true} {
+		s := spec
+		if spread {
+			s = kernel.WithSpread(spec)
+		}
+		for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+			cells = append(cells, specCell(withPrimitive(cfg, prim), s, sc.orDefault().BytesPerChannel))
+		}
+	}
+	return cells, nil
+}
+
+func ablationPlacementAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-placement", Title: "Operand placement: one memory-group vs tiles spread across groups",
 		Columns: []string{"Placement", "Primitive", "Exec ms", "Cmd GC/s", "Row hit rate", "Correct"},
@@ -47,31 +86,14 @@ func AblationPlacement(cfg config.Config, sc Scale) (*Table, error) {
 			"Spreading helps OrderLight much more than fences: the fence still stalls the core per phase regardless of where operands live.",
 		},
 	}
-	spec, err := kernel.ByName("add")
-	if err != nil {
-		return nil, err
-	}
+	cur := cursor{res: res}
 	for _, spread := range []bool{false, true} {
-		s := spec
 		label := "one group"
 		if spread {
-			s = kernel.WithSpread(spec)
 			label = "spread across groups"
 		}
 		for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
-			c := withPrimitive(cfg, prim)
-			k, err := kernel.Build(c, s, sc.orDefault().BytesPerChannel)
-			if err != nil {
-				return nil, err
-			}
-			m, err := gpu.NewMachine(c, k.Store, k.Programs)
-			if err != nil {
-				return nil, err
-			}
-			st, err := m.Run()
-			if err != nil {
-				return nil, err
-			}
+			st := cur.next().Run
 			t.AddRow(label, prim.String(), f4(st.ExecMS()), f2(st.CommandBW()),
 				f2(st.RowHitRate()), fmt.Sprintf("%v", st.Correct))
 		}
@@ -87,6 +109,29 @@ func AblationPlacement(cfg config.Config, sc Scale) (*Table, error) {
 // window and pay the round trip; OrderLight needs only the
 // dispatch-stage counter (the OoO analog of the operand collector).
 func AblationOoOHost(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-ooo", cfg, sc)
+}
+
+var oooPrimitives = []config.Primitive{
+	config.PrimitiveNone, config.PrimitiveFence,
+	config.PrimitiveSeqno, config.PrimitiveOrderLight,
+}
+
+func ablationOoOCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, prim := range oooPrimitives {
+		c := withPrimitive(cfg, prim)
+		c.Host.Kind = config.HostCPU
+		cell, err := simCell(c, "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func ablationOoOAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-ooo", Title: "OoO-CPU host (§9): ordering disciplines under reservation-station reordering",
 		Columns: []string{"Primitive", "Exec ms", "Cmd GC/s", "Stall cycles", "Correct"},
@@ -94,16 +139,9 @@ func AblationOoOHost(cfg config.Config, sc Scale) (*Table, error) {
 			"The CPU core dispatches in order but issues memory out of order from its window; OrderLight's dispatch-stage counter plays the operand collector's role.",
 		},
 	}
-	for _, prim := range []config.Primitive{
-		config.PrimitiveNone, config.PrimitiveFence,
-		config.PrimitiveSeqno, config.PrimitiveOrderLight,
-	} {
-		c := withPrimitive(cfg, prim)
-		c.Host.Kind = config.HostCPU
-		st, _, err := runKernel(c, "add", sc)
-		if err != nil {
-			return nil, err
-		}
+	cur := cursor{res: res}
+	for _, prim := range oooPrimitives {
+		st := cur.next().Run
 		t.AddRow(prim.String(), f4(st.ExecMS()), f2(st.CommandBW()),
 			fmt.Sprintf("%d", st.StallCycles()), fmt.Sprintf("%v", st.Correct))
 	}
@@ -117,6 +155,27 @@ func AblationOoOHost(cfg config.Config, sc Scale) (*Table, error) {
 // group-spread Add kernel (several pairs live per SM) so a tiny budget
 // actually bites.
 func AblationCounters(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-counters", cfg, sc)
+}
+
+var counterBudgets = []int{1, 2, 4, 0}
+
+func ablationCountersCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		return nil, err
+	}
+	spread := kernel.WithSpread(spec)
+	var cells []runner.Cell
+	for _, tags := range counterBudgets {
+		c := withPrimitive(cfg, config.PrimitiveOrderLight)
+		c.GPU.CollectorTags = tags
+		cells = append(cells, specCell(c, spread, sc.orDefault().BytesPerChannel))
+	}
+	return cells, nil
+}
+
+func ablationCountersAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-counters", Title: "OrderLight counter budget per SM (§5.3.1 hardware-cost knob)",
 		Columns: []string{"Counters/SM", "OL ms", "OL stall cycles", "Correct"},
@@ -124,26 +183,9 @@ func AblationCounters(cfg config.Config, sc Scale) (*Table, error) {
 			"Fewer counters never break correctness; they only make injection more conservative. Measured: even a single counter per SM costs nothing here, because a pair's counter frees the moment its phase drains — evidence the paper's cost-reduction knob is essentially free.",
 		},
 	}
-	spec, err := kernel.ByName("add")
-	if err != nil {
-		return nil, err
-	}
-	spread := kernel.WithSpread(spec)
-	for _, tags := range []int{1, 2, 4, 0} {
-		c := withPrimitive(cfg, config.PrimitiveOrderLight)
-		c.GPU.CollectorTags = tags
-		k, err := kernel.Build(c, spread, sc.orDefault().BytesPerChannel)
-		if err != nil {
-			return nil, err
-		}
-		m, err := gpu.NewMachine(c, k.Store, k.Programs)
-		if err != nil {
-			return nil, err
-		}
-		st, err := m.Run()
-		if err != nil {
-			return nil, err
-		}
+	cur := cursor{res: res}
+	for _, tags := range counterBudgets {
+		st := cur.next().Run
 		label := fmt.Sprintf("%d", tags)
 		if tags == 0 {
 			label = "unlimited"
@@ -162,6 +204,28 @@ func AblationCounters(cfg config.Config, sc Scale) (*Table, error) {
 // correctness holds at every width while the unordered configuration
 // stays broken.
 func AblationNoC(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-noc", cfg, sc)
+}
+
+var nocRoutes = []int{1, 2, 4}
+
+func ablationNoCCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, routes := range nocRoutes {
+		for _, prim := range []config.Primitive{config.PrimitiveNone, config.PrimitiveOrderLight} {
+			c := withPrimitive(cfg, prim)
+			c.GPU.IcntRoutes = routes
+			cell, err := simCell(c, "add", sc)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func ablationNoCAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-noc", Title: "Adaptive multi-route NoC (§9): OrderLight across interconnect divergence",
 		Columns: []string{"NoC routes", "Primitive", "Exec ms", "Cmd GC/s", "Correct"},
@@ -169,14 +233,10 @@ func AblationNoC(cfg config.Config, sc Scale) (*Table, error) {
 			"Copy-and-merge carries the packet across adaptive routes exactly as it does across L2 sub-partitions; the cost stays negligible.",
 		},
 	}
-	for _, routes := range []int{1, 2, 4} {
+	cur := cursor{res: res}
+	for _, routes := range nocRoutes {
 		for _, prim := range []config.Primitive{config.PrimitiveNone, config.PrimitiveOrderLight} {
-			c := withPrimitive(cfg, prim)
-			c.GPU.IcntRoutes = routes
-			st, _, err := runKernel(c, "add", sc)
-			if err != nil {
-				return nil, err
-			}
+			st := cur.next().Run
 			t.AddRow(fmt.Sprintf("%d", routes), prim.String(), f4(st.ExecMS()),
 				f2(st.CommandBW()), fmt.Sprintf("%v", st.Correct))
 		}
@@ -189,6 +249,24 @@ func AblationNoC(cfg config.Config, sc Scale) (*Table, error) {
 // 3.9 us, tRFC 350 ns — a ~9% duty cycle upper bound) versus disabled
 // (the paper's setup).
 func AblationRefresh(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-refresh", cfg, sc)
+}
+
+func ablationRefreshCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, on := range []bool{false, true} {
+		c := withPrimitive(cfg, config.PrimitiveOrderLight)
+		c.Memory.RefreshEnabled = on
+		cell, err := simCell(c, "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func ablationRefreshAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-refresh", Title: "All-bank refresh impact on an OrderLight run",
 		Columns: []string{"Refresh", "Exec ms", "Cmd GC/s", "Refreshes", "Correct"},
@@ -196,13 +274,9 @@ func AblationRefresh(cfg config.Config, sc Scale) (*Table, error) {
 			"Refresh steals a bounded fraction of memory cycles; it does not interact with the ordering machinery, which is why the paper (and the default config) omit it.",
 		},
 	}
+	cur := cursor{res: res}
 	for _, on := range []bool{false, true} {
-		c := withPrimitive(cfg, config.PrimitiveOrderLight)
-		c.Memory.RefreshEnabled = on
-		st, _, err := runKernel(c, "add", sc)
-		if err != nil {
-			return nil, err
-		}
+		st := cur.next().Run
 		label := "off (paper setup)"
 		if on {
 			label = "on (tREFI 3.9us, tRFC 350ns)"
@@ -220,6 +294,28 @@ func AblationRefresh(cfg config.Config, sc Scale) (*Table, error) {
 // is the trap the paper's footnote about relying on scheduler behavior
 // warns against).
 func AblationSched(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-sched", cfg, sc)
+}
+
+var schedPolicies = []config.SchedPolicy{config.SchedFRFCFS, config.SchedFCFS}
+
+func ablationSchedCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, pol := range schedPolicies {
+		for _, prim := range []config.Primitive{config.PrimitiveNone, config.PrimitiveOrderLight} {
+			c := withPrimitive(cfg, prim)
+			c.Memory.Sched = pol
+			cell, err := simCell(c, "add", sc)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func ablationSchedAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-sched", Title: "Scheduler policy: FR-FCFS vs strict FCFS",
 		Columns: []string{"Scheduler", "Primitive", "Exec ms", "Cmd GC/s", "Row hit rate", "Correct"},
@@ -227,14 +323,10 @@ func AblationSched(cfg config.Config, sc Scale) (*Table, error) {
 			"FR-FCFS's row-hit-first policy is simultaneously where the bandwidth comes from and why unordered PIM commands break.",
 		},
 	}
-	for _, pol := range []config.SchedPolicy{config.SchedFRFCFS, config.SchedFCFS} {
+	cur := cursor{res: res}
+	for _, pol := range schedPolicies {
 		for _, prim := range []config.Primitive{config.PrimitiveNone, config.PrimitiveOrderLight} {
-			c := withPrimitive(cfg, prim)
-			c.Memory.Sched = pol
-			st, _, err := runKernel(c, "add", sc)
-			if err != nil {
-				return nil, err
-			}
+			st := cur.next().Run
 			t.AddRow(string(pol), prim.String(), f4(st.ExecMS()), f2(st.CommandBW()),
 				f2(st.RowHitRate()), fmt.Sprintf("%v", st.Correct))
 		}
@@ -249,6 +341,33 @@ func AblationSched(cfg config.Config, sc Scale) (*Table, error) {
 // ordering flags; traffic aimed at the PIM group is (conservatively)
 // ordered and pays for it.
 func AblationHostConcurrency(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-host", cfg, sc)
+}
+
+// ablationHostScenarios pairs each row label with its traffic load.
+var ablationHostScenarios = []struct {
+	label   string
+	traffic gpu.HostTraffic
+}{
+	{"PIM only", gpu.HostTraffic{}},
+	{"host in other group (FGA)", gpu.HostTraffic{PerChannel: 64, EveryN: 50, Group: 1}},
+	{"host in PIM group (conservatively ordered)", gpu.HostTraffic{PerChannel: 64, EveryN: 50, Group: 0}},
+}
+
+func ablationHostCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, s := range ablationHostScenarios {
+		cell, err := simCell(withPrimitive(cfg, config.PrimitiveOrderLight), "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		cell.Traffic = s.traffic
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func ablationHostAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-host", Title: "Concurrent host traffic under fine-grained arbitration",
 		Columns: []string{"Scenario", "PIM ms", "Host mean latency (core cycles)", "Host loads served"},
@@ -256,39 +375,10 @@ func AblationHostConcurrency(cfg config.Config, sc Scale) (*Table, error) {
 			"The memory-group ID in the OrderLight packet (Figure 8) exists so non-PIM requests in other groups are never constrained.",
 		},
 	}
-	run := func(label string, ht gpu.HostTraffic) error {
-		c := withPrimitive(cfg, config.PrimitiveOrderLight)
-		spec, err := kernel.ByName("add")
-		if err != nil {
-			return err
-		}
-		k, err := kernel.Build(c, spec, sc.orDefault().BytesPerChannel)
-		if err != nil {
-			return err
-		}
-		m, err := gpu.NewMachine(c, k.Store, k.Programs)
-		if err != nil {
-			return err
-		}
-		if ht.PerChannel > 0 {
-			m.SetHostTraffic(ht)
-		}
-		st, err := m.Run()
-		if err != nil {
-			return err
-		}
-		lat, served := m.HostLatency()
-		t.AddRow(label, f4(st.ExecMS()), f1(lat), fmt.Sprintf("%d", served))
-		return nil
-	}
-	if err := run("PIM only", gpu.HostTraffic{}); err != nil {
-		return nil, err
-	}
-	if err := run("host in other group (FGA)", gpu.HostTraffic{PerChannel: 64, EveryN: 50, Group: 1}); err != nil {
-		return nil, err
-	}
-	if err := run("host in PIM group (conservatively ordered)", gpu.HostTraffic{PerChannel: 64, EveryN: 50, Group: 0}); err != nil {
-		return nil, err
+	cur := cursor{res: res}
+	for _, s := range ablationHostScenarios {
+		r := cur.next()
+		t.AddRow(s.label, f4(r.Run.ExecMS()), f1(r.HostLatency), fmt.Sprintf("%d", r.HostServed))
 	}
 	return t, nil
 }

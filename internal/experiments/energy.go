@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orderlight/internal/config"
+	"orderlight/internal/runner"
 	"orderlight/internal/stats"
 )
 
@@ -26,6 +27,26 @@ func energyParams(cfg config.Config) stats.EnergyParams {
 // very different runtimes — the fence loses once on delay and again on
 // energy, which the energy-delay product makes stark.
 func AblationEnergy(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("ablation-energy", cfg, sc)
+}
+
+var energyPrimitives = []config.Primitive{
+	config.PrimitiveFence, config.PrimitiveSeqno, config.PrimitiveOrderLight,
+}
+
+func ablationEnergyCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, prim := range energyPrimitives {
+		cell, err := simCell(withPrimitive(cfg, prim), "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func ablationEnergyAssemble(cfg config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "ablation-energy", Title: "Memory-system energy by ordering discipline (Add kernel)",
 		Columns: []string{"Primitive", "Exec ms", "Dynamic uJ", "Background uJ", "Total uJ", "EDP (nJ*s)"},
@@ -34,13 +55,9 @@ func AblationEnergy(cfg config.Config, sc Scale) (*Table, error) {
 		},
 	}
 	p := energyParams(cfg)
-	for _, prim := range []config.Primitive{
-		config.PrimitiveFence, config.PrimitiveSeqno, config.PrimitiveOrderLight,
-	} {
-		st, _, err := runKernel(withPrimitive(cfg, prim), "add", sc)
-		if err != nil {
-			return nil, err
-		}
+	cur := cursor{res: res}
+	for _, prim := range energyPrimitives {
+		st := cur.next().Run
 		e := st.EnergyBreakdown(p)
 		dynamic := e.TotalNJ() - e.BackgroundNJ
 		t.AddRow(prim.String(), f4(st.ExecMS()),

@@ -4,10 +4,9 @@ import (
 	"fmt"
 
 	"orderlight/internal/config"
-	"orderlight/internal/gpu"
 	"orderlight/internal/isa"
 	"orderlight/internal/kernel"
-	"orderlight/internal/stats"
+	"orderlight/internal/runner"
 )
 
 // Scale controls how much data each experiment pushes per channel. The
@@ -33,26 +32,36 @@ func (s Scale) orDefault() Scale {
 // TSFractions are the temporary-storage sizes every figure sweeps.
 var TSFractions = []string{"1/16", "1/8", "1/4", "1/2"}
 
-// runKernel builds and simulates one kernel under one configuration.
-func runKernel(cfg config.Config, name string, sc Scale) (*stats.Run, *kernel.Kernel, error) {
+// simCell declares one standard simulation: a named Table 2 kernel
+// under one configuration at the experiment's scale.
+func simCell(cfg config.Config, name string, sc Scale) (runner.Cell, error) {
 	spec, err := kernel.ByName(name)
 	if err != nil {
-		return nil, nil, err
+		return runner.Cell{}, err
 	}
-	k, err := kernel.Build(cfg, spec, sc.orDefault().BytesPerChannel)
-	if err != nil {
-		return nil, nil, err
+	return specCell(cfg, spec, sc.orDefault().BytesPerChannel), nil
+}
+
+// specCell declares a simulation of an explicit spec and footprint.
+func specCell(cfg config.Config, spec kernel.Spec, bytes int64) runner.Cell {
+	return runner.Cell{
+		Key:   fmt.Sprintf("%s/%v/ts=%dB", spec.Name, cfg.Run.Primitive, cfg.PIM.TSBytes),
+		Cfg:   cfg,
+		Spec:  spec,
+		Bytes: bytes,
 	}
-	m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
-	if err != nil {
-		return nil, nil, err
-	}
-	st, err := m.Run()
-	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: %s (%v, TS %dB): %w",
-			name, cfg.Run.Primitive, cfg.PIM.TSBytes, err)
-	}
-	return st, k, nil
+}
+
+// cursor walks cell results in declaration order during assembly.
+type cursor struct {
+	res []runner.Result
+	i   int
+}
+
+func (c *cursor) next() runner.Result {
+	r := c.res[c.i]
+	c.i++
+	return r
 }
 
 // withPrimitive returns cfg configured for the given primitive.
@@ -62,7 +71,9 @@ func withPrimitive(cfg config.Config, p config.Primitive) config.Config {
 }
 
 // Table1 renders the simulator configuration (paper Table 1).
-func Table1(cfg config.Config, _ Scale) (*Table, error) {
+func Table1(cfg config.Config, sc Scale) (*Table, error) { return Run("table1", cfg, sc) }
+
+func table1Assemble(cfg config.Config, _ Scale, _ []runner.Result) (*Table, error) {
 	t := &Table{ID: "table1", Title: "Simulator details", Columns: []string{"Parameter", "Value"}}
 	for _, row := range cfg.Table1() {
 		t.AddRow(row[0], row[1])
@@ -81,7 +92,9 @@ func Table1(cfg config.Config, _ Scale) (*Table, error) {
 }
 
 // Table2 renders the workload suite (paper Table 2).
-func Table2(config.Config, Scale) (*Table, error) {
+func Table2(cfg config.Config, sc Scale) (*Table, error) { return Run("table2", cfg, sc) }
+
+func table2Assemble(config.Config, Scale, []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "table2", Title: "Summary of workloads",
 		Columns: []string{"Kernel", "Description", "Compute:Memory", ">1 data structure?"},
@@ -99,7 +112,26 @@ func Table2(config.Config, Scale) (*Table, error) {
 // Fig5 measures fence overhead for the vector_add kernel: execution time
 // and waiting cycles per fence across TS sizes, with the no-fence point
 // included to show it is fast but functionally incorrect.
-func Fig5(cfg config.Config, sc Scale) (*Table, error) {
+func Fig5(cfg config.Config, sc Scale) (*Table, error) { return Run("fig5", cfg, sc) }
+
+func fig5Cells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	c, err := simCell(withPrimitive(cfg, config.PrimitiveNone).WithTSFraction("1/8"), "add", sc)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, c)
+	for _, ts := range TSFractions {
+		c, err := simCell(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
+func fig5Assemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "fig5", Title: "Fence overhead for vector_add",
 		Columns: []string{"Config", "Exec time (ms)", "Wait cycles/fence", "Functionally correct"},
@@ -107,24 +139,37 @@ func Fig5(cfg config.Config, sc Scale) (*Table, error) {
 			"Paper: fences slow vector_add by 4.5x-25x over the (incorrect) no-fence run; 165-245 wait cycles per fence.",
 		},
 	}
-	none, _, err := runKernel(withPrimitive(cfg, config.PrimitiveNone).WithTSFraction("1/8"), "add", sc)
-	if err != nil {
-		return nil, err
-	}
+	cur := cursor{res: res}
+	none := cur.next().Run
 	t.AddRow("No Fence", f4(none.ExecMS()), "0", fmt.Sprintf("%v", none.Correct))
 	for _, ts := range TSFractions {
-		st, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), "add", sc)
-		if err != nil {
-			return nil, err
-		}
+		st := cur.next().Run
 		t.AddRow("Fence "+ts+" RB", f4(st.ExecMS()), f1(st.WaitCyclesPerFence()), fmt.Sprintf("%v", st.Correct))
 	}
 	return t, nil
 }
 
+// streamGridCells declares the shared fence/OrderLight grid over the
+// five stream kernels and every TS size — the cell list Figures 10a and
+// 10b both consume (declaration order: kernel, then TS, then fence
+// before OrderLight).
+func streamGridCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, s := range kernel.Stream() {
+		for _, ts := range TSFractions {
+			for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+				cells = append(cells, specCell(withPrimitive(cfg, prim).WithTSFraction(ts), s, sc.orDefault().BytesPerChannel))
+			}
+		}
+	}
+	return cells, nil
+}
+
 // Fig10a measures PIM command and data bandwidth for the five stream
 // kernels, fence versus OrderLight, across TS sizes (BMF 16).
-func Fig10a(cfg config.Config, sc Scale) (*Table, error) {
+func Fig10a(cfg config.Config, sc Scale) (*Table, error) { return Run("fig10a", cfg, sc) }
+
+func fig10aAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "fig10a", Title: "Stream: PIM command and data bandwidth, fence vs OrderLight",
 		Columns: []string{"Kernel", "TS", "Fence GC/s", "OL GC/s", "Fence GB/s", "OL GB/s", "OL/Fence"},
@@ -132,18 +177,13 @@ func Fig10a(cfg config.Config, sc Scale) (*Table, error) {
 			"Paper: OrderLight command bandwidth averages 2.6x fence on Add; OL data bandwidth exceeds the 405 GB/s external peak by ~4.3x on average.",
 		},
 	}
+	cur := cursor{res: res}
 	var sumRatio float64
 	var nRatio int
 	for _, s := range kernel.Stream() {
 		for _, ts := range TSFractions {
-			fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), s.Name, sc)
-			if err != nil {
-				return nil, err
-			}
-			ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction(ts), s.Name, sc)
-			if err != nil {
-				return nil, err
-			}
+			fe := cur.next().Run
+			ol := cur.next().Run
 			ratio := ol.CommandBW() / fe.CommandBW()
 			sumRatio += ratio
 			nRatio++
@@ -159,7 +199,9 @@ func Fig10a(cfg config.Config, sc Scale) (*Table, error) {
 
 // Fig10b measures execution time and core stall cycles for the stream
 // kernels: GPU baseline, fence, OrderLight.
-func Fig10b(cfg config.Config, sc Scale) (*Table, error) {
+func Fig10b(cfg config.Config, sc Scale) (*Table, error) { return Run("fig10b", cfg, sc) }
+
+func fig10bAssemble(cfg config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "fig10b", Title: "Stream: execution time and core stalls (GPU / fence / OrderLight)",
 		Columns: []string{"Kernel", "TS", "GPU ms", "Fence ms", "OL ms", "Fence stalls", "OL stalls", "OL speedup vs GPU"},
@@ -167,16 +209,12 @@ func Fig10b(cfg config.Config, sc Scale) (*Table, error) {
 			"Paper: fences show little benefit over the GPU except at large TS (2-3.4x); OrderLight beats the GPU at every TS by 3.5x-7.4x on average.",
 		},
 	}
+	cur := cursor{res: res}
 	for _, s := range kernel.Stream() {
 		for _, ts := range TSFractions {
-			fe, k, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), s.Name, sc)
-			if err != nil {
-				return nil, err
-			}
-			ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction(ts), s.Name, sc)
-			if err != nil {
-				return nil, err
-			}
+			feRes := cur.next()
+			fe, k := feRes.Run, feRes.Kernel
+			ol := cur.next().Run
 			gpuMS := k.HostTime(cfg).Milliseconds()
 			t.AddRow(s.Name, ts+" RB",
 				f4(gpuMS), f4(fe.ExecMS()), f4(ol.ExecMS()),
@@ -192,7 +230,33 @@ func Fig10b(cfg config.Config, sc Scale) (*Table, error) {
 // costs tRCDW + 7*tCCDL + tWTP + tRP memory cycles, and a two-vector
 // store microkernel measured on the full machine approaches that peak
 // under OrderLight.
-func Fig11(cfg config.Config, sc Scale) (*Table, error) {
+func Fig11(cfg config.Config, sc Scale) (*Table, error) { return Run("fig11", cfg, sc) }
+
+// fig11PQSpec is the two-vector store pattern (copy's store side is the
+// closest Table 2 kernel; a dedicated p/q spec isolates the bound).
+func fig11PQSpec() kernel.Spec {
+	return kernel.Spec{
+		Name: "fig11_pq", Desc: "store p then store q per tile", ComputeRatio: "0:2",
+		DataStructs: 2, MultiDS: true,
+		Phases: []kernel.PhaseSpec{
+			{Name: "store p", Kind: isa.KindPIMStore, Vec: 0, CmdsPerN: 1},
+			{Name: "store q", Kind: isa.KindPIMStore, Vec: 1, CmdsPerN: 1},
+		},
+	}
+}
+
+func fig11Cells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	c := withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction("1/8")
+	// The measurement needs enough bursts that the 220-cycle pipe fill
+	// is amortized; enforce a floor on the footprint.
+	bytes := sc.orDefault().BytesPerChannel
+	if bytes < 256*1024 {
+		bytes = 256 * 1024
+	}
+	return []runner.Cell{specCell(c, fig11PQSpec(), bytes)}, nil
+}
+
+func fig11Assemble(cfg config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	tm := cfg.Memory.Timing
 	burst := 8
 	cycles := tm.RCDW + (burst-1)*tm.CCDL + tm.WTP + tm.RP
@@ -210,35 +274,7 @@ func Fig11(cfg config.Config, sc Scale) (*Table, error) {
 	t.AddRow("commands per row cycle", fmt.Sprintf("%d", burst))
 	t.AddRow("analytic peak (GC/s, all channels)", f2(peak))
 
-	// Measured: the two-vector store pattern (copy's store side is the
-	// closest Table 2 kernel; a dedicated p/q spec isolates the bound).
-	pq := kernel.Spec{
-		Name: "fig11_pq", Desc: "store p then store q per tile", ComputeRatio: "0:2",
-		DataStructs: 2, MultiDS: true,
-		Phases: []kernel.PhaseSpec{
-			{Name: "store p", Kind: isa.KindPIMStore, Vec: 0, CmdsPerN: 1},
-			{Name: "store q", Kind: isa.KindPIMStore, Vec: 1, CmdsPerN: 1},
-		},
-	}
-	c := withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction("1/8")
-	// The measurement needs enough bursts that the 220-cycle pipe fill
-	// is amortized; enforce a floor on the footprint.
-	bytes := sc.orDefault().BytesPerChannel
-	if bytes < 256*1024 {
-		bytes = 256 * 1024
-	}
-	k, err := kernel.Build(c, pq, bytes)
-	if err != nil {
-		return nil, err
-	}
-	m, err := gpu.NewMachine(c, k.Store, k.Programs)
-	if err != nil {
-		return nil, err
-	}
-	st, err := m.Run()
-	if err != nil {
-		return nil, err
-	}
+	st := res[0].Run
 	t.AddRow("measured OrderLight (GC/s)", f2(st.CommandBW()))
 	t.AddRow("measured / analytic peak", f2(st.CommandBW()/peak))
 	return t, nil
@@ -246,7 +282,21 @@ func Fig11(cfg config.Config, sc Scale) (*Table, error) {
 
 // Fig12 measures the application kernels: fence vs OrderLight execution
 // time, the speedup, and ordering primitives per PIM instruction.
-func Fig12(cfg config.Config, sc Scale) (*Table, error) {
+func Fig12(cfg config.Config, sc Scale) (*Table, error) { return Run("fig12", cfg, sc) }
+
+func fig12Cells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, s := range kernel.Apps() {
+		for _, ts := range TSFractions {
+			for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+				cells = append(cells, specCell(withPrimitive(cfg, prim).WithTSFraction(ts), s, sc.orDefault().BytesPerChannel))
+			}
+		}
+	}
+	return cells, nil
+}
+
+func fig12Assemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "fig12", Title: "Applications: OrderLight speedup over fence and primitive rate",
 		Columns: []string{"Kernel", "TS", "Fence ms", "OL ms", "Speedup", "Primitives/PIM instr"},
@@ -254,17 +304,12 @@ func Fig12(cfg config.Config, sc Scale) (*Table, error) {
 			"Paper: OrderLight delivers 5.5x-8.5x over fence across the suite; FC/KMeans/Gen_Fil keep high primitive rates at large TS and hence large wins.",
 		},
 	}
+	cur := cursor{res: res}
 	var minSp, maxSp float64
 	for _, s := range kernel.Apps() {
 		for _, ts := range TSFractions {
-			fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence).WithTSFraction(ts), s.Name, sc)
-			if err != nil {
-				return nil, err
-			}
-			ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight).WithTSFraction(ts), s.Name, sc)
-			if err != nil {
-				return nil, err
-			}
+			fe := cur.next().Run
+			ol := cur.next().Run
 			sp := fe.ExecMS() / ol.ExecMS()
 			if minSp == 0 || sp < minSp {
 				minSp = sp
@@ -281,7 +326,29 @@ func Fig12(cfg config.Config, sc Scale) (*Table, error) {
 
 // Fig13 sweeps the bandwidth multiplication factor for the Add kernel:
 // fence vs OrderLight vs the GPU baseline at BMF 4, 8, 16.
-func Fig13(cfg config.Config, sc Scale) (*Table, error) {
+func Fig13(cfg config.Config, sc Scale) (*Table, error) { return Run("fig13", cfg, sc) }
+
+var fig13BMFs = []int{4, 8, 16}
+
+func fig13Cells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, bmf := range fig13BMFs {
+		c := cfg
+		c.PIM.BMF = bmf
+		for _, ts := range TSFractions {
+			for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+				cell, err := simCell(withPrimitive(c, prim).WithTSFraction(ts), "add", sc)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+func fig13Assemble(cfg config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "fig13", Title: "Add kernel under different bandwidth multiplication factors",
 		Columns: []string{"BMF", "TS", "GPU ms", "Fence ms", "OL ms", "OL/fence"},
@@ -289,18 +356,14 @@ func Fig13(cfg config.Config, sc Scale) (*Table, error) {
 			"Paper: OrderLight beats fence by 1.9x-3.1x across BMFs; fence is worse than or comparable to the GPU in 8 of 12 cases, OrderLight better in 10 of 12.",
 		},
 	}
-	for _, bmf := range []int{4, 8, 16} {
+	cur := cursor{res: res}
+	for _, bmf := range fig13BMFs {
 		c := cfg
 		c.PIM.BMF = bmf
 		for _, ts := range TSFractions {
-			fe, k, err := runKernel(withPrimitive(c, config.PrimitiveFence).WithTSFraction(ts), "add", sc)
-			if err != nil {
-				return nil, err
-			}
-			ol, _, err := runKernel(withPrimitive(c, config.PrimitiveOrderLight).WithTSFraction(ts), "add", sc)
-			if err != nil {
-				return nil, err
-			}
+			feRes := cur.next()
+			fe, k := feRes.Run, feRes.Kernel
+			ol := cur.next().Run
 			t.AddRow(fmt.Sprintf("%dx", bmf), ts+" RB",
 				f4(k.HostTime(c).Milliseconds()), f4(fe.ExecMS()), f4(ol.ExecMS()),
 				f2(fe.ExecMS()/ol.ExecMS()))

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"orderlight/internal/olerrors"
+	"orderlight/internal/runner"
+)
+
+// TestParallelMatchesSequential is the engine's core guarantee: for
+// every experiment, a parallel sweep renders byte-identical markdown to
+// a sequential (parallelism 1) sweep.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq, err := RunEngine(context.Background(), runner.New(runner.Options{Parallelism: 1}), id, cfg, tinyScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := RunEngine(context.Background(), runner.New(runner.Options{Parallelism: 8}), id, cfg, tinyScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Markdown() != par.Markdown() {
+				t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					seq.Markdown(), par.Markdown())
+			}
+		})
+	}
+}
+
+// TestRunAllMatchesPerExperiment checks the flattened whole-suite sweep
+// (shared pool and kernel cache across experiment boundaries) renders
+// the same tables as running each experiment on its own.
+func TestRunAllMatchesPerExperiment(t *testing.T) {
+	cfg := tinyConfig()
+	all, err := RunAllEngine(context.Background(), runner.New(runner.Options{Parallelism: 8}), cfg, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := IDs()
+	if len(all) != len(ids) {
+		t.Fatalf("RunAll returned %d tables, want %d", len(all), len(ids))
+	}
+	for i, id := range ids {
+		one, err := Run(id, cfg, tinyScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all[i].Markdown() != one.Markdown() {
+			t.Errorf("%s: whole-suite table differs from standalone run", id)
+		}
+	}
+}
+
+// TestRunAllCancellation cancels a sweep after the first completed cell
+// and expects a prompt ErrCanceled.
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := runner.New(runner.Options{Parallelism: 1, Progress: func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}})
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunAllEngine(ctx, eng, tinyConfig(), tinyScale)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, olerrors.ErrCanceled) {
+			t.Fatalf("canceled sweep returned %v, want ErrCanceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled sweep did not return promptly")
+	}
+}
+
+// TestCellKeysNamespaced checks every declared cell carries its
+// experiment's ID prefix, so sweep errors name their origin.
+func TestCellKeysNamespaced(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range IDs() {
+		cells, err := Cells(id, cfg, tinyScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cells {
+			if len(c.Key) < len(id)+1 || c.Key[:len(id)+1] != id+"/" {
+				t.Errorf("%s: cell key %q lacks experiment prefix", id, c.Key)
+			}
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	_, err := Run("bogus", tinyConfig(), tinyScale)
+	if !errors.Is(err, olerrors.ErrUnknownExperiment) {
+		t.Fatalf("unknown experiment returned %v, want ErrUnknownExperiment", err)
+	}
+	if _, err := Cells("bogus", tinyConfig(), tinyScale); !errors.Is(err, olerrors.ErrUnknownExperiment) {
+		t.Fatalf("Cells on unknown experiment returned %v", err)
+	}
+}

@@ -1,44 +1,59 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"orderlight/internal/config"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/runner"
 )
 
 // Runner is the signature every experiment driver shares.
 type Runner func(config.Config, Scale) (*Table, error)
 
-// registry maps experiment IDs to their drivers. IDs match the paper's
-// table/figure numbering plus the repository's own ablations.
-var registry = map[string]struct {
-	run   Runner
-	title string
-}{
-	"table1":                  {Table1, "simulator configuration (paper Table 1)"},
-	"table2":                  {Table2, "workload suite (paper Table 2)"},
-	"fig5":                    {Fig5, "fence overhead for vector_add (paper Figure 5)"},
-	"fig10a":                  {Fig10a, "stream command/data bandwidth (paper Figure 10a)"},
-	"fig10b":                  {Fig10b, "stream execution time and stalls (paper Figure 10b)"},
-	"fig11":                   {Fig11, "DRAM-timing peak command bandwidth (paper Figure 11)"},
-	"fig12":                   {Fig12, "application speedups and primitive rates (paper Figure 12)"},
-	"fig13":                   {Fig13, "bandwidth-multiplication-factor sweep (paper Figure 13)"},
-	"ablation-subpart":        {AblationSubPartitions, "ablation: L2 sub-partition count vs copy-and-merge cost"},
-	"ablation-host":           {AblationHostConcurrency, "ablation: concurrent host traffic under fine-grained arbitration"},
-	"ablation-placement":      {AblationPlacement, "ablation: operand placement across memory-groups (per-group ordering)"},
-	"ablation-ooo":            {AblationOoOHost, "ablation: OoO-CPU host under reservation-station reordering (§9)"},
-	"ablation-counters":       {AblationCounters, "ablation: per-SM OrderLight counter budget (§5.3.1)"},
-	"ablation-energy":         {AblationEnergy, "ablation: memory-system energy and EDP by ordering discipline"},
-	"ablation-noc":            {AblationNoC, "ablation: adaptive multi-route NoC divergence (§9)"},
-	"ablation-refresh":        {AblationRefresh, "ablation: all-bank DRAM refresh impact"},
-	"ablation-sched":          {AblationSched, "ablation: FR-FCFS vs strict FCFS scheduling"},
-	"related-seqno":           {RelatedSeqno, "related work: sequence-number ordering with credits (Kim et al., §8.1)"},
-	"sensitivity-sms":         {SensitivitySMs, "sensitivity: PIM-kernel SM apportionment (§6)"},
-	"taxonomy-arbitration":    {TaxonomyArbitration, "taxonomy: host QoS under fine vs coarse arbitration (§3.2)"},
-	"validation-hostbw":       {ValidationHostBW, "validation: measured host streaming bandwidth vs roofline assumption"},
-	"sensitivity-granularity": {SensitivityGranularity, "sensitivity: offload granularity break-even (§3.5)"},
+// decl is the declarative form of an experiment: cells enumerates the
+// grid of independent simulations, assemble turns their results —
+// delivered in declaration order — into the rendered table. The split
+// is what lets the runner engine execute every cell of every experiment
+// on one worker pool while output stays byte-identical to a sequential
+// run.
+type decl struct {
+	title    string
+	cells    func(config.Config, Scale) ([]runner.Cell, error)
+	assemble func(config.Config, Scale, []runner.Result) (*Table, error)
+}
+
+// noCells is the cell enumerator of purely descriptive experiments
+// (Table 1 and Table 2 render configuration, not simulation).
+func noCells(config.Config, Scale) ([]runner.Cell, error) { return nil, nil }
+
+// registry maps experiment IDs to their declarations. IDs match the
+// paper's table/figure numbering plus the repository's own ablations.
+var registry = map[string]decl{
+	"table1":                  {"simulator configuration (paper Table 1)", noCells, table1Assemble},
+	"table2":                  {"workload suite (paper Table 2)", noCells, table2Assemble},
+	"fig5":                    {"fence overhead for vector_add (paper Figure 5)", fig5Cells, fig5Assemble},
+	"fig10a":                  {"stream command/data bandwidth (paper Figure 10a)", streamGridCells, fig10aAssemble},
+	"fig10b":                  {"stream execution time and stalls (paper Figure 10b)", streamGridCells, fig10bAssemble},
+	"fig11":                   {"DRAM-timing peak command bandwidth (paper Figure 11)", fig11Cells, fig11Assemble},
+	"fig12":                   {"application speedups and primitive rates (paper Figure 12)", fig12Cells, fig12Assemble},
+	"fig13":                   {"bandwidth-multiplication-factor sweep (paper Figure 13)", fig13Cells, fig13Assemble},
+	"ablation-subpart":        {"ablation: L2 sub-partition count vs copy-and-merge cost", ablationSubPartCells, ablationSubPartAssemble},
+	"ablation-host":           {"ablation: concurrent host traffic under fine-grained arbitration", ablationHostCells, ablationHostAssemble},
+	"ablation-placement":      {"ablation: operand placement across memory-groups (per-group ordering)", ablationPlacementCells, ablationPlacementAssemble},
+	"ablation-ooo":            {"ablation: OoO-CPU host under reservation-station reordering (§9)", ablationOoOCells, ablationOoOAssemble},
+	"ablation-counters":       {"ablation: per-SM OrderLight counter budget (§5.3.1)", ablationCountersCells, ablationCountersAssemble},
+	"ablation-energy":         {"ablation: memory-system energy and EDP by ordering discipline", ablationEnergyCells, ablationEnergyAssemble},
+	"ablation-noc":            {"ablation: adaptive multi-route NoC divergence (§9)", ablationNoCCells, ablationNoCAssemble},
+	"ablation-refresh":        {"ablation: all-bank DRAM refresh impact", ablationRefreshCells, ablationRefreshAssemble},
+	"ablation-sched":          {"ablation: FR-FCFS vs strict FCFS scheduling", ablationSchedCells, ablationSchedAssemble},
+	"related-seqno":           {"related work: sequence-number ordering with credits (Kim et al., §8.1)", relatedSeqnoCells, relatedSeqnoAssemble},
+	"sensitivity-sms":         {"sensitivity: PIM-kernel SM apportionment (§6)", sensitivitySMsCells, sensitivitySMsAssemble},
+	"taxonomy-arbitration":    {"taxonomy: host QoS under fine vs coarse arbitration (§3.2)", taxonomyArbitrationCells, taxonomyArbitrationAssemble},
+	"validation-hostbw":       {"validation: measured host streaming bandwidth vs roofline assumption", validationHostBWCells, validationHostBWAssemble},
+	"sensitivity-granularity": {"sensitivity: offload granularity break-even (§3.5)", sensitivityGranularityCells, sensitivityGranularityAssemble},
 }
 
 // IDs lists every experiment, paper figures first, then ablations,
@@ -60,41 +75,91 @@ func IDs() []string {
 // Title returns an experiment's one-line description.
 func Title(id string) string { return registry[id].title }
 
-// Run executes one experiment by ID.
-func Run(id string, cfg config.Config, sc Scale) (*Table, error) {
-	e, ok := registry[id]
+// Cells enumerates an experiment's independent simulation cells, with
+// every cell key prefixed by the experiment ID. An unknown ID is
+// reported wrapping olerrors.ErrUnknownExperiment.
+func Cells(id string, cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	d, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+		return nil, fmt.Errorf("experiments: %w %q (known: %v)", olerrors.ErrUnknownExperiment, id, IDs())
 	}
-	return e.run(cfg, sc)
+	cells, err := d.cells(cfg, sc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	for i := range cells {
+		cells[i].Key = id + "/" + cells[i].Key
+	}
+	return cells, nil
 }
 
-// RunAll executes every experiment in IDs() order. Experiments are
-// independent simulations, so they run concurrently (bounded by
-// GOMAXPROCS via the runtime); results come back in IDs() order and any
-// error aborts with the first failing experiment named.
-func RunAll(cfg config.Config, sc Scale) ([]*Table, error) {
-	ids := IDs()
-	out := make([]*Table, len(ids))
-	errs := make([]error, len(ids))
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		wg.Add(1)
-		go func(i int, id string) {
-			defer wg.Done()
-			t, err := Run(id, cfg, sc)
-			if err != nil {
-				errs[i] = fmt.Errorf("experiments: %s: %w", id, err)
-				return
-			}
-			out[i] = t
-		}(i, id)
+// Assemble renders an experiment's table from its cell results (in
+// declaration order, as the runner returns them).
+func Assemble(id string, cfg config.Config, sc Scale, res []runner.Result) (*Table, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %w %q (known: %v)", olerrors.ErrUnknownExperiment, id, IDs())
 	}
-	wg.Wait()
-	for _, err := range errs {
+	t, err := d.assemble(cfg, sc, res)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return t, nil
+}
+
+// RunEngine executes one experiment by ID on the given engine.
+func RunEngine(ctx context.Context, eng *runner.Engine, id string, cfg config.Config, sc Scale) (*Table, error) {
+	cells, err := Cells(id, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(ctx, cells)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return Assemble(id, cfg, sc, res)
+}
+
+// Run executes one experiment by ID with a default engine (full
+// parallelism, kernel cache on). Results are deterministic: cell
+// simulations are independent and reassembly follows declaration order.
+func Run(id string, cfg config.Config, sc Scale) (*Table, error) {
+	return RunEngine(context.Background(), runner.New(runner.Options{}), id, cfg, sc)
+}
+
+// RunAllEngine executes every experiment in IDs() order on the given
+// engine. All experiments' cells are flattened into one list first, so
+// the pool stays saturated across experiment boundaries and the kernel
+// cache is shared by the whole sweep; tables come back in IDs() order.
+func RunAllEngine(ctx context.Context, eng *runner.Engine, cfg config.Config, sc Scale) ([]*Table, error) {
+	ids := IDs()
+	var all []runner.Cell
+	spans := make([][2]int, len(ids))
+	for i, id := range ids {
+		cells, err := Cells(id, cfg, sc)
 		if err != nil {
 			return nil, err
 		}
+		spans[i] = [2]int{len(all), len(all) + len(cells)}
+		all = append(all, cells...)
+	}
+	res, err := eng.Run(ctx, all)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	out := make([]*Table, len(ids))
+	for i, id := range ids {
+		t, err := Assemble(id, cfg, sc, res[spans[i][0]:spans[i][1]])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
 	}
 	return out, nil
+}
+
+// RunAll executes every experiment with a default engine. Output is
+// byte-identical to a sequential (parallelism 1) sweep.
+func RunAll(cfg config.Config, sc Scale) ([]*Table, error) {
+	return RunAllEngine(context.Background(), runner.New(runner.Options{}), cfg, sc)
 }

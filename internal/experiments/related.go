@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orderlight/internal/config"
+	"orderlight/internal/runner"
 )
 
 // RelatedSeqno compares OrderLight against the sequence-number ordering
@@ -17,6 +18,35 @@ import (
 //   - strict per-request order also forfeits FR-FCFS's freedom to
 //     reorder independent requests within a phase.
 func RelatedSeqno(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("related-seqno", cfg, sc)
+}
+
+var seqnoCredits = []int{8, 32, 128}
+
+func relatedSeqnoCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	fe, err := simCell(withPrimitive(cfg, config.PrimitiveFence), "add", sc)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, fe)
+	for _, credits := range seqnoCredits {
+		c := withPrimitive(cfg, config.PrimitiveSeqno)
+		c.Run.SeqnoCredits = credits
+		cell, err := simCell(c, "add", sc)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	ol, err := simCell(withPrimitive(cfg, config.PrimitiveOrderLight), "add", sc)
+	if err != nil {
+		return nil, err
+	}
+	return append(cells, ol), nil
+}
+
+func relatedSeqnoAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "related-seqno", Title: "OrderLight vs sequence-number ordering (Kim et al., §8.1)",
 		Columns: []string{"Mechanism", "Exec ms", "Cmd GC/s", "Stall cycles", "MC buffering needed", "Correct"},
@@ -24,29 +54,19 @@ func RelatedSeqno(cfg config.Config, sc Scale) (*Table, error) {
 			"Sequence numbers serialize every PIM request at the controller and pay a credit round trip; OrderLight orders only at phase boundaries and needs no credit state.",
 		},
 	}
-	fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence), "add", sc)
-	if err != nil {
-		return nil, err
-	}
+	cur := cursor{res: res}
+	fe := cur.next().Run
 	t.AddRow("fence", f4(fe.ExecMS()), f2(fe.CommandBW()),
 		fmt.Sprintf("%d", fe.StallCycles()), "none", fmt.Sprintf("%v", fe.Correct))
 
-	for _, credits := range []int{8, 32, 128} {
-		c := withPrimitive(cfg, config.PrimitiveSeqno)
-		c.Run.SeqnoCredits = credits
-		st, _, err := runKernel(c, "add", sc)
-		if err != nil {
-			return nil, err
-		}
+	for _, credits := range seqnoCredits {
+		st := cur.next().Run
 		t.AddRow(fmt.Sprintf("seqno (%d credits)", credits), f4(st.ExecMS()), f2(st.CommandBW()),
 			fmt.Sprintf("%d", st.StallCycles()),
 			fmt.Sprintf("%d entries/warp", credits), fmt.Sprintf("%v", st.Correct))
 	}
 
-	ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight), "add", sc)
-	if err != nil {
-		return nil, err
-	}
+	ol := cur.next().Run
 	t.AddRow("OrderLight", f4(ol.ExecMS()), f2(ol.CommandBW()),
 		fmt.Sprintf("%d", ol.StallCycles()), "none", fmt.Sprintf("%v", ol.Correct))
 	return t, nil

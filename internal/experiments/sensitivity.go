@@ -6,6 +6,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/gpu"
 	"orderlight/internal/kernel"
+	"orderlight/internal/runner"
 )
 
 // SensitivitySMs reproduces the §6 observation about host-compute
@@ -16,6 +17,45 @@ import (
 // PIM kernel occupies and shows fence performance is flat (core time is
 // all stall) while OrderLight speeds up with more front-end width.
 func SensitivitySMs(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("sensitivity-sms", cfg, sc)
+}
+
+var smCounts = []int{2, 4, 8}
+
+// smApportionments lists the (SMs, warps/SM) splits that divide the
+// channel count evenly — the grid both the cell list and the table walk.
+func smApportionments(cfg config.Config) [][2]int {
+	var out [][2]int
+	for _, sms := range smCounts {
+		if cfg.Memory.Channels%sms != 0 {
+			continue
+		}
+		out = append(out, [2]int{sms, cfg.Memory.Channels / sms})
+	}
+	return out
+}
+
+func sensitivitySMsCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		return nil, err
+	}
+	// Use the group-spread Add variant: with bank-group parallelism the
+	// DRAM stops being the sole bound and front-end width shows.
+	spread := kernel.WithSpread(spec)
+	var cells []runner.Cell
+	for _, ap := range smApportionments(cfg) {
+		c := cfg
+		c.GPU.PIMSMs = ap[0]
+		c.GPU.WarpsPerSM = ap[1]
+		for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+			cells = append(cells, specCell(withPrimitive(c, prim), spread, sc.orDefault().BytesPerChannel))
+		}
+	}
+	return cells, nil
+}
+
+func sensitivitySMsAssemble(cfg config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "sensitivity-sms", Title: "PIM-kernel SM apportionment (§6 baseline-limitations discussion)",
 		Columns: []string{"SMs (warps/SM)", "Fence ms", "OL ms", "OL gain from SMs"},
@@ -23,50 +63,15 @@ func SensitivitySMs(cfg config.Config, sc Scale) (*Table, error) {
 			"Fence runs are stall-bound and insensitive to front-end width; OrderLight converts extra SMs into command throughput until the DRAM bound.",
 		},
 	}
-	// Use the group-spread Add variant: with bank-group parallelism the
-	// DRAM stops being the sole bound and front-end width shows.
-	spec, err := kernel.ByName("add")
-	if err != nil {
-		return nil, err
-	}
-	spread := kernel.WithSpread(spec)
-	channels := cfg.Memory.Channels
+	cur := cursor{res: res}
 	var olBase float64
-	for _, sms := range []int{2, 4, 8} {
-		if channels%sms != 0 {
-			continue
-		}
-		c := cfg
-		c.GPU.PIMSMs = sms
-		c.GPU.WarpsPerSM = channels / sms
-		runOne := func(prim config.Primitive) (float64, error) {
-			cc := withPrimitive(c, prim)
-			k, err := kernel.Build(cc, spread, sc.orDefault().BytesPerChannel)
-			if err != nil {
-				return 0, err
-			}
-			m, err := gpu.NewMachine(cc, k.Store, k.Programs)
-			if err != nil {
-				return 0, err
-			}
-			st, err := m.Run()
-			if err != nil {
-				return 0, err
-			}
-			return st.ExecMS(), nil
-		}
-		feMS, err := runOne(config.PrimitiveFence)
-		if err != nil {
-			return nil, err
-		}
-		olMS, err := runOne(config.PrimitiveOrderLight)
-		if err != nil {
-			return nil, err
-		}
+	for _, ap := range smApportionments(cfg) {
+		feMS := cur.next().Run.ExecMS()
+		olMS := cur.next().Run.ExecMS()
 		if olBase == 0 {
 			olBase = olMS
 		}
-		t.AddRow(fmt.Sprintf("%d (%d)", sms, channels/sms),
+		t.AddRow(fmt.Sprintf("%d (%d)", ap[0], ap[1]),
 			f4(feMS), f4(olMS), f2(olBase/olMS))
 	}
 	return t, nil
@@ -79,6 +84,26 @@ func SensitivitySMs(cfg config.Config, sc Scale) (*Table, error) {
 // point against the GPU baseline sits at a far smaller offload than the
 // fence's.
 func SensitivityGranularity(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("sensitivity-granularity", cfg, sc)
+}
+
+var granularityBytes = []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+
+func sensitivityGranularityCells(cfg config.Config, _ Scale) ([]runner.Cell, error) {
+	var cells []runner.Cell
+	for _, bytes := range granularityBytes {
+		for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+			cell, err := simCell(withPrimitive(cfg, prim), "add", Scale{BytesPerChannel: bytes})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func sensitivityGranularityAssemble(cfg config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "sensitivity-granularity", Title: "Offload granularity: PIM speedup vs kernel footprint",
 		Columns: []string{"Bytes/channel", "GPU ms", "Fence ms", "OL ms", "Fence vs GPU", "OL vs GPU"},
@@ -86,24 +111,12 @@ func SensitivityGranularity(cfg config.Config, sc Scale) (*Table, error) {
 			"Fine-grained offload pays off only if small offloads win; OrderLight crosses break-even at a much smaller footprint than fences (§3.5).",
 		},
 	}
-	spec, err := kernel.ByName("add")
-	if err != nil {
-		return nil, err
-	}
-	for _, bytes := range []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
-		k, err := kernel.Build(withPrimitive(cfg, config.PrimitiveFence), spec, bytes)
-		if err != nil {
-			return nil, err
-		}
+	cur := cursor{res: res}
+	for _, bytes := range granularityBytes {
+		feRes := cur.next()
+		fe, k := feRes.Run, feRes.Kernel
+		ol := cur.next().Run
 		gpuMS := gpu.HostTime(cfg, k.HostBytes, k.HostOps).Milliseconds()
-		fe, _, err := runKernel(withPrimitive(cfg, config.PrimitiveFence), "add", Scale{BytesPerChannel: bytes})
-		if err != nil {
-			return nil, err
-		}
-		ol, _, err := runKernel(withPrimitive(cfg, config.PrimitiveOrderLight), "add", Scale{BytesPerChannel: bytes})
-		if err != nil {
-			return nil, err
-		}
 		t.AddRow(fmt.Sprintf("%d", bytes),
 			f4(gpuMS), f4(fe.ExecMS()), f4(ol.ExecMS()),
 			f2(gpuMS/fe.ExecMS()), f2(gpuMS/ol.ExecMS()))

@@ -4,6 +4,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/gpu"
 	"orderlight/internal/kernel"
+	"orderlight/internal/runner"
 )
 
 // TaxonomyArbitration quantifies the §3 taxonomy's arbitration axis: the
@@ -14,6 +15,26 @@ import (
 // out until the PIM computation finishes — the CGA classes of §3.2/§3.3,
 // whose QoS damage the paper argues datacenters cannot accept).
 func TaxonomyArbitration(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("taxonomy-arbitration", cfg, sc)
+}
+
+func taxonomyArbitrationCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		return nil, err
+	}
+	var cells []runner.Cell
+	for _, cga := range []bool{false, true} {
+		cell := specCell(withPrimitive(cfg, config.PrimitiveOrderLight), spec, sc.orDefault().BytesPerChannel)
+		cell.Traffic = gpu.HostTraffic{
+			PerChannel: 64, EveryN: 40, Group: 2, CoarseArbitration: cga,
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func taxonomyArbitrationAssemble(_ config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "taxonomy-arbitration", Title: "Arbitration granularity: host-load latency under FGA vs CGA",
 		Columns: []string{"Arbitration", "PIM ms", "Host mean latency (core cycles)", "Latency vs FGA"},
@@ -21,40 +42,8 @@ func TaxonomyArbitration(cfg config.Config, sc Scale) (*Table, error) {
 			"CGA makes system memory inaccessible to the host for the whole PIM computation (§3.2); FGA interleaves at individual-command granularity and keeps host latency bounded by queueing, not by kernel length.",
 		},
 	}
-	run := func(label string, cga bool) (float64, error) {
-		c := withPrimitive(cfg, config.PrimitiveOrderLight)
-		spec, err := kernel.ByName("add")
-		if err != nil {
-			return 0, err
-		}
-		k, err := kernel.Build(c, spec, sc.orDefault().BytesPerChannel)
-		if err != nil {
-			return 0, err
-		}
-		m, err := gpu.NewMachine(c, k.Store, k.Programs)
-		if err != nil {
-			return 0, err
-		}
-		m.SetHostTraffic(gpu.HostTraffic{
-			PerChannel: 64, EveryN: 40, Group: 2, CoarseArbitration: cga,
-		})
-		st, err := m.Run()
-		if err != nil {
-			return 0, err
-		}
-		lat, _ := m.HostLatency()
-		t.AddRow(label, f4(st.ExecMS()), f1(lat), "")
-		return lat, nil
-	}
-	fga, err := run("fine-grained (FGA)", false)
-	if err != nil {
-		return nil, err
-	}
-	cga, err := run("coarse-grained (CGA)", true)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows[0][3] = "1.00"
-	t.Rows[1][3] = f2(cga / fga)
+	fga, cga := res[0], res[1]
+	t.AddRow("fine-grained (FGA)", f4(fga.Run.ExecMS()), f1(fga.HostLatency), "1.00")
+	t.AddRow("coarse-grained (CGA)", f4(cga.Run.ExecMS()), f1(cga.HostLatency), f2(cga.HostLatency/fga.HostLatency))
 	return t, nil
 }

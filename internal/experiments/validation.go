@@ -6,6 +6,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/gpu"
 	"orderlight/internal/kernel"
+	"orderlight/internal/runner"
 )
 
 // ValidationHostBW measures the GPU baseline on the simulator itself:
@@ -15,6 +16,30 @@ import (
 // bandwidth next to the roofline's assumed effective bandwidth so the
 // assumption is auditable.
 func ValidationHostBW(cfg config.Config, sc Scale) (*Table, error) {
+	return Run("validation-hostbw", cfg, sc)
+}
+
+var hostBWKernels = []string{"copy", "add"}
+
+func validationHostBWCells(cfg config.Config, sc Scale) ([]runner.Cell, error) {
+	// Streaming working sets do not fit in the L2 in reality; disable
+	// the tag array so the scaled-down footprint doesn't cache-hit.
+	c := cfg
+	c.GPU.L2SizeMB = 0
+	var cells []runner.Cell
+	for _, name := range hostBWKernels {
+		spec, err := kernel.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cell := specCell(c, spec, sc.orDefault().BytesPerChannel)
+		cell.Host = true
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func validationHostBWAssemble(cfg config.Config, _ Scale, res []runner.Result) (*Table, error) {
 	t := &Table{
 		ID: "validation-hostbw", Title: "Measured host streaming bandwidth vs the roofline assumption",
 		Columns: []string{"Kernel", "Host cmds", "Measured ms", "Roofline ms", "Measured GB/s", "Assumed GB/s"},
@@ -23,29 +48,15 @@ func ValidationHostBW(cfg config.Config, sc Scale) (*Table, error) {
 		},
 	}
 	assumed := gpu.HostEffectiveBW(cfg) / 1e9
-	// Streaming working sets do not fit in the L2 in reality; disable
-	// the tag array so the scaled-down footprint doesn't cache-hit.
-	cfg.GPU.L2SizeMB = 0
-	for _, name := range []string{"copy", "add"} {
-		spec, err := kernel.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		k, err := kernel.BuildHost(cfg, spec, sc.orDefault().BytesPerChannel)
-		if err != nil {
-			return nil, err
-		}
-		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
-		if err != nil {
-			return nil, err
-		}
-		st, err := m.Run()
-		if err != nil {
-			return nil, err
-		}
+	c := cfg
+	c.GPU.L2SizeMB = 0
+	cur := cursor{res: res}
+	for _, name := range hostBWKernels {
+		r := cur.next()
+		st, k := r.Run, r.Kernel
 		secs := st.ExecTime().Seconds()
-		measured := float64(st.HostCommands) * float64(cfg.Memory.BusWidthBytes) / secs / 1e9
-		roofMS := gpu.HostTime(cfg, k.HostBytes, 0).Milliseconds()
+		measured := float64(st.HostCommands) * float64(c.Memory.BusWidthBytes) / secs / 1e9
+		roofMS := gpu.HostTime(c, k.HostBytes, 0).Milliseconds()
 		t.AddRow(name, fmt.Sprintf("%d", st.HostCommands),
 			f4(st.ExecMS()), f4(roofMS), f1(measured), f1(assumed))
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"orderlight/internal/isa"
+	"orderlight/internal/olerrors"
 )
 
 // PhaseSpec is one command group within a tile.
@@ -73,8 +74,16 @@ func WithSpread(s Spec) Spec {
 }
 
 // Validate checks a (possibly user-defined) spec for structural
-// soundness before generation.
+// soundness before generation. Any violation is reported wrapping
+// olerrors.ErrInvalidSpec, so callers can classify with errors.Is.
 func (s Spec) Validate() error {
+	if err := s.validate(); err != nil {
+		return fmt.Errorf("%w: %v", olerrors.ErrInvalidSpec, err)
+	}
+	return nil
+}
+
+func (s Spec) validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("kernel: spec needs a name")
 	}
@@ -252,14 +261,15 @@ func Apps() []Spec {
 // All returns every Table 2 kernel: stream first, then applications.
 func All() []Spec { return append(Stream(), Apps()...) }
 
-// ByName finds a kernel spec by its name.
+// ByName finds a kernel spec by its name. A miss is reported wrapping
+// olerrors.ErrUnknownKernel.
 func ByName(name string) (Spec, error) {
 	for _, s := range All() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("kernel: unknown kernel %q", name)
+	return Spec{}, fmt.Errorf("kernel: %w %q (known: %v)", olerrors.ErrUnknownKernel, name, Names())
 }
 
 // Names lists every kernel name in registry order.

@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"orderlight/internal/kernel"
+)
+
+// kernelCache memoizes built kernel images keyed by everything that
+// feeds generation: the full configuration, the spec, the footprint and
+// the host/PIM variant. Sweeps revisit the same (spec, footprint,
+// config) point constantly — every ablation reuses the OrderLight Add
+// kernel, every figure revisits each TS size — so memoizing the build
+// removes a large slice of sweep time without touching determinism:
+// generation is a pure function of the key.
+//
+// Concurrent requests for the same key build once (per-entry
+// sync.Once); the shared image's mutable DRAM store is cloned for every
+// caller, while the immutable programs and accounting are shared.
+type kernelCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	k    *kernel.Kernel
+	err  error
+}
+
+func newKernelCache() *kernelCache {
+	return &kernelCache{m: make(map[string]*cacheEntry)}
+}
+
+func (c *kernelCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *kernelCache) get(cell *Cell) (*kernel.Kernel, error) {
+	key := cacheKey(cell)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+
+	built := false
+	e.once.Do(func() {
+		built = true
+		e.k, e.err = buildCell(cell)
+	})
+	if built {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	// Hand out a private copy of the store: machines write through it.
+	k := *e.k
+	k.Store = e.k.Store.Clone()
+	return &k, nil
+}
+
+// cacheKey renders the cell's generation inputs. %#v over the config
+// and spec is deterministic (value types only, no pointers or maps) and
+// covers every field Build reads, including the ordering primitive and
+// the seed; host traffic is deliberately excluded because it does not
+// affect kernel generation.
+func cacheKey(c *Cell) string {
+	return fmt.Sprintf("%#v|%#v|%d|%t", c.Cfg, c.Spec, c.Bytes, c.Host)
+}

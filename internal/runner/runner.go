@@ -1,0 +1,283 @@
+// Package runner is the parallel experiment engine: it executes flat
+// lists of independent simulation cells (kernel x primitive x scale)
+// across a bounded goroutine pool and hands the results back in
+// declaration order, so a parallel sweep is byte-identical to a
+// sequential one.
+//
+// Each cell is one complete simulation: build (or fetch from the kernel
+// cache) a kernel image, assemble a machine, run it, collect the
+// measurements. Cells never share mutable state — the cache clones the
+// DRAM store per use — which is what makes the fan-out safe. A
+// panicking cell is recovered into a typed *CellError wrapping
+// olerrors.ErrCellPanic instead of crashing the sweep, and a canceled
+// context stops the pool at the next cell boundary with
+// olerrors.ErrCanceled.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/stats"
+)
+
+// Cell is one independent simulation in an experiment grid.
+type Cell struct {
+	// Key identifies the cell in errors and logs, e.g.
+	// "fig10a/add/fence/ts=1/8".
+	Key string
+
+	Cfg   config.Config
+	Spec  kernel.Spec
+	Bytes int64 // per-channel footprint of the primary data structure
+
+	// Host builds the host-streaming program (the validation baseline)
+	// instead of the PIM kernel.
+	Host bool
+
+	// Traffic injects synthetic concurrent host loads (zero disables).
+	Traffic gpu.HostTraffic
+
+	// hook, when set, runs at the start of the cell's execution. It is a
+	// package-private test seam for exercising panic recovery.
+	hook func()
+}
+
+// Result holds everything one cell's simulation produced.
+type Result struct {
+	Run    *stats.Run
+	Kernel *kernel.Kernel
+
+	// Concurrent-host measurements (zero when the cell had no Traffic).
+	HostLatency float64 // mean host-load latency in core cycles
+	HostServed  int64   // host loads served
+}
+
+// CellError is the typed error a failing cell contributes to the sweep:
+// it names the cell and wraps the underlying cause (including
+// olerrors.ErrCellPanic for recovered panics), so errors.Is works on
+// the sweep-level error.
+type CellError struct {
+	Key   string
+	Index int // position in the declared cell list
+	Err   error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %d (%s): %v", e.Index, e.Key, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallelism int
+
+	// Progress, when set, is called after every completed cell with the
+	// running completion count. Calls are serialized and monotonic; the
+	// callback must be fast and must not call back into the engine.
+	Progress func(done, total int)
+
+	// DisableKernelCache turns off the built-kernel cache (every cell
+	// regenerates its kernel image from scratch).
+	DisableKernelCache bool
+}
+
+// Engine executes cell lists. An Engine is safe for concurrent use and
+// its kernel cache persists across Run calls, so one engine should
+// serve a whole sweep.
+type Engine struct {
+	par      int
+	progress func(done, total int)
+	cache    *kernelCache
+
+	mu   sync.Mutex // serializes progress callbacks
+	done int
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	e := &Engine{par: opts.Parallelism, progress: opts.Progress}
+	if !opts.DisableKernelCache {
+		e.cache = newKernelCache()
+	}
+	return e
+}
+
+// CacheStats reports built-kernel cache hits and misses accumulated
+// over the engine's lifetime (both zero when the cache is disabled).
+func (e *Engine) CacheStats() (hits, misses int64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
+}
+
+// Run executes the cells and returns their results in declaration
+// order. The first failing cell (in declaration order) aborts the
+// sweep: already-running cells finish, unstarted cells never start, and
+// the returned error is a *CellError naming the culprit. A canceled
+// context yields an error wrapping olerrors.ErrCanceled unless a
+// non-cancellation failure happened first.
+func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
+	total := len(cells)
+	results := make([]Result, total)
+	errs := make([]error, total)
+
+	par := e.par
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > total {
+		par = total
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		stopped bool
+		wg      sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || next >= total {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	finish := func(i int, err error) {
+		mu.Lock()
+		errs[i] = err
+		if err != nil {
+			stopped = true
+		}
+		mu.Unlock()
+		e.tick(total)
+	}
+
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if cerr := ctx.Err(); cerr != nil {
+					finish(i, &CellError{Key: cells[i].Key, Index: i,
+						Err: fmt.Errorf("%w: %v", olerrors.ErrCanceled, cerr)})
+					continue
+				}
+				res, err := e.runCell(&cells[i])
+				if err != nil {
+					finish(i, &CellError{Key: cells[i].Key, Index: i, Err: err})
+					continue
+				}
+				results[i] = res
+				finish(i, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Prefer a real failure over a cancellation artifact: a canceled
+	// sweep marks every unfinished cell with ErrCanceled, which must not
+	// shadow the genuine error that may hide behind it.
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, olerrors.ErrCanceled) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("runner: %w: %v", olerrors.ErrCanceled, cerr)
+	}
+	return results, nil
+}
+
+// tick advances the completion counter and reports progress. The
+// engine-level mutex keeps callbacks serialized and counts monotonic
+// even when several Run calls share the engine.
+func (e *Engine) tick(total int) {
+	if e.progress == nil {
+		e.mu.Lock()
+		e.done++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done++
+	e.progress(e.done, total)
+}
+
+// runCell executes one simulation with panic recovery.
+func (e *Engine) runCell(c *Cell) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v\n%s", olerrors.ErrCellPanic, r, debug.Stack())
+		}
+	}()
+	if c.hook != nil {
+		c.hook()
+	}
+
+	k, err := e.buildKernel(c)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := gpu.NewMachine(c.Cfg, k.Store, k.Programs)
+	if err != nil {
+		return Result{}, err
+	}
+	if c.Traffic.PerChannel > 0 {
+		m.SetHostTraffic(c.Traffic)
+	}
+	st, err := m.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s (%v, TS %dB): %w",
+			c.Spec.Name, c.Cfg.Run.Primitive, c.Cfg.PIM.TSBytes, err)
+	}
+	lat, served := m.HostLatency()
+	return Result{Run: st, Kernel: k, HostLatency: lat, HostServed: served}, nil
+}
+
+// buildKernel generates or fetches the cell's kernel image. Cached
+// kernels share their immutable parts (programs, accounting); the
+// mutable DRAM store is cloned per use so concurrent runs never alias.
+func (e *Engine) buildKernel(c *Cell) (*kernel.Kernel, error) {
+	if e.cache == nil {
+		return buildCell(c)
+	}
+	return e.cache.get(c)
+}
+
+func buildCell(c *Cell) (*kernel.Kernel, error) {
+	if c.Host {
+		return kernel.BuildHost(c.Cfg, c.Spec, c.Bytes)
+	}
+	return kernel.Build(c.Cfg, c.Spec, c.Bytes)
+}

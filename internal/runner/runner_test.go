@@ -1,0 +1,170 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/kernel"
+	"orderlight/internal/olerrors"
+)
+
+// testConfig shrinks the machine for test speed.
+func testConfig() config.Config {
+	cfg := config.Default()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+	cfg.Run.DeadlineMS = 50
+	return cfg
+}
+
+// testCells declares a small grid: two kernels under two primitives.
+func testCells(t *testing.T) []Cell {
+	t.Helper()
+	var cells []Cell
+	for _, name := range []string{"copy", "add"} {
+		spec, err := kernel.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+			cfg := testConfig()
+			cfg.Run.Primitive = prim
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("%s/%v", name, prim), Cfg: cfg, Spec: spec, Bytes: 8 << 10,
+			})
+		}
+	}
+	return cells
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	cells := testCells(t)
+	seq, err := New(Options{Parallelism: 1}).Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Options{Parallelism: 8}).Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(cells) || len(par) != len(cells) {
+		t.Fatalf("result lengths %d/%d, want %d", len(seq), len(par), len(cells))
+	}
+	for i := range seq {
+		if seq[i].Run.String() != par[i].Run.String() {
+			t.Errorf("cell %d (%s): sequential and parallel results differ:\n%s\nvs\n%s",
+				i, cells[i].Key, seq[i].Run, par[i].Run)
+		}
+	}
+}
+
+func TestRunRecoversPanicsAsCellError(t *testing.T) {
+	cells := testCells(t)
+	cells[2].hook = func() { panic("boom") }
+	_, err := New(Options{Parallelism: 4}).Run(context.Background(), cells)
+	if err == nil {
+		t.Fatal("panicking cell did not fail the sweep")
+	}
+	if !errors.Is(err, olerrors.ErrCellPanic) {
+		t.Errorf("error %v does not wrap ErrCellPanic", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *CellError", err)
+	}
+	if ce.Index != 2 || ce.Key != cells[2].Key {
+		t.Errorf("CellError names cell %d (%q), want 2 (%q)", ce.Index, ce.Key, cells[2].Key)
+	}
+}
+
+func TestRunPrefersRealErrorOverCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cells := testCells(t)
+	// The first claimed cell fails and cancels the rest; the sweep must
+	// report the panic, not the cancellation it caused.
+	cells[0].hook = func() { cancel(); panic("boom") }
+	_, err := New(Options{Parallelism: 1}).Run(ctx, cells)
+	if !errors.Is(err, olerrors.ErrCellPanic) {
+		t.Errorf("error %v does not wrap ErrCellPanic", err)
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(Options{}).Run(ctx, testCells(t))
+	if !errors.Is(err, olerrors.ErrCanceled) {
+		t.Fatalf("canceled run returned %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunEmptyCellList(t *testing.T) {
+	res, err := New(Options{}).Run(context.Background(), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty run = (%v, %v), want ([], nil)", res, err)
+	}
+}
+
+func TestProgressMonotonic(t *testing.T) {
+	var seen []int
+	var totals []int
+	eng := New(Options{Parallelism: 4, Progress: func(done, total int) {
+		seen = append(seen, done)
+		totals = append(totals, total)
+	}})
+	cells := testCells(t)
+	if _, err := eng.Run(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("progress called %d times, want %d", len(seen), len(cells))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress counts %v not monotonic", seen)
+		}
+		if totals[i] != len(cells) {
+			t.Fatalf("progress total %d, want %d", totals[i], len(cells))
+		}
+	}
+}
+
+func TestKernelCacheSharing(t *testing.T) {
+	cells := testCells(t)
+	// Duplicate the grid: every cell recurs once, so half the builds
+	// must be cache hits — with identical measurements.
+	dup := append(append([]Cell{}, cells...), cells...)
+
+	eng := New(Options{Parallelism: 4})
+	res, err := eng.Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := eng.CacheStats()
+	if misses != int64(len(cells)) || hits != int64(len(cells)) {
+		t.Errorf("cache stats = %d hits / %d misses, want %d / %d",
+			hits, misses, len(cells), len(cells))
+	}
+	for i := range cells {
+		if res[i].Run.String() != res[i+len(cells)].Run.String() {
+			t.Errorf("cell %d: cached rerun differs from first run", i)
+		}
+	}
+
+	uncached := New(Options{Parallelism: 4, DisableKernelCache: true})
+	res2, err := uncached.Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := uncached.CacheStats(); h != 0 || m != 0 {
+		t.Errorf("disabled cache reported stats %d/%d", h, m)
+	}
+	for i := range dup {
+		if res[i].Run.String() != res2[i].Run.String() {
+			t.Errorf("cell %d: cached and uncached results differ", i)
+		}
+	}
+}

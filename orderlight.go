@@ -17,16 +17,52 @@
 //	cfg.Run.Primitive = orderlight.PrimitiveOrderLight
 //	res, err := orderlight.RunKernel(cfg, "add", 256<<10)
 //	fmt.Println(res)
+//
+// Every entry point has a context-aware variant taking functional
+// options. Experiment sweeps fan their cells out across a worker pool
+// (one worker per CPU by default) while output stays byte-identical to
+// a sequential run:
+//
+//	tables, err := orderlight.RunAllExperimentsContext(ctx, cfg,
+//		orderlight.WithParallelism(4),
+//		orderlight.WithProgress(func(done, total int) {
+//			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+//		}))
+//
+// Failures are classified by the sentinel errors ErrUnknownKernel,
+// ErrUnknownExperiment, ErrInvalidSpec and ErrCanceled; match them
+// with errors.Is.
 package orderlight
 
 import (
+	"context"
+
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
 	"orderlight/internal/gpu"
 	"orderlight/internal/isa"
 	"orderlight/internal/kernel"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/runner"
 	"orderlight/internal/stats"
 	"orderlight/internal/trace"
+)
+
+// Sentinel errors every failure from this package can be classified
+// against with errors.Is. They are re-exports of internal/olerrors, so
+// internal packages and public callers match the same values.
+var (
+	// ErrUnknownKernel reports a workload name outside Table 2.
+	ErrUnknownKernel = olerrors.ErrUnknownKernel
+	// ErrUnknownExperiment reports an experiment ID outside Experiments().
+	ErrUnknownExperiment = olerrors.ErrUnknownExperiment
+	// ErrInvalidSpec reports a structurally invalid kernel spec or config.
+	ErrInvalidSpec = olerrors.ErrInvalidSpec
+	// ErrCanceled reports a sweep stopped by its context.
+	ErrCanceled = olerrors.ErrCanceled
+	// ErrCellPanic reports an experiment cell that panicked; the sweep
+	// recovers it into an error instead of crashing.
+	ErrCellPanic = olerrors.ErrCellPanic
 )
 
 // Config is the complete simulator configuration (Table 1 plus PIM and
@@ -160,18 +196,98 @@ func NewMachine(cfg Config, k *Kernel) (*Machine, error) {
 	return gpu.NewMachine(cfg, k.Store, k.Programs)
 }
 
+// Option adjusts how a context-aware entry point executes. Options
+// never change simulation results — parallelism, progress reporting and
+// caching are invisible in the output, which stays byte-identical to a
+// sequential run.
+type Option func(*runOptions)
+
+type runOptions struct {
+	parallelism  int
+	progress     func(done, total int)
+	disableCache bool
+	scale        Scale
+}
+
+// WithParallelism bounds the sweep's worker pool to n goroutines.
+// n <= 0 (and the default) means one worker per CPU (GOMAXPROCS);
+// WithParallelism(1) forces a fully sequential run.
+func WithParallelism(n int) Option {
+	return func(o *runOptions) { o.parallelism = n }
+}
+
+// WithProgress installs a callback invoked after every completed
+// simulation cell with the running completion count. Calls are
+// serialized and monotonic; the callback must be fast and must not call
+// back into this package.
+func WithProgress(fn func(done, total int)) Option {
+	return func(o *runOptions) { o.progress = fn }
+}
+
+// WithKernelCache enables or disables the built-kernel cache (enabled
+// by default). The cache shares one generated kernel image among every
+// cell with identical (config, spec, footprint); each use gets its own
+// copy of the mutable memory image, so results are unaffected.
+func WithKernelCache(enabled bool) Option {
+	return func(o *runOptions) { o.disableCache = !enabled }
+}
+
+// WithScale overrides the data footprint experiments simulate (the
+// zero Scale means the default 256 KiB per channel).
+func WithScale(sc Scale) Option {
+	return func(o *runOptions) { o.scale = sc }
+}
+
+// engine assembles the runner engine an option set describes.
+func (o *runOptions) engine() *runner.Engine {
+	return runner.New(runner.Options{
+		Parallelism:        o.parallelism,
+		Progress:           o.progress,
+		DisableKernelCache: o.disableCache,
+	})
+}
+
+func gather(opts []Option) *runOptions {
+	o := &runOptions{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// RunKernelContext builds and simulates a named kernel under ctx. The
+// run executes on the experiment engine, so a panic inside the
+// simulator surfaces as an error wrapping ErrCellPanic and a canceled
+// context as ErrCanceled.
+func RunKernelContext(ctx context.Context, cfg Config, name string, bytesPerChannel int64, opts ...Option) (*Result, error) {
+	spec, err := kernel.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
+	return res, err
+}
+
+// RunSpecContext builds and simulates a user-defined spec under ctx,
+// returning the measurements together with the built kernel (for
+// HostBaseline and inspection).
+func RunSpecContext(ctx context.Context, cfg Config, spec Spec, bytesPerChannel int64, opts ...Option) (*Result, *Kernel, error) {
+	return runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
+}
+
+func runSpec(ctx context.Context, cfg Config, spec Spec, bytes int64, host bool, o *runOptions) (*Result, *Kernel, error) {
+	cells := []runner.Cell{{Key: spec.Name, Cfg: cfg, Spec: spec, Bytes: bytes, Host: host}}
+	res, err := o.engine().Run(ctx, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res[0].Run, res[0].Kernel, nil
+}
+
 // RunKernel builds and simulates a named kernel and returns its
-// measurements.
+// measurements. It is RunKernelContext without cancellation.
 func RunKernel(cfg Config, name string, bytesPerChannel int64) (*Result, error) {
-	k, err := BuildKernel(cfg, name, bytesPerChannel)
-	if err != nil {
-		return nil, err
-	}
-	m, err := NewMachine(cfg, k)
-	if err != nil {
-		return nil, err
-	}
-	return m.Run()
+	return RunKernelContext(context.Background(), cfg, name, bytesPerChannel)
 }
 
 // HostBaseline returns the roofline GPU-only execution time for a built
@@ -186,12 +302,31 @@ func Experiments() []string { return experiments.IDs() }
 // ExperimentTitle returns an experiment's one-line description.
 func ExperimentTitle(id string) string { return experiments.Title(id) }
 
-// RunExperiment regenerates one paper table/figure (or ablation).
-func RunExperiment(id string, cfg Config, sc Scale) (*Table, error) {
-	return experiments.Run(id, cfg, sc)
+// RunExperimentContext regenerates one paper table/figure (or ablation)
+// under ctx, fanning its simulation cells across the worker pool.
+func RunExperimentContext(ctx context.Context, id string, cfg Config, opts ...Option) (*Table, error) {
+	o := gather(opts)
+	return experiments.RunEngine(ctx, o.engine(), id, cfg, o.scale)
 }
 
-// RunAllExperiments regenerates every table and figure.
+// RunAllExperimentsContext regenerates every table and figure under
+// ctx. All experiments' cells share one worker pool and one kernel
+// cache, so the sweep saturates the machine across experiment
+// boundaries; tables come back in Experiments() order and are
+// byte-identical to a sequential (WithParallelism(1)) run.
+func RunAllExperimentsContext(ctx context.Context, cfg Config, opts ...Option) ([]*Table, error) {
+	o := gather(opts)
+	return experiments.RunAllEngine(ctx, o.engine(), cfg, o.scale)
+}
+
+// RunExperiment regenerates one paper table/figure (or ablation). It is
+// RunExperimentContext without cancellation.
+func RunExperiment(id string, cfg Config, sc Scale) (*Table, error) {
+	return RunExperimentContext(context.Background(), id, cfg, WithScale(sc))
+}
+
+// RunAllExperiments regenerates every table and figure. It is
+// RunAllExperimentsContext without cancellation.
 func RunAllExperiments(cfg Config, sc Scale) ([]*Table, error) {
-	return experiments.RunAll(cfg, sc)
+	return RunAllExperimentsContext(context.Background(), cfg, WithScale(sc))
 }
