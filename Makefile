@@ -1,8 +1,10 @@
 GO ?= go
 SMOKE_EXP ?= fig5
 SMOKE_SIZE ?= 32768
+BENCHTIME ?= 2x
+BENCH_OUT ?= BENCH_PR2
 
-.PHONY: ci vet build test race smoke speedup bench clean
+.PHONY: ci vet build test race smoke speedup bench bench-compare profile clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
 # detector, and a parallel-vs-sequential smoke of the CLIs.
@@ -34,8 +36,11 @@ smoke:
 	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) >$$tmp/par.md 2>$$tmp/par.log; \
 	diff $$tmp/seq.md $$tmp/par.md >/dev/null || { \
 		echo "smoke: FAIL: parallel output differs from sequential"; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -dense >$$tmp/dense.md 2>$$tmp/dense.log; \
+	diff $$tmp/seq.md $$tmp/dense.md >/dev/null || { \
+		echo "smoke: FAIL: dense-engine output differs from skip-ahead"; exit 1; }; \
 	cat $$tmp/seq.log $$tmp/par.log; \
-	echo "smoke: OK (parallel output byte-identical to sequential)"
+	echo "smoke: OK (parallel and dense-engine output byte-identical)"
 
 # speedup times the full experiment sweep sequentially and in parallel.
 # Informational: the ratio tracks the core count (expect ~Nx on N CPUs,
@@ -47,8 +52,31 @@ speedup:
 	@echo "parallel (all CPUs):"; \
 	time /tmp/ol-speedup-olbench -exp all >/dev/null
 
+# bench records one point on the benchmark trajectory: the root-package
+# suite (figure regenerations, machine runs, component microbenchmarks,
+# and the Foo/FooDense engine pairs) lands in $(BENCH_OUT).txt (raw,
+# benchstat-compatible) and $(BENCH_OUT).json (parsed, with derived
+# dense-vs-skip speedups).
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) . | tee $(BENCH_OUT).txt
+	$(GO) run ./cmd/benchjson -label $(BENCH_OUT) $(BENCH_OUT).txt > $(BENCH_OUT).json
+	@echo "bench: wrote $(BENCH_OUT).txt and $(BENCH_OUT).json"
+
+# bench-compare diffs $(BENCH_OUT).json against the newest other
+# BENCH_*.json in the repository — the previous point on the trajectory.
+bench-compare:
+	@prev=$$(ls -1t BENCH_*.json 2>/dev/null | grep -vx '$(BENCH_OUT).json' | head -1); \
+	if [ -z "$$prev" ]; then \
+		echo "bench-compare: no prior BENCH_*.json trajectory point"; exit 0; fi; \
+	$(GO) run ./cmd/benchjson -compare $$prev $(BENCH_OUT).json
+
+# profile captures CPU and heap profiles of the heaviest steady
+# benchmark (whole-machine fence run); inspect with `go tool pprof`.
+profile:
+	$(GO) test -run '^$$' -bench 'MachineAddFence$$' -benchtime=$(BENCHTIME) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "profile: wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
 
 clean:
-	rm -f /tmp/ol-smoke-olsim /tmp/ol-smoke-olbench /tmp/ol-speedup-olbench
+	rm -f /tmp/ol-smoke-olsim /tmp/ol-smoke-olbench /tmp/ol-speedup-olbench \
+		cpu.pprof mem.pprof orderlight.test

@@ -1,6 +1,7 @@
 package orderlight
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"orderlight/internal/dram"
 	"orderlight/internal/experiments"
 	"orderlight/internal/isa"
+	"orderlight/internal/sim"
 )
 
 // benchScale keeps one full-figure regeneration around a second; raise
@@ -38,6 +40,21 @@ func runExperiment(b *testing.B, id string, metricRow, metricCol int, metricName
 	}
 }
 
+// runExperimentDense is runExperiment on the naive dense tick engine —
+// the parity reference. Each Dense benchmark pairs with its plain
+// counterpart; cmd/benchjson derives the skip-ahead speedup from the
+// pair, which is the number the benchmark trajectory tracks.
+func runExperimentDense(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperimentContext(context.Background(), id, cfg,
+			WithScale(benchScale), WithDenseEngine()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1Config regenerates the configuration table (Table 1).
 func BenchmarkTable1Config(b *testing.B) { runExperiment(b, "table1", -1, 0, "") }
 
@@ -49,6 +66,10 @@ func BenchmarkTable2Workloads(b *testing.B) { runExperiment(b, "table2", -1, 0, 
 func BenchmarkFig5FenceOverhead(b *testing.B) {
 	runExperiment(b, "fig5", 2, 2, "waitCycles/fence@1/8RB")
 }
+
+// BenchmarkFig5FenceOverheadDense is Figure 5 on the dense reference
+// engine (skip-ahead disabled).
+func BenchmarkFig5FenceOverheadDense(b *testing.B) { runExperimentDense(b, "fig5") }
 
 // BenchmarkFig10aStreamBandwidth regenerates Figure 10a and reports the
 // Add kernel's OrderLight command bandwidth at 1/8 RB.
@@ -73,6 +94,10 @@ func BenchmarkFig11PeakCommandBW(b *testing.B) {
 func BenchmarkFig12Applications(b *testing.B) {
 	runExperiment(b, "fig12", 0, 4, "bnFwdSpeedup@1/16RB")
 }
+
+// BenchmarkFig12ApplicationsDense is Figure 12 on the dense reference
+// engine.
+func BenchmarkFig12ApplicationsDense(b *testing.B) { runExperimentDense(b, "fig12") }
 
 // BenchmarkFig13BMFSweep regenerates Figure 13 and reports the BMF-4
 // OrderLight-over-fence ratio at 1/16 RB.
@@ -173,6 +198,52 @@ func BenchmarkMachineAddFence(b *testing.B) {
 		if _, err := RunKernel(cfg, "add", 16<<10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMachineAddOrderLightDense is the OrderLight machine run on
+// the dense reference engine.
+func BenchmarkMachineAddOrderLightDense(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Run.Primitive = PrimitiveOrderLight
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernelContext(context.Background(), cfg, "add", 32<<10, WithDenseEngine()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineAddFenceDense is the fence machine run on the dense
+// reference engine. Fence mode idles warps for most of the simulated
+// time, so this pair shows skip-ahead at its best.
+func BenchmarkMachineAddFenceDense(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Run.Primitive = PrimitiveFence
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernelContext(context.Background(), cfg, "add", 16<<10, WithDenseEngine()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeSteadyState measures the ring-buffer Pipe and Queue on
+// steady-state traffic; allocs/op must report 0.
+func BenchmarkPipeSteadyState(b *testing.B) {
+	p := sim.NewPipe[int](3, 16)
+	q := sim.NewQueue[int](16)
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 16; j++ {
+			p.Push(now, j)
+			q.Push(j)
+		}
+		for j := 0; j < 16; j++ {
+			p.Pop(now + 3)
+			q.Pop()
+		}
+		now++
 	}
 }
 

@@ -1,0 +1,268 @@
+// Command benchjson records and compares the repository's benchmark
+// trajectory. It has two modes:
+//
+//	go test -bench . -benchmem . | benchjson -label BENCH_PR2 > BENCH_PR2.json
+//	benchjson -compare BENCH_PR1.json BENCH_PR2.json
+//
+// The first parses standard `go test -bench` output (including custom
+// ReportMetric columns) into a stable JSON record and derives the
+// skip-ahead engine speedups from every Foo / FooDense benchmark pair.
+// The second diffs two such records, flagging time and allocation
+// regressions. The raw -bench text should be kept next to the JSON so
+// external tools (e.g. benchstat) can consume it directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Speedup is a derived dense-vs-skip engine comparison: benchmark Foo
+// ran on the quiescence skip-ahead engine, FooDense on the naive dense
+// reference, on identical workloads.
+type Speedup struct {
+	Benchmark string  `json:"benchmark"`
+	SkipNs    float64 `json:"skip_ns_per_op"`
+	DenseNs   float64 `json:"dense_ns_per_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// Record is one point on the benchmark trajectory.
+type Record struct {
+	Label        string      `json:"label,omitempty"`
+	GoVersion    string      `json:"go_version"`
+	GOOS         string      `json:"goos"`
+	GOARCH       string      `json:"goarch"`
+	Benchmarks   []Benchmark `json:"benchmarks"`
+	DenseVsSkip  []Speedup   `json:"dense_vs_skip,omitempty"`
+	FailedParses []string    `json:"failed_parses,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "", "label to embed in the JSON record")
+	compare := flag.Bool("compare", false, "compare two JSON records (old new) instead of parsing bench output")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rec, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rec.Label = *label
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output. A result line is
+//
+//	BenchmarkName-8   10   123456 ns/op   12 B/op   3 allocs/op   4.5 custom/unit
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			rec.FailedParses = append(rec.FailedParses, line)
+			continue
+		}
+		rec.Benchmarks = append(rec.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	rec.DenseVsSkip = deriveSpeedups(rec.Benchmarks)
+	return rec, nil
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix the test runner appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// deriveSpeedups pairs every FooDense benchmark with its Foo
+// counterpart and reports dense-time / skip-time.
+func deriveSpeedups(bs []Benchmark) []Speedup {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var out []Speedup
+	for _, b := range bs {
+		base, ok := strings.CutSuffix(b.Name, "Dense")
+		if !ok {
+			continue
+		}
+		skip, ok := byName[base]
+		if !ok || skip.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Benchmark: base,
+			SkipNs:    skip.NsPerOp,
+			DenseNs:   b.NsPerOp,
+			Speedup:   b.NsPerOp / skip.NsPerOp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}
+
+func load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// compareFiles renders a trajectory diff between two records: per
+// benchmark, time and allocation deltas, with regressions flagged.
+func compareFiles(w io.Writer, oldPath, newPath string) error {
+	oldRec, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(oldRec.Benchmarks))
+	for _, b := range oldRec.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "benchmark trajectory: %s -> %s\n\n", name(oldRec, oldPath), name(newRec, newPath))
+	fmt.Fprintf(w, "%-42s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	for _, nb := range newRec.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-42s %14s %14.0f %8s %10s\n", nb.Name, "(new)", nb.NsPerOp, "", "")
+			continue
+		}
+		delete(oldBy, nb.Name)
+		delta := "n/a"
+		if ob.NsPerOp > 0 {
+			d := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+			delta = fmt.Sprintf("%+.1f%%", d)
+			if d > 10 {
+				delta += " !"
+			}
+		}
+		allocs := fmt.Sprintf("%+.0f", nb.AllocsPerOp-ob.AllocsPerOp)
+		fmt.Fprintf(w, "%-42s %14.0f %14.0f %8s %10s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta, allocs)
+	}
+	var gone []string
+	for n := range oldBy {
+		gone = append(gone, n)
+	}
+	sort.Strings(gone)
+	for _, n := range gone {
+		fmt.Fprintf(w, "%-42s %14.0f %14s\n", n, oldBy[n].NsPerOp, "(gone)")
+	}
+	if len(newRec.DenseVsSkip) > 0 {
+		fmt.Fprintf(w, "\ndense-engine vs skip-ahead (new record):\n")
+		for _, s := range newRec.DenseVsSkip {
+			fmt.Fprintf(w, "%-42s %.2fx\n", s.Benchmark, s.Speedup)
+		}
+	}
+	return nil
+}
+
+func name(r *Record, path string) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return path
+}

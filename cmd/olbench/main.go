@@ -39,6 +39,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 		progress = flag.Bool("progress", false, "report completed cells on stderr")
 		cache    = flag.Bool("cache", true, "share built kernel images between identical cells")
+		dense    = flag.Bool("dense", false, "use the naive dense tick engine (parity/debugging reference)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -73,6 +74,9 @@ func main() {
 		orderlight.WithScale(orderlight.Scale{BytesPerChannel: *size}),
 		orderlight.WithParallelism(*parallel),
 		orderlight.WithKernelCache(*cache),
+	}
+	if *dense {
+		opts = append(opts, orderlight.WithDenseEngine())
 	}
 	if *progress {
 		opts = append(opts, orderlight.WithProgress(func(done, total int) {

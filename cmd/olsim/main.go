@@ -39,6 +39,7 @@ func main() {
 		hostKind = flag.String("host", "gpu", "host front end: gpu (SIMT warps) or cpu (OoO cores, §9)")
 		spread   = flag.Bool("spread", false, "spread tiles across memory-groups")
 		routes   = flag.Int("routes", 1, "adaptive interconnect routes per channel (§9 NoC divergence)")
+		dense    = flag.Bool("dense", false, "use the naive dense tick engine (parity/debugging reference)")
 		list     = flag.Bool("list", false, "list kernels and exit")
 	)
 	flag.Parse()
@@ -89,7 +90,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, k, err := orderlight.RunSpecContext(ctx, cfg, spec, *bytes)
+	var opts []orderlight.Option
+	if *dense {
+		opts = append(opts, orderlight.WithDenseEngine())
+	}
+	res, k, err := orderlight.RunSpecContext(ctx, cfg, spec, *bytes, opts...)
 	if err != nil {
 		fatal(err)
 	}

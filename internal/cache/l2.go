@@ -42,22 +42,24 @@ func NewSlice(channel int, geom dram.Geometry, nSub, tagLines int) *Slice {
 	if tagLines > 0 {
 		s.tags = NewTagArray(tagLines, 4)
 	}
-	s.div = &core.Diverge{
-		NPaths: nSub,
-		Route:  func(r isa.Request) int { return r.Bank % nSub },
-		GroupPaths: func(group int) []int {
-			// Paths that serve at least one bank of the group.
-			seen := make([]bool, nSub)
-			var out []int
-			for _, b := range geom.BanksOfGroup(group) {
-				p := b % nSub
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-				}
+	// Precompute, per memory-group, the paths that serve at least one
+	// bank of the group: GroupPaths runs on the per-cycle CanAccept path
+	// and must not allocate.
+	groupPaths := make([][]int, geom.Groups)
+	for g := range groupPaths {
+		seen := make([]bool, nSub)
+		for _, b := range geom.BanksOfGroup(g) {
+			p := b % nSub
+			if !seen[p] {
+				seen[p] = true
+				groupPaths[g] = append(groupPaths[g], p)
 			}
-			return out
-		},
+		}
+	}
+	s.div = &core.Diverge{
+		NPaths:     nSub,
+		Route:      func(r isa.Request) int { return r.Bank % nSub },
+		GroupPaths: func(group int) []int { return groupPaths[group] },
 	}
 	return s
 }

@@ -19,32 +19,53 @@ type Diverge struct {
 	// GroupPaths lists the sub-paths that may carry requests of a given
 	// memory-group. The divergence FSM uses the packet's channel and
 	// memory-group IDs to pick the relevant sub-paths (§5.3.2).
+	// Implementations should return a precomputed slice: Targets is on
+	// the per-cycle CanAccept path and must not allocate.
 	GroupPaths func(group int) []int
+
+	seen []bool // scratch for Targets, sized NPaths on first use
+	out  []int  // scratch result buffer reused across Targets calls
 }
 
 // Targets returns the sub-paths a request must be placed on: one path
 // for a normal request, the union of relevant paths for an OrderLight
-// packet (deduplicated, ascending by construction of GroupPaths).
+// packet (deduplicated, ascending by construction of GroupPaths). The
+// returned slice is scratch owned by the Diverge: it is valid only
+// until the next Targets call.
 func (d *Diverge) Targets(r isa.Request) []int {
+	if d.out == nil {
+		d.out = make([]int, 0, d.NPaths)
+		d.seen = make([]bool, d.NPaths)
+	}
+	d.out = d.out[:0]
 	if r.Kind != isa.KindOrderLight {
-		return []int{d.Route(r)}
+		return append(d.out, d.Route(r))
 	}
-	seen := make([]bool, d.NPaths)
-	var out []int
-	for _, g := range r.OL.Groups() {
-		for _, p := range d.GroupPaths(int(g)) {
-			if !seen[p] {
-				seen[p] = true
-				out = append(out, p)
-			}
-		}
+	for i := range d.seen {
+		d.seen[i] = false
 	}
-	if len(out) == 0 {
+	// Walk the packet's base group then the extension fields directly:
+	// OLPacket.Groups() would allocate, and path-level dedup via seen[]
+	// already subsumes its group-level dedup.
+	d.addGroupPaths(int(r.OL.Group))
+	for _, g := range r.OL.ExtraGroups {
+		d.addGroupPaths(int(g))
+	}
+	if len(d.out) == 0 {
 		// A packet whose groups map nowhere still needs one path so it
 		// is not silently dropped.
-		out = []int{0}
+		d.out = append(d.out, 0)
 	}
-	return out
+	return d.out
+}
+
+func (d *Diverge) addGroupPaths(g int) {
+	for _, p := range d.GroupPaths(g) {
+		if !d.seen[p] {
+			d.seen[p] = true
+			d.out = append(d.out, p)
+		}
+	}
 }
 
 // Replicate stamps the request with the number of copies the convergence

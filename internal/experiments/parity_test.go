@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+	"orderlight/internal/runner"
+)
+
+// TestRunAllParityDenseVsSkip is the acceptance gate for the
+// quiescence skip-ahead engine: every experiment table of the full
+// sweep must render byte-identically on the naive dense engine and the
+// skip-ahead one.
+func TestRunAllParityDenseVsSkip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep x2")
+	}
+	cfg := tinyConfig()
+	sc := Scale{BytesPerChannel: 8 * 1024}
+	ctx := context.Background()
+
+	skip, err := RunAllEngine(ctx, runner.New(runner.Options{}), cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := RunAllEngine(ctx, runner.New(runner.Options{DenseEngine: true}), cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skip) != len(dense) {
+		t.Fatalf("skip engine produced %d tables, dense %d", len(skip), len(dense))
+	}
+	for i, s := range skip {
+		if sMD, dMD := s.Markdown(), dense[i].Markdown(); sMD != dMD {
+			t.Errorf("table %s differs between engines:\n--- skip ---\n%s\n--- dense ---\n%s", s.ID, sMD, dMD)
+		}
+	}
+}
+
+// TestRandomizedDenseSkipParity fuzzes the engine-parity claim across
+// the configuration space: random kernels, ordering primitives, TS
+// sizes, refresh, NoC routes, host front ends, and concurrent host
+// traffic. For every sampled cell the skip-ahead and dense engines must
+// agree on every statistic, the final cycle count, the host-latency
+// measurements, and the complete post-run memory image.
+func TestRandomizedDenseSkipParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized simulation sweep x2")
+	}
+	rng := rand.New(rand.NewSource(0x0c0ffee))
+	names := kernel.Names()
+	prims := []config.Primitive{
+		config.PrimitiveNone, config.PrimitiveFence,
+		config.PrimitiveOrderLight, config.PrimitiveSeqno,
+	}
+	cells := make([]runner.Cell, 0, 24)
+	for i := 0; i < 24; i++ {
+		cfg := tinyConfig()
+		name := names[rng.Intn(len(names))]
+		cfg.Run.Primitive = prims[rng.Intn(len(prims))]
+		cfg = cfg.WithTSFraction(TSFractions[rng.Intn(len(TSFractions))])
+		cfg.Memory.RefreshEnabled = rng.Intn(2) == 0
+		cfg.GPU.IcntRoutes = 1 + rng.Intn(2)
+		if rng.Intn(4) == 0 {
+			cfg.Host.Kind = config.HostCPU
+		}
+		spec, err := kernel.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := runner.Cell{
+			Key:   fmt.Sprintf("rand%02d/%s/%v/ts=%dB", i, name, cfg.Run.Primitive, cfg.PIM.TSBytes),
+			Cfg:   cfg,
+			Spec:  spec,
+			Bytes: int64(1+rng.Intn(8)) * 1024,
+		}
+		if cfg.Host.Kind == config.HostGPU && rng.Intn(3) == 0 {
+			c.Traffic = gpu.HostTraffic{
+				PerChannel:        4 + rng.Intn(12),
+				EveryN:            50 + rng.Intn(200),
+				Group:             rng.Intn(4),
+				Rows:              1 + rng.Intn(4),
+				CoarseArbitration: rng.Intn(2) == 0,
+			}
+		}
+		cells = append(cells, c)
+	}
+
+	// The kernel cache is disabled so each engine mutates its own store
+	// build; otherwise both runs would see pre-cloned images anyway, but
+	// this keeps the memory-image comparison airtight.
+	ctx := context.Background()
+	skipRes, err := runner.New(runner.Options{DisableKernelCache: true}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseRes, err := runner.New(runner.Options{DenseEngine: true, DisableKernelCache: true}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		s, d := skipRes[i], denseRes[i]
+		if !reflect.DeepEqual(s.Run, d.Run) {
+			t.Errorf("%s: stats diverge between engines:\nskip:  %+v\ndense: %+v", cells[i].Key, s.Run, d.Run)
+			continue
+		}
+		if s.HostLatency != d.HostLatency || s.HostServed != d.HostServed {
+			t.Errorf("%s: host-load measurements diverge: skip (%.3f, %d) vs dense (%.3f, %d)",
+				cells[i].Key, s.HostLatency, s.HostServed, d.HostLatency, d.HostServed)
+		}
+		if !s.Kernel.Store.Equal(d.Kernel.Store) {
+			t.Errorf("%s: final memory images differ at %v", cells[i].Key,
+				s.Kernel.Store.Diff(d.Kernel.Store, 4))
+		}
+	}
+}

@@ -148,10 +148,115 @@ func NewMachine(cfg config.Config, store *dram.Store, programs []Program) (*Mach
 
 	coreClk := m.eng.AddClock("core", sim.CoreTicks)
 	memClk := m.eng.AddClock("mem", sim.MemTicks)
-	coreClk.Register(sim.TickFunc(func(int64) { m.coreTick() }))
-	memClk.Register(sim.TickFunc(func(cy int64) { m.memTick(cy) }))
+	coreClk.Register(coreDomain{m})
+	memClk.Register(memDomain{m})
 	return m, nil
 }
+
+// coreDomain adapts the machine's core-clock tick to sim.Worker and
+// sim.Skipper so the engine can warp over provably idle core cycles.
+type coreDomain struct{ m *Machine }
+
+func (d coreDomain) Tick(int64) { d.m.coreTick() }
+
+func (d coreDomain) NextWork(cycle int64) int64 { return d.m.coreNextWork(cycle) }
+
+func (d coreDomain) Skip(n int64) {
+	// Only the hosts accrue per-idle-cycle state (stall counters); the
+	// transfer stages between pipes are stateless between edges.
+	for _, h := range d.m.hosts {
+		h.Skip(n)
+	}
+}
+
+// memDomain adapts the memory-clock tick to sim.Worker. It needs no
+// Skip: controllers accrue per-cycle statistics (OLFlagBlocked) only in
+// states their NextWork reports as work-now, so elided memory cycles
+// are truly free of observable effects.
+type memDomain struct{ m *Machine }
+
+func (d memDomain) Tick(cycle int64) { d.m.memTick(cycle) }
+
+func (d memDomain) NextWork(cycle int64) int64 { return d.m.memNextWork(cycle) }
+
+// ceilCycle converts a base-tick instant to the first cycle of a clock
+// with the given period whose edge is at or after it.
+func ceilCycle(t, period sim.Time) int64 {
+	return int64((t + period - 1) / period)
+}
+
+// coreNextWork is the core domain's quiescence hint: the earliest core
+// cycle at which coreTick could change anything. Host-traffic runs stay
+// dense — injection cadence and coarse-arbitration release depend on
+// cross-domain drain state that is cheaper to tick through than to
+// predict.
+func (m *Machine) coreNextWork(cycle int64) int64 {
+	if m.host.PerChannel != 0 {
+		return cycle
+	}
+	edge := sim.Time(cycle) * sim.CoreTicks
+	next := sim.TimeInf
+	if t := m.acks.NextReady(); t <= edge {
+		return cycle
+	} else if t < next {
+		next = t
+	}
+	for ch := range m.icnt {
+		if m.slices[ch].Pending() > 0 {
+			return cycle // slice drains toward the L2-DRAM pipe each cycle
+		}
+		if t := m.icnt[ch].NextReady(); t <= edge {
+			return cycle
+		} else if t < next {
+			next = t
+		}
+	}
+	for _, h := range m.hosts {
+		t := h.NextWork(edge)
+		if t <= edge {
+			return cycle
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if next == sim.TimeInf {
+		return sim.NoWork
+	}
+	return ceilCycle(next, sim.CoreTicks)
+}
+
+// memNextWork is the memory domain's quiescence hint: the earliest
+// memory cycle at which memTick could change anything — an L2-to-DRAM
+// arrival, or controller work (dequeue slots, DRAM-timing wake-ups,
+// refresh deadlines).
+func (m *Machine) memNextWork(cycle int64) int64 {
+	edge := sim.Time(cycle) * sim.MemTicks
+	next := sim.NoWork
+	for ch := range m.mcs {
+		if t := m.l2dram[ch].NextReady(); t <= edge {
+			return cycle
+		} else if t != sim.TimeInf {
+			if w := ceilCycle(t, sim.MemTicks); w < next {
+				next = w
+			}
+		}
+		w := m.mcs[ch].NextWork(cycle)
+		if w <= cycle {
+			return cycle
+		}
+		if w < next {
+			next = w
+		}
+	}
+	return next
+}
+
+// SetDense forces the naive dense engine for this machine: every clock
+// edge fires even when all components are quiescent. Results are
+// byte-identical either way; the dense engine is the parity reference
+// and the escape hatch when debugging a suspect quiescence hint.
+func (m *Machine) SetDense(d bool) { m.eng.SetDense(d) }
 
 // Stats exposes the run's statistics accumulator.
 func (m *Machine) Stats() *stats.Run { return m.st }

@@ -13,9 +13,18 @@ import (
 
 // host is the front-end abstraction the machine drives: SIMT SMs (the
 // paper's evaluation host) or OoO CPU cores (the §9 extension).
+//
+// NextWork and Skip are the quiescence protocol of the skip-ahead
+// engine: NextWork reports the earliest time at or after now at which
+// Tick could change any state or statistic on its own (sim.TimeInf when
+// only external input — an acknowledgment — can wake the host), and
+// Skip credits n elided idle cycles to the per-cycle stall counters so
+// they stay byte-identical with a dense run.
 type host interface {
 	Tick(now sim.Time)
 	Done() bool
+	NextWork(now sim.Time) sim.Time
+	Skip(n int64)
 }
 
 // OoOCore models an out-of-order CPU core running one PIM kernel, per
@@ -75,6 +84,60 @@ func (c *OoOCore) Done() bool {
 func (c *OoOCore) Tick(now sim.Time) {
 	c.issueMemory()
 	c.dispatch()
+}
+
+// NextWork reports when the core could next act on its own. A non-empty
+// window forces the current cycle: issueMemory draws from the arbitration
+// PRNG every such cycle, and skipping would desynchronize the stream a
+// dense run consumes. With an empty window the core is quiescent exactly
+// when dispatch is blocked on external acknowledgments (fence drain or
+// seqno credits); everything else can act immediately.
+func (c *OoOCore) NextWork(now sim.Time) sim.Time {
+	if len(c.window) > 0 {
+		return now
+	}
+	if c.w.state == warpDone {
+		return sim.TimeInf
+	}
+	if c.w.pc >= len(c.w.prog) {
+		return now // one tick marks the core done
+	}
+	in := c.w.prog[c.w.pc]
+	switch in.Kind {
+	case isa.KindFence:
+		if !c.ft.Drained(c.w.id) {
+			return sim.TimeInf
+		}
+	case isa.KindOrderLight:
+		// Window empty ⇒ every reservation-station counter is zero ⇒ the
+		// packet can inject this cycle (send backpressure still spins
+		// densely, which is what we want for IssueStallCycles).
+	default:
+		if c.cfg.Run.Primitive == config.PrimitiveSeqno &&
+			c.ft.Outstanding(c.w.id)+len(c.window) >= c.cfg.Run.SeqnoCredits {
+			return sim.TimeInf
+		}
+	}
+	return now
+}
+
+// Skip credits k elided idle cycles. The core only skips while dispatch
+// is blocked at its first slot on a fence or credit stall, each of which
+// accrues exactly one stall-counter increment per dense cycle.
+func (c *OoOCore) Skip(k int64) {
+	if c.w.state == warpDone || k <= 0 {
+		return
+	}
+	in := c.w.prog[c.w.pc]
+	switch {
+	case in.Kind == isa.KindFence:
+		c.w.state = warpFence
+		c.st.FenceStallCycles += k
+	case c.cfg.Run.Primitive == config.PrimitiveSeqno:
+		c.st.CreditStallCycles += k
+	default:
+		panic("gpu: OoO core skipped cycles while runnable (quiescence hint bug)")
+	}
 }
 
 // issueMemory sends up to MemPorts window entries into the memory pipe,

@@ -81,22 +81,27 @@ type SM struct {
 	send func(r isa.Request) bool
 
 	nextID *uint64 // shared request-ID counter
+
+	skipScratch []int // active-warp index buffer reused by Skip
 }
 
 // newSM builds an SM hosting the given warps.
 func newSM(id int, cfg config.Config, geom dram.Geometry, st *stats.Run,
 	warps []*warp, ft *core.FenceTracker, nextID *uint64, send func(isa.Request) bool) *SM {
 	return &SM{
-		id:     id,
-		cfg:    cfg,
-		geom:   geom,
-		st:     st,
-		warps:  warps,
-		ldst:   sim.NewQueue[isa.Request](cfg.GPU.LDSTQueueSize),
-		cc:     core.NewCollectorCounterBudget(geom.Channels, geom.Groups, cfg.GPU.CollectorTags),
-		ft:     ft,
-		send:   send,
-		nextID: nextID,
+		id:    id,
+		cfg:   cfg,
+		geom:  geom,
+		st:    st,
+		warps: warps,
+		// Preallocated to its bound so the append/shift cycle of the
+		// collector never reallocates.
+		collector: make([]collectorEntry, 0, cfg.GPU.CollectorUnits),
+		ldst:      sim.NewQueue[isa.Request](cfg.GPU.LDSTQueueSize),
+		cc:        core.NewCollectorCounterBudget(geom.Channels, geom.Groups, cfg.GPU.CollectorTags),
+		ft:        ft,
+		send:      send,
+		nextID:    nextID,
 	}
 }
 
@@ -116,6 +121,163 @@ func (s *SM) Tick(now sim.Time) {
 	s.drainLDST()
 	s.completeCollector(now)
 	s.issue(now)
+}
+
+// warpStall classifies why a warp cannot make progress this cycle. The
+// zero value means the warp can issue (or retire) now.
+type warpStall uint8
+
+const (
+	stallNone      warpStall = iota
+	stallFence               // fence waiting on external acknowledgments
+	stallOL                  // OrderLight waiting on the operand collector
+	stallCredit              // seqno credits exhausted (external acks)
+	stallCollector           // operand-collector units all busy
+)
+
+// stall classifies warp w against the SM's current state. It is the
+// single source of truth shared by step (which acts on the
+// classification), NextWork (which derives the quiescence hint from it)
+// and Skip (which batch-credits the per-cycle stall counters).
+func (s *SM) stall(w *warp) warpStall {
+	if w.pc >= len(w.prog) {
+		return stallNone // one tick retires the warp
+	}
+	in := w.prog[w.pc]
+	switch in.Kind {
+	case isa.KindFence:
+		if !s.ft.Drained(w.id) {
+			return stallFence
+		}
+		return stallNone
+	case isa.KindOrderLight:
+		drained := s.cc.Zero(w.channel, in.Group)
+		for _, g := range in.XGroups {
+			drained = drained && s.cc.Zero(w.channel, int(g))
+		}
+		if !drained || !s.ldst.CanPush() {
+			return stallOL
+		}
+		return stallNone
+	default:
+		if !in.Kind.IsPIM() && !in.Kind.IsMemAccess() {
+			panic(fmt.Sprintf("gpu: warp %d cannot issue %v", w.id, in.Kind))
+		}
+		if s.cfg.Run.Primitive == config.PrimitiveSeqno &&
+			s.ft.Outstanding(w.id) >= s.cfg.Run.SeqnoCredits {
+			return stallCredit
+		}
+		if len(s.collector) >= s.cfg.GPU.CollectorUnits {
+			return stallCollector
+		}
+		return stallNone
+	}
+}
+
+// NextWork reports the earliest time at or after now at which Tick could
+// change any SM state or statistic on its own: now while anything is
+// draining or issuable, the collector head's completion time while every
+// warp waits on it, and sim.TimeInf when the only possible wake-up is
+// external (a fence or credit acknowledgment arriving at the machine).
+func (s *SM) NextWork(now sim.Time) sim.Time {
+	if s.ldst.Len() > 0 {
+		return now // drainLDST moves entries (or accrues IssueStallCycles on backpressure)
+	}
+	next := sim.TimeInf
+	if len(s.collector) > 0 {
+		ready := s.collector[0].ready
+		if ready <= now {
+			return now
+		}
+		next = ready
+	}
+	for _, w := range s.warps {
+		if w.state == warpDone {
+			continue
+		}
+		switch s.stall(w) {
+		case stallNone:
+			return now
+		case stallFence, stallCredit:
+			// External wake-up: the acknowledgment pipe is watched at the
+			// machine level, so these contribute no edge here — but the
+			// stall counters they accrue are credited by Skip.
+		case stallOL, stallCollector:
+			// Wakes when the collector head completes; its ready time is
+			// already in next (the collector cannot be empty in either
+			// state: busy units hold entries, and an OL waits only while
+			// some counter is nonzero, i.e. an entry is un-released).
+			if len(s.collector) == 0 {
+				return now // defensive: hint bug, fall back to dense
+			}
+		}
+	}
+	return next
+}
+
+// Skip credits k elided idle cycles. The round-robin scheduler's dense
+// behavior over a window where no warp can issue is closed-form: each
+// cycle the first min(active, IssuePerCycle) active warps in cyclic
+// order from rr burn an issue slot spinning on their stall (one stat
+// increment each), and rr ends one past the last spinner. NextWork
+// guarantees every non-retired warp is stall-classified for the whole
+// window (collector and LDST state only change on this SM's own ticks).
+func (s *SM) Skip(k int64) {
+	active := s.skipScratch[:0]
+	for i, w := range s.warps {
+		if w.state != warpDone {
+			active = append(active, i)
+		}
+	}
+	s.skipScratch = active
+	a := int64(len(active))
+	if a == 0 || k <= 0 {
+		return
+	}
+	slots := int64(s.cfg.GPU.IssuePerCycle)
+	if slots > a {
+		slots = a
+	}
+	total := k * slots
+	// p0: position within active[] of the first spinner, i.e. the first
+	// active warp at or after rr (cyclically).
+	p0 := int64(0)
+	for j, i := range active {
+		if i >= s.rr {
+			p0 = int64(j)
+			break
+		}
+	}
+	// Spinner t (t = 0..total-1) is active[(p0+t) mod a]: position j
+	// spins q times, plus once more for the first `total mod a`
+	// positions starting at p0.
+	q, rem := total/a, total%a
+	for j, i := range active {
+		cnt := q
+		if (int64(j)-p0+a)%a < rem {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		w := s.warps[i]
+		switch s.stall(w) {
+		case stallFence:
+			w.state = warpFence
+			s.st.FenceStallCycles += cnt
+		case stallOL:
+			w.state = warpOL
+			s.st.OLStallCycles += cnt
+		case stallCredit:
+			s.st.CreditStallCycles += cnt
+		case stallCollector:
+			s.st.IssueStallCycles += cnt
+		default:
+			panic("gpu: SM skipped cycles while a warp was runnable (quiescence hint bug)")
+		}
+	}
+	last := active[(p0+total-1)%a]
+	s.rr = (last + 1) % len(s.warps)
 }
 
 // drainLDST moves up to IssuePerCycle requests per cycle from the LDST
@@ -145,7 +307,11 @@ func (s *SM) completeCollector(now sim.Time) {
 		}
 		s.ldst.Push(e.r)
 		s.cc.Release(e.r.Channel, e.r.Group)
-		s.collector = s.collector[1:]
+		// Shift in place (the unit count is small) rather than reslice:
+		// reslicing would shed capacity and make the append in step
+		// reallocate every few cycles.
+		copy(s.collector, s.collector[1:])
+		s.collector = s.collector[:len(s.collector)-1]
 	}
 }
 
@@ -169,34 +335,41 @@ func (s *SM) issue(now sim.Time) {
 }
 
 // step attempts to advance warp w; it reports whether the warp consumed
-// the issue slot.
+// the issue slot. The blocked cases mirror Skip exactly (both act on the
+// shared stall classification), so batch-crediting elided cycles stays
+// byte-identical with spinning through them.
 func (s *SM) step(w *warp, now sim.Time) bool {
 	if w.pc >= len(w.prog) {
 		w.state = warpDone
 		return false
 	}
 	in := w.prog[w.pc]
+	switch s.stall(w) {
+	case stallFence:
+		w.state = warpFence
+		s.st.FenceStallCycles++
+		return true // the warp occupies its slot spinning
+	case stallOL:
+		w.state = warpOL
+		s.st.OLStallCycles++
+		return true
+	case stallCredit:
+		// Credit-based flow control: the §8.1 baseline may not have
+		// more unacknowledged requests in flight than the memory
+		// side has reorder-buffer credits for.
+		s.st.CreditStallCycles++
+		return true
+	case stallCollector:
+		s.st.IssueStallCycles++
+		return true
+	}
 	switch in.Kind {
 	case isa.KindFence:
-		w.state = warpFence
-		if !s.ft.Drained(w.id) {
-			s.st.FenceStallCycles++
-			return true // the warp occupies its slot spinning
-		}
 		s.st.FenceCount++
 		w.state = warpReady
 		w.pc++
 		return true
 	case isa.KindOrderLight:
-		w.state = warpOL
-		drained := s.cc.Zero(w.channel, in.Group)
-		for _, g := range in.XGroups {
-			drained = drained && s.cc.Zero(w.channel, int(g))
-		}
-		if !drained || !s.ldst.CanPush() {
-			s.st.OLStallCycles++
-			return true
-		}
 		pkt := isa.OLPacket{
 			PktID:       isa.PktIDOrderLight,
 			Channel:     uint8(w.channel),
@@ -218,21 +391,6 @@ func (s *SM) step(w *warp, now sim.Time) bool {
 		w.pc++
 		return true
 	default:
-		if !in.Kind.IsPIM() && !in.Kind.IsMemAccess() {
-			panic(fmt.Sprintf("gpu: warp %d cannot issue %v", w.id, in.Kind))
-		}
-		if s.cfg.Run.Primitive == config.PrimitiveSeqno &&
-			s.ft.Outstanding(w.id) >= s.cfg.Run.SeqnoCredits {
-			// Credit-based flow control: the §8.1 baseline may not have
-			// more unacknowledged requests in flight than the memory
-			// side has reorder-buffer credits for.
-			s.st.CreditStallCycles++
-			return true
-		}
-		if len(s.collector) >= s.cfg.GPU.CollectorUnits {
-			s.st.IssueStallCycles++
-			return true
-		}
 		r := laneRequest(s.cfg, s.geom, w, in, s.id, s.nextID)
 		s.collector = append(s.collector, collectorEntry{
 			r:     r,

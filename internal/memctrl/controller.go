@@ -76,6 +76,15 @@ const (
 	pathWrite = 1
 )
 
+// rwPaths is the (immutable) path set an OrderLight packet visits; a
+// shared slice so GroupPaths never allocates on the per-cycle
+// CanAccept path.
+var rwPaths = []int{pathRead, pathWrite}
+
+// never is the NextWork value for "no self-generated future work". It
+// matches sim.NoWork by construction (both are max int64).
+const never = int64(^uint64(0) >> 1)
+
 // New creates the controller for one channel.
 func New(channel int, cfg config.Config, geom dram.Geometry, store *dram.Store, st *stats.Run) *Controller {
 	c := &Controller{
@@ -85,6 +94,7 @@ func New(channel int, cfg config.Config, geom dram.Geometry, store *dram.Store, 
 		unit:    pim.NewUnit(channel, cfg.CommandsPerTile()*cfg.Memory.GroupsPerChannel, store),
 		tracker: core.NewTracker(geom.Groups),
 		conv:    core.NewConverge(2, cfg.GPU.RWQueueSize),
+		txq:     make([]txEntry, 0, cfg.GPU.RWQueueSize),
 		txqCap:  cfg.GPU.RWQueueSize,
 		st:      st,
 		seqno:   cfg.Run.Primitive == config.PrimitiveSeqno,
@@ -105,7 +115,7 @@ func New(channel int, cfg config.Config, geom dram.Geometry, store *dram.Store, 
 		},
 		// An OrderLight packet must visit both queues regardless of
 		// group: either queue may hold older requests of its group.
-		GroupPaths: func(int) []int { return []int{pathRead, pathWrite} },
+		GroupPaths: func(int) []int { return rwPaths },
 	}
 	return c
 }
@@ -154,6 +164,92 @@ func (c *Controller) Tick(memCycle int64) {
 		return // the refresh machinery owns the command bus this cycle
 	}
 	c.schedule(memCycle)
+}
+
+// NextWork returns the earliest memory cycle >= cycle at which Tick
+// could change any state or statistic: the current cycle when the
+// controller has immediate work (a dequeue slot, a due refresh, an
+// issuable or tracker-blocked transaction), a future wake-up cycle
+// derived from DRAM timing and refresh deadlines otherwise, and `never`
+// (max int64) when the controller is empty and refresh is off. Hints
+// may be early — the engine then fires an edge Tick treats as a no-op,
+// exactly as the dense engine does every cycle — but are never late.
+func (c *Controller) NextWork(cycle int64) int64 {
+	if c.conv.Len() > 0 && len(c.txq) < c.txqCap {
+		return cycle // dequeue admits one request per cycle
+	}
+	next := never
+	if c.refreshOn {
+		if cycle < c.refreshUntil {
+			return c.refreshUntil // mid-refresh: the channel is blocked until tRFC elapses
+		}
+		if c.draining || cycle >= c.nextRefresh {
+			return cycle // precharge drain / refresh proper owns the bus every cycle
+		}
+		next = c.nextRefresh
+	}
+	if len(c.txq) > 0 {
+		w := c.nextSchedule(cycle)
+		if w <= cycle {
+			return cycle
+		}
+		if w < next {
+			next = w
+		}
+	}
+	return next
+}
+
+// nextSchedule mirrors schedule()'s two passes without side effects: it
+// returns the earliest cycle at which some eligible transaction could
+// issue a column, precharge or activate command. Two states force the
+// current cycle: a PIMExec candidate (always bus-ready) and the
+// no-eligible-candidate state, where schedule() accrues OLFlagBlocked
+// every cycle and must therefore tick densely.
+func (c *Controller) nextSchedule(cycle int64) int64 {
+	next := never
+	any := false
+	for i := range c.txq {
+		e := &c.txq[i]
+		if !c.tracker.CanIssue(e.r.Group, e.epoch) {
+			continue
+		}
+		if c.seqno && e.r.Kind.IsPIM() && e.r.Seq != c.nextSeq {
+			continue
+		}
+		any = true
+		if e.r.Kind == isa.KindPIMExec {
+			return cycle
+		}
+		cmd := dram.CmdRD
+		if e.r.Kind.IsWrite() {
+			cmd = dram.CmdWR
+		}
+		if t := c.timing.Earliest(cmd, e.r.Bank, e.r.Row); t >= 0 && t < next {
+			next = t
+		}
+		// Bank-progress wake-up (schedule's pass 2): the precharge or
+		// activate the transaction needs before its column can issue.
+		switch open := c.timing.OpenRow(e.r.Bank); {
+		case open == e.r.Row:
+			// Row open; the column wake-up above covers it.
+		case open >= 0:
+			if t := c.timing.Earliest(dram.CmdPRE, e.r.Bank, open); t >= 0 && t < next {
+				next = t
+			}
+		default:
+			if t := c.timing.Earliest(dram.CmdACT, e.r.Bank, e.r.Row); t >= 0 && t < next {
+				next = t
+			}
+		}
+		if next <= cycle {
+			return cycle
+		}
+	}
+	if !any {
+		return cycle // scheduler deferral: OLFlagBlocked accrues per cycle
+	}
+	return next
 }
 
 // refresh runs the all-bank refresh state machine: when tREFI elapses,

@@ -55,6 +55,22 @@ func (l *Link) Len() int {
 	return n
 }
 
+// NextReady returns the earliest arrival time of any in-flight entry,
+// or sim.TimeInf when the link is empty. It is the link's quiescence
+// hint: the receiving end cannot observe any change before that
+// instant. (For a replicated OrderLight packet the merge completes only
+// when the slowest copy arrives; reporting the fastest is conservative,
+// which is safe — the consumer just observes nothing yet.)
+func (l *Link) NextReady() sim.Time {
+	next := sim.TimeInf
+	for _, rt := range l.routes {
+		if t := rt.NextReady(); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
 // CanPush reports whether the request can enter the link this cycle:
 // any route with room for a normal request, every route for an
 // OrderLight packet (which must be replicated onto all of them).

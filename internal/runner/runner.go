@@ -90,6 +90,11 @@ type Options struct {
 	// DisableKernelCache turns off the built-kernel cache (every cell
 	// regenerates its kernel image from scratch).
 	DisableKernelCache bool
+
+	// DenseEngine runs every cell on the naive dense tick engine instead
+	// of the quiescence skip-ahead one. Results are byte-identical; the
+	// dense engine is the parity reference and a debugging escape hatch.
+	DenseEngine bool
 }
 
 // Engine executes cell lists. An Engine is safe for concurrent use and
@@ -98,6 +103,7 @@ type Options struct {
 type Engine struct {
 	par      int
 	progress func(done, total int)
+	dense    bool
 	cache    *kernelCache
 
 	mu   sync.Mutex // serializes progress callbacks
@@ -106,7 +112,7 @@ type Engine struct {
 
 // New creates an engine.
 func New(opts Options) *Engine {
-	e := &Engine{par: opts.Parallelism, progress: opts.Progress}
+	e := &Engine{par: opts.Parallelism, progress: opts.Progress, dense: opts.DenseEngine}
 	if !opts.DisableKernelCache {
 		e.cache = newKernelCache()
 	}
@@ -255,6 +261,9 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 	}
 	if c.Traffic.PerChannel > 0 {
 		m.SetHostTraffic(c.Traffic)
+	}
+	if e.dense {
+		m.SetDense(true)
 	}
 	st, err := m.Run()
 	if err != nil {

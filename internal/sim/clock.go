@@ -12,16 +12,43 @@ type TickFunc func(cycle int64)
 // Tick implements Ticker.
 func (f TickFunc) Tick(cycle int64) { f(cycle) }
 
+// NoWork is the NextWork return value meaning "quiescent until external
+// input arrives": the component will never change state again on its own.
+// It equals TimeInf so min-aggregation works across cycle and time units.
+const NoWork int64 = int64(TimeInf)
+
+// Worker is a Ticker that can additionally report quiescence. NextWork
+// returns the earliest cycle >= the given one at which Tick could change
+// any state or statistic. Returning the current cycle means "tick me
+// now"; returning NoWork means "idle until some other domain feeds me".
+// A hint is allowed to be early (the engine fires a no-op edge, exactly
+// as the dense engine would) but must never be late: skipping a cycle
+// where Tick would have acted changes results.
+type Worker interface {
+	Ticker
+	NextWork(cycle int64) int64
+}
+
+// Skipper is implemented by Workers that accrue per-idle-cycle state
+// (e.g. stall-cycle statistics). When the engine warps a clock over n
+// quiescent cycles it calls Skip(n) before the next Tick so those
+// counters stay byte-identical with a dense run.
+type Skipper interface {
+	Skip(cycles int64)
+}
+
 // Clock is one clock domain: a fixed period in base ticks and an ordered
 // set of Tickers that are advanced together on every rising edge.
 // Registration order is the evaluation order within a cycle, which keeps
 // runs deterministic.
 type Clock struct {
-	name    string
-	period  Time
-	cycle   int64
-	next    Time
-	tickers []Ticker
+	name      string
+	period    Time
+	cycle     int64
+	next      Time
+	tickers   []Ticker
+	allHinted bool // every registered ticker implements Worker
+	pending   Time // scratch: next actionable edge, set by Engine.scanNext
 }
 
 // NewClock creates a clock with the given period in base ticks. The first
@@ -30,7 +57,7 @@ func NewClock(name string, period Time) *Clock {
 	if period <= 0 {
 		panic("sim: clock period must be positive")
 	}
-	return &Clock{name: name, period: period}
+	return &Clock{name: name, period: period, allHinted: true}
 }
 
 // Name returns the clock's name (for tracing).
@@ -46,8 +73,15 @@ func (c *Clock) Cycle() int64 { return c.cycle }
 func (c *Clock) NextEdge() Time { return c.next }
 
 // Register appends a ticker to the domain. Must not be called after the
-// engine starts running if deterministic replay matters.
-func (c *Clock) Register(t Ticker) { c.tickers = append(c.tickers, t) }
+// engine starts running if deterministic replay matters. A domain with
+// any non-Worker ticker runs dense (every edge fires), because the
+// engine cannot prove such a ticker quiescent.
+func (c *Clock) Register(t Ticker) {
+	c.tickers = append(c.tickers, t)
+	if _, ok := t.(Worker); !ok {
+		c.allHinted = false
+	}
+}
 
 // edge fires one clock edge: all tickers run with the current cycle
 // number, then the cycle counter and next-edge time advance.
@@ -57,4 +91,47 @@ func (c *Clock) edge() {
 	}
 	c.cycle++
 	c.next += c.period
+}
+
+// workEdge returns the earliest edge time at which some ticker has work.
+// It is c.next when any ticker wants the upcoming cycle (or the domain
+// runs dense), a later edge when every ticker agrees the next w-cycle gap
+// is dead time, and TimeInf when the whole domain is quiescent.
+func (c *Clock) workEdge(dense bool) Time {
+	if dense || !c.allHinted {
+		return c.next
+	}
+	earliest := NoWork
+	for _, t := range c.tickers {
+		n := t.(Worker).NextWork(c.cycle)
+		if n <= c.cycle {
+			return c.next
+		}
+		if n < earliest {
+			earliest = n
+		}
+	}
+	if earliest == NoWork {
+		return TimeInf
+	}
+	return c.next + Time(earliest-c.cycle)*c.period
+}
+
+// advanceTo warps the clock to the edge at time t without firing the
+// intervening (provably empty) edges. Skipper tickers are credited the
+// elided cycles first so per-idle-cycle statistics stay exact. The
+// invariant next == cycle*period is preserved: t is always a multiple of
+// the period because workEdge builds it from c.next.
+func (c *Clock) advanceTo(t Time) {
+	if t == c.next {
+		return
+	}
+	k := int64((t - c.next) / c.period)
+	for _, tk := range c.tickers {
+		if s, ok := tk.(Skipper); ok {
+			s.Skip(k)
+		}
+	}
+	c.cycle += k
+	c.next += Time(k) * c.period
 }

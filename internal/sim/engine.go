@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // ErrDeadline is returned by Engine.Run when the completion predicate did
@@ -10,12 +11,21 @@ import (
 var ErrDeadline = errors.New("sim: run exceeded deadline without completing")
 
 // Engine multiplexes one or more clock domains over the shared base-tick
-// timeline. On every step it fires the earliest pending clock edge; when
-// several domains share an edge time, they fire in the order they were
-// added, which keeps the simulation deterministic.
+// timeline. On every step it fires the earliest *actionable* clock edge:
+// domains whose tickers all report quiescence (via the Worker interface)
+// are warped over their dead cycles instead of firing empty edges one
+// period at a time. When several domains share an edge time, they fire in
+// the order they were added, which keeps the simulation deterministic.
+//
+// Skip-ahead never changes results: hints are recomputed from current
+// state on every step, a too-early hint just fires a no-op edge exactly
+// as the dense engine would, and Skipper tickers are credited the elided
+// cycles so per-idle-cycle statistics stay byte-identical. SetDense(true)
+// restores the naive fire-every-edge engine for cross-checking.
 type Engine struct {
 	now    Time
 	clocks []*Clock
+	dense  bool
 }
 
 // NewEngine creates an engine with no clocks.
@@ -31,35 +41,71 @@ func (e *Engine) AddClock(name string, period Time) *Clock {
 // Now returns the current simulated time in base ticks.
 func (e *Engine) Now() Time { return e.now }
 
-// Step advances to the next pending clock edge and fires every clock
+// SetDense toggles the naive dense engine: every clock edge fires even
+// when all tickers are quiescent. Results are identical either way; the
+// dense engine exists as the reference for parity tests and as an escape
+// hatch when debugging a suspect NextWork hint.
+func (e *Engine) SetDense(d bool) { e.dense = d }
+
+// Dense reports whether the naive dense engine is active.
+func (e *Engine) Dense() bool { return e.dense }
+
+// scanNext computes each clock's next actionable edge (cached on the
+// clock for fireAt) and returns the earliest. When every domain reports
+// full quiescence the scan falls back to the earliest raw edge, so an
+// idle simulation still creeps forward dense-style toward its deadline
+// instead of jumping to infinity. This helper is the single next-edge
+// scan shared by Step and RunFor.
+func (e *Engine) scanNext() Time {
+	next := TimeInf
+	for _, c := range e.clocks {
+		c.pending = c.workEdge(e.dense)
+		if c.pending < next {
+			next = c.pending
+		}
+	}
+	if next == TimeInf {
+		for _, c := range e.clocks {
+			c.pending = c.next
+			if c.pending < next {
+				next = c.pending
+			}
+		}
+	}
+	return next
+}
+
+// fireAt warps time to t and fires every clock whose pending edge lands
+// on that instant, in registration order.
+func (e *Engine) fireAt(t Time) {
+	e.now = t
+	for _, c := range e.clocks {
+		if c.pending == t {
+			c.advanceTo(t)
+			c.edge()
+		}
+	}
+}
+
+// Step advances to the next actionable clock edge and fires every clock
 // whose edge lands on that instant. It reports false when there are no
 // clocks at all.
 func (e *Engine) Step() bool {
 	if len(e.clocks) == 0 {
 		return false
 	}
-	next := TimeInf
-	for _, c := range e.clocks {
-		if c.next < next {
-			next = c.next
-		}
-	}
-	e.now = next
-	for _, c := range e.clocks {
-		if c.next == next {
-			c.edge()
-		}
-	}
+	e.fireAt(e.scanNext())
 	return true
 }
 
 // Run steps the simulation until done() reports true (checked between
 // steps) or the deadline in base ticks passes, in which case ErrDeadline
-// is returned wrapped with the elapsed time.
+// is returned wrapped with the elapsed time and a report of what each
+// clock domain was still waiting on.
 func (e *Engine) Run(done func() bool, deadline Time) error {
 	for !done() {
 		if e.now >= deadline {
-			return fmt.Errorf("%w (t=%v)", ErrDeadline, e.now)
+			return fmt.Errorf("%w (t=%v; %s)", ErrDeadline, e.now, e.pendingReport())
 		}
 		if !e.Step() {
 			return errors.New("sim: no clocks registered")
@@ -68,21 +114,39 @@ func (e *Engine) Run(done func() bool, deadline Time) error {
 	return nil
 }
 
+// pendingReport describes, per clock domain, the next edge at which it
+// still expects work — the context a deadline error needs to point at
+// the stuck component.
+func (e *Engine) pendingReport() string {
+	if len(e.clocks) == 0 {
+		return "no clock domains"
+	}
+	var b strings.Builder
+	b.WriteString("pending: ")
+	for i, c := range e.clocks {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch t := c.workEdge(e.dense); {
+		case t == TimeInf:
+			fmt.Fprintf(&b, "%s idle at cycle %d", c.name, c.cycle)
+		default:
+			fmt.Fprintf(&b, "%s has work at t=%v (cycle %d)", c.name, t, c.cycle)
+		}
+	}
+	return b.String()
+}
+
 // RunFor advances the simulation by the given number of base ticks,
-// firing every edge inside the window.
+// firing every actionable edge inside the window.
 func (e *Engine) RunFor(d Time) {
 	end := e.now + d
-	for {
-		next := TimeInf
-		for _, c := range e.clocks {
-			if c.next < next {
-				next = c.next
-			}
+	for len(e.clocks) > 0 {
+		next := e.scanNext()
+		if next > end {
+			break
 		}
-		if next > end || next == TimeInf {
-			e.now = end
-			return
-		}
-		e.Step()
+		e.fireAt(next)
 	}
+	e.now = end
 }

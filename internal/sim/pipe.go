@@ -5,10 +5,16 @@ package sim
 // always emerge in push order. It models fixed-latency, in-order
 // transport such as the SM-to-L2 interconnect hop or the L2-to-DRAM
 // scheduler path of Figure 6. A capacity bound provides backpressure.
+//
+// The backing store is a ring buffer: Push and Pop are O(1) and, once
+// the buffer has grown to the high-water mark of the run (immediately,
+// for bounded pipes), steady-state traffic allocates nothing.
 type Pipe[T any] struct {
 	latency Time
 	cap     int
-	q       []pipeEntry[T]
+	buf     []pipeEntry[T]
+	head    int
+	n       int
 }
 
 type pipeEntry[T any] struct {
@@ -17,19 +23,24 @@ type pipeEntry[T any] struct {
 }
 
 // NewPipe creates a pipe with the given transport latency in base ticks
-// and capacity in entries. capacity <= 0 means unbounded.
+// and capacity in entries. capacity <= 0 means unbounded. Bounded pipes
+// allocate their full backing store up front and never reallocate.
 func NewPipe[T any](latency Time, capacity int) *Pipe[T] {
-	return &Pipe[T]{latency: latency, cap: capacity}
+	p := &Pipe[T]{latency: latency, cap: capacity}
+	if capacity > 0 {
+		p.buf = make([]pipeEntry[T], capacity)
+	}
+	return p
 }
 
 // Latency returns the transport latency in base ticks.
 func (p *Pipe[T]) Latency() Time { return p.latency }
 
 // Len returns the number of in-flight entries.
-func (p *Pipe[T]) Len() int { return len(p.q) }
+func (p *Pipe[T]) Len() int { return p.n }
 
 // CanPush reports whether the pipe has room for another entry.
-func (p *Pipe[T]) CanPush() bool { return p.cap <= 0 || len(p.q) < p.cap }
+func (p *Pipe[T]) CanPush() bool { return p.cap <= 0 || p.n < p.cap }
 
 // Push inserts v at time now. It panics if the pipe is full; callers must
 // check CanPush first (backpressure is part of the model).
@@ -37,16 +48,43 @@ func (p *Pipe[T]) Push(now Time, v T) {
 	if !p.CanPush() {
 		panic("sim: push into full pipe")
 	}
-	p.q = append(p.q, pipeEntry[T]{ready: now + p.latency, v: v})
+	if p.n == len(p.buf) {
+		p.grow()
+	}
+	p.buf[(p.head+p.n)%len(p.buf)] = pipeEntry[T]{ready: now + p.latency, v: v}
+	p.n++
+}
+
+func (p *Pipe[T]) grow() {
+	nc := 2 * len(p.buf)
+	if nc < 4 {
+		nc = 4
+	}
+	buf := make([]pipeEntry[T], nc)
+	for i := 0; i < p.n; i++ {
+		buf[i] = p.buf[(p.head+i)%len(p.buf)]
+	}
+	p.buf = buf
+	p.head = 0
 }
 
 // Peek returns the oldest entry if it has arrived by time now.
 func (p *Pipe[T]) Peek(now Time) (T, bool) {
-	var zero T
-	if len(p.q) == 0 || p.q[0].ready > now {
+	if p.n == 0 || p.buf[p.head].ready > now {
+		var zero T
 		return zero, false
 	}
-	return p.q[0].v, true
+	return p.buf[p.head].v, true
+}
+
+// NextReady returns the arrival time of the oldest in-flight entry, or
+// TimeInf when the pipe is empty. It is the pipe's quiescence hint: the
+// consumer cannot observe any change before that instant.
+func (p *Pipe[T]) NextReady() Time {
+	if p.n == 0 {
+		return TimeInf
+	}
+	return p.buf[p.head].ready
 }
 
 // Pop removes and returns the oldest entry if it has arrived by time now.
@@ -55,8 +93,9 @@ func (p *Pipe[T]) Pop(now Time) (T, bool) {
 	if !ok {
 		return v, false
 	}
-	copy(p.q, p.q[1:])
-	p.q = p.q[:len(p.q)-1]
+	p.buf[p.head] = pipeEntry[T]{}
+	p.head = (p.head + 1) % len(p.buf)
+	p.n--
 	return v, true
 }
 
@@ -75,60 +114,104 @@ func (p *Pipe[T]) Drain(now Time) []T {
 
 // Queue is a bounded zero-latency FIFO used for the finite hardware
 // queues of the model (LDST queue, L2 queues, memory-controller
-// read/write queues). capacity <= 0 means unbounded.
+// read/write queues). capacity <= 0 means unbounded. Like Pipe it is a
+// ring buffer: Push and Pop are O(1) and allocation-free at steady
+// state; only the out-of-order RemoveAt pays a shift.
 type Queue[T any] struct {
-	cap int
-	q   []T
+	cap  int
+	buf  []T
+	head int
+	n    int
 }
 
-// NewQueue creates a queue with the given capacity in entries.
-func NewQueue[T any](capacity int) *Queue[T] { return &Queue[T]{cap: capacity} }
+// NewQueue creates a queue with the given capacity in entries. Bounded
+// queues allocate their full backing store up front.
+func NewQueue[T any](capacity int) *Queue[T] {
+	q := &Queue[T]{cap: capacity}
+	if capacity > 0 {
+		q.buf = make([]T, capacity)
+	}
+	return q
+}
 
 // Len returns the number of queued entries.
-func (q *Queue[T]) Len() int { return len(q.q) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // Cap returns the configured capacity (0 = unbounded).
 func (q *Queue[T]) Cap() int { return q.cap }
 
 // CanPush reports whether the queue has room for another entry.
-func (q *Queue[T]) CanPush() bool { return q.cap <= 0 || len(q.q) < q.cap }
+func (q *Queue[T]) CanPush() bool { return q.cap <= 0 || q.n < q.cap }
 
 // Push appends v. It panics if the queue is full.
 func (q *Queue[T]) Push(v T) {
 	if !q.CanPush() {
 		panic("sim: push into full queue")
 	}
-	q.q = append(q.q, v)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+func (q *Queue[T]) grow() {
+	nc := 2 * len(q.buf)
+	if nc < 4 {
+		nc = 4
+	}
+	buf := make([]T, nc)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // Peek returns the oldest entry without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
-	var zero T
-	if len(q.q) == 0 {
+	if q.n == 0 {
+		var zero T
 		return zero, false
 	}
-	return q.q[0], true
+	return q.buf[q.head], true
 }
 
 // Pop removes and returns the oldest entry.
 func (q *Queue[T]) Pop() (T, bool) {
-	v, ok := q.Peek()
-	if !ok {
-		return v, false
+	if q.n == 0 {
+		var zero T
+		return zero, false
 	}
-	copy(q.q, q.q[1:])
-	q.q = q.q[:len(q.q)-1]
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
 	return v, true
 }
 
 // At returns the i-th oldest entry (0 = head). It panics if out of range.
-func (q *Queue[T]) At(i int) T { return q.q[i] }
+func (q *Queue[T]) At(i int) T {
+	if i < 0 || i >= q.n {
+		panic("sim: queue index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
 
 // RemoveAt removes and returns the i-th oldest entry, preserving the
 // order of the others. Used by out-of-order pickers such as FR-FCFS.
 func (q *Queue[T]) RemoveAt(i int) T {
-	v := q.q[i]
-	copy(q.q[i:], q.q[i+1:])
-	q.q = q.q[:len(q.q)-1]
+	if i < 0 || i >= q.n {
+		panic("sim: queue index out of range")
+	}
+	m := len(q.buf)
+	v := q.buf[(q.head+i)%m]
+	for j := i; j < q.n-1; j++ {
+		q.buf[(q.head+j)%m] = q.buf[(q.head+j+1)%m]
+	}
+	q.n--
+	var zero T
+	q.buf[(q.head+q.n)%m] = zero
 	return v
 }

@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// periodicWorker has work every `every`-th cycle until `rounds` rounds
+// have fired; between rounds it is provably idle. Tick is a no-op on
+// idle cycles (the contract that makes dense and skip-ahead equivalent);
+// it records every cycle it actually worked and every Skip credit.
+type periodicWorker struct {
+	every   int64
+	rounds  int64
+	fired   []int64
+	skipped int64 // total cycles credited via Skip
+}
+
+func (p *periodicWorker) Tick(cycle int64) {
+	done := int64(len(p.fired))
+	if done < p.rounds && cycle >= done*p.every {
+		p.fired = append(p.fired, cycle)
+	}
+}
+
+func (p *periodicWorker) NextWork(cycle int64) int64 {
+	done := int64(len(p.fired))
+	if done >= p.rounds {
+		return NoWork
+	}
+	next := done * p.every
+	if next < cycle {
+		next = cycle
+	}
+	return next
+}
+
+func (p *periodicWorker) Skip(cycles int64) { p.skipped += cycles }
+
+func TestEngineSkipsQuiescentCycles(t *testing.T) {
+	e := NewEngine()
+	clk := e.AddClock("core", 10)
+	w := &periodicWorker{every: 7, rounds: 5}
+	clk.Register(w)
+
+	steps := 0
+	for i := 0; i < 100 && len(w.fired) < int(w.rounds); i++ {
+		e.Step()
+		steps++
+	}
+	want := []int64{0, 7, 14, 21, 28}
+	if len(w.fired) != len(want) {
+		t.Fatalf("fired cycles %v, want %v", w.fired, want)
+	}
+	for i, cy := range want {
+		if w.fired[i] != cy {
+			t.Fatalf("fired cycles %v, want %v", w.fired, want)
+		}
+	}
+	if steps != len(want) {
+		t.Fatalf("took %d steps, want %d (one per work edge)", steps, len(want))
+	}
+	// Each 7-cycle round skips 6 idle cycles; the fifth round's trailing
+	// gap was never entered.
+	if w.skipped != 4*6 {
+		t.Fatalf("Skip credited %d cycles, want 24", w.skipped)
+	}
+	// The invariant next == cycle*period must survive warping.
+	if clk.NextEdge() != Time(clk.Cycle())*clk.Period() {
+		t.Fatalf("next edge %d != cycle %d * period %d", clk.NextEdge(), clk.Cycle(), clk.Period())
+	}
+}
+
+func TestEngineDenseMatchesSkipCycleNumbers(t *testing.T) {
+	run := func(dense bool) (fired []int64, now Time) {
+		e := NewEngine()
+		e.SetDense(dense)
+		clk := e.AddClock("core", 17)
+		w := &periodicWorker{every: 5, rounds: 9}
+		clk.Register(w)
+		for clk.Cycle() < 41 {
+			e.Step()
+		}
+		return w.fired, e.Now()
+	}
+	densFired, densNow := run(true)
+	skipFired, skipNow := run(false)
+	if len(densFired) != len(skipFired) {
+		t.Fatalf("dense fired %d work cycles, skip fired %d", len(densFired), len(skipFired))
+	}
+	for i := range densFired {
+		if densFired[i] != skipFired[i] {
+			t.Fatalf("work cycle %d: dense %d, skip %d", i, densFired[i], skipFired[i])
+		}
+	}
+	if densNow != skipNow {
+		t.Fatalf("final time: dense %d, skip %d", densNow, skipNow)
+	}
+}
+
+// TestEngineSkipParityProperty drives two clock domains of
+// randomly-scheduled workers through the dense and skip-ahead engines
+// and requires identical fire schedules.
+func TestEngineSkipParityProperty(t *testing.T) {
+	f := func(everyA, everyB uint8, roundsA, roundsB uint8) bool {
+		mk := func() (*Engine, *periodicWorker, *periodicWorker) {
+			e := NewEngine()
+			a := &periodicWorker{every: int64(everyA%29) + 1, rounds: int64(roundsA % 40)}
+			b := &periodicWorker{every: int64(everyB%29) + 1, rounds: int64(roundsB % 40)}
+			e.AddClock("core", CoreTicks).Register(a)
+			e.AddClock("mem", MemTicks).Register(b)
+			return e, a, b
+		}
+		done := func(a, b *periodicWorker) func() bool {
+			return func() bool {
+				return int64(len(a.fired)) >= a.rounds && int64(len(b.fired)) >= b.rounds
+			}
+		}
+		eS, aS, bS := mk()
+		if err := eS.Run(done(aS, bS), TimeInf); err != nil {
+			return false
+		}
+		eD, aD, bD := mk()
+		eD.SetDense(true)
+		if err := eD.Run(done(aD, bD), TimeInf); err != nil {
+			return false
+		}
+		eq := func(x, y []int64) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					return false
+				}
+			}
+			return true
+		}
+		return eq(aS.fired, aD.fired) && eq(bS.fired, bD.fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineUnhintedTickerForcesDense(t *testing.T) {
+	e := NewEngine()
+	clk := e.AddClock("core", 10)
+	w := &periodicWorker{every: 50, rounds: 1}
+	clk.Register(w)
+	n := 0
+	clk.Register(TickFunc(func(int64) { n++ })) // no NextWork: domain must run dense
+	for clk.Cycle() < 10 {
+		e.Step()
+	}
+	if n != 10 {
+		t.Fatalf("unhinted domain fired %d edges over 10 cycles, want 10", n)
+	}
+	if w.skipped != 0 {
+		t.Fatalf("Skip credited %d cycles in a dense domain, want 0", w.skipped)
+	}
+}
+
+func TestEngineRunDeadlineReportsPendingDomains(t *testing.T) {
+	e := NewEngine()
+	e.AddClock("core", CoreTicks)
+	e.AddClock("mem", MemTicks)
+	err := e.Run(func() bool { return false }, 1000)
+	if err == nil {
+		t.Fatal("Run did not hit the deadline")
+	}
+	for _, name := range []string{"core", "mem"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("deadline error %q does not name the %q domain", err, name)
+		}
+	}
+}
+
+func TestEngineRunForSkipAhead(t *testing.T) {
+	e := NewEngine()
+	clk := e.AddClock("core", 10)
+	w := &periodicWorker{every: 4, rounds: 100}
+	clk.Register(w)
+	e.RunFor(101) // work edges at cycles 0,4,8 → t=0,40,80; cycle 12 is past the window
+	if e.Now() != 101 {
+		t.Fatalf("Now() = %d, want 101", e.Now())
+	}
+	want := []int64{0, 4, 8}
+	if len(w.fired) != len(want) {
+		t.Fatalf("fired %v, want %v", w.fired, want)
+	}
+	for i := range want {
+		if w.fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", w.fired, want)
+		}
+	}
+}
+
+func TestPipeRingWraparound(t *testing.T) {
+	p := NewPipe[int](0, 3)
+	next := 0
+	popped := 0
+	// Interleave pushes and pops far past the capacity so head wraps
+	// many times.
+	for round := 0; round < 50; round++ {
+		for p.CanPush() {
+			p.Push(Time(next), next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			v, ok := p.Pop(TimeInf - 1)
+			if !ok || v != popped {
+				t.Fatalf("round %d: Pop = %d,%v, want %d,true", round, v, ok, popped)
+			}
+			popped++
+		}
+	}
+	for {
+		v, ok := p.Pop(TimeInf - 1)
+		if !ok {
+			break
+		}
+		if v != popped {
+			t.Fatalf("drain: got %d, want %d", v, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d pushed", popped, next)
+	}
+}
+
+func TestPipeNextReady(t *testing.T) {
+	p := NewPipe[int](100, 0)
+	if p.NextReady() != TimeInf {
+		t.Fatal("empty pipe must report TimeInf")
+	}
+	p.Push(5, 1)
+	p.Push(7, 2)
+	if got := p.NextReady(); got != 105 {
+		t.Fatalf("NextReady = %d, want 105", got)
+	}
+	p.Pop(105)
+	if got := p.NextReady(); got != 107 {
+		t.Fatalf("NextReady after pop = %d, want 107", got)
+	}
+}
+
+func TestQueueRingWraparoundWithRemoveAt(t *testing.T) {
+	q := NewQueue[int](4)
+	q.Push(0)
+	q.Push(1)
+	q.Push(2)
+	q.Pop() // head advances; ring now wraps on further pushes
+	q.Push(3)
+	q.Push(4) // wraps
+	if v := q.RemoveAt(1); v != 2 {
+		t.Fatalf("RemoveAt(1) = %d, want 2", v)
+	}
+	want := []int{1, 3, 4}
+	for i, w := range want {
+		if got := q.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	for _, w := range want {
+		if v, ok := q.Pop(); !ok || v != w {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, w)
+		}
+	}
+}
+
+// TestQueueRingMatchesSliceModel cross-checks the ring implementation
+// against a plain-slice reference over random operation sequences.
+func TestQueueRingMatchesSliceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewQueue[int](8)
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // push
+				if q.CanPush() != (len(ref) < 8) {
+					return false
+				}
+				if q.CanPush() {
+					q.Push(next)
+					ref = append(ref, next)
+					next++
+				}
+			case 2: // pop
+				v, ok := q.Pop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			case 3: // remove at a pseudo-random interior index
+				if len(ref) == 0 {
+					continue
+				}
+				i := int(op) % len(ref)
+				if q.RemoveAt(i) != ref[i] {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		for i, w := range ref {
+			if q.At(i) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipeSteadyStateAllocs is the capacity-stability regression gate
+// for the ring-buffer conversion: steady-state Push/Pop traffic on a
+// bounded pipe and queue must allocate nothing, and an unbounded pipe
+// must stop allocating once it reaches its high-water mark.
+func TestPipeSteadyStateAllocs(t *testing.T) {
+	p := NewPipe[int](3, 16)
+	q := NewQueue[int](16)
+	now := Time(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			p.Push(now, i)
+			q.Push(i)
+		}
+		for i := 0; i < 16; i++ {
+			p.Pop(now + 3)
+			q.Pop()
+		}
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("bounded pipe+queue steady state allocated %.1f/run, want 0", allocs)
+	}
+
+	u := NewPipe[int](0, 0)
+	for i := 0; i < 64; i++ { // reach the high-water mark
+		u.Push(0, i)
+	}
+	u.Drain(TimeInf - 1)
+	allocs = testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			u.Push(now, i)
+		}
+		for i := 0; i < 64; i++ {
+			u.Pop(now)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unbounded pipe allocated %.1f/run past its high-water mark, want 0", allocs)
+	}
+}

@@ -206,6 +206,7 @@ type runOptions struct {
 	parallelism  int
 	progress     func(done, total int)
 	disableCache bool
+	dense        bool
 	scale        Scale
 }
 
@@ -232,6 +233,16 @@ func WithKernelCache(enabled bool) Option {
 	return func(o *runOptions) { o.disableCache = !enabled }
 }
 
+// WithDenseEngine runs the simulation on the naive dense tick engine:
+// every clock edge fires even when all components are provably idle,
+// instead of the default quiescence skip-ahead. Results are
+// byte-identical either way (the skip-ahead engine's hints are gated by
+// cycle-exact parity tests); the dense engine is the reference for
+// those tests and an escape hatch when debugging the simulator itself.
+func WithDenseEngine() Option {
+	return func(o *runOptions) { o.dense = true }
+}
+
 // WithScale overrides the data footprint experiments simulate (the
 // zero Scale means the default 256 KiB per channel).
 func WithScale(sc Scale) Option {
@@ -244,6 +255,7 @@ func (o *runOptions) engine() *runner.Engine {
 		Parallelism:        o.parallelism,
 		Progress:           o.progress,
 		DisableKernelCache: o.disableCache,
+		DenseEngine:        o.dense,
 	})
 }
 
