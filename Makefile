@@ -4,7 +4,7 @@ SMOKE_SIZE ?= 32768
 BENCHTIME ?= 2x
 BENCH_OUT ?= BENCH_PR2
 
-.PHONY: ci vet build test race smoke speedup bench bench-compare profile clean
+.PHONY: ci vet build test race smoke speedup bench bench-compare profile results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
 # detector, and a parallel-vs-sequential smoke of the CLIs.
@@ -41,6 +41,14 @@ smoke:
 		echo "smoke: FAIL: dense-engine output differs from skip-ahead"; exit 1; }; \
 	cat $$tmp/seq.log $$tmp/par.log; \
 	echo "smoke: OK (parallel and dense-engine output byte-identical)"
+
+# results regenerates results_all.md — every experiment's tables plus a
+# collapsed per-cell run-manifest block (config hash, seed, engine,
+# wall time). The tables are deterministic; only the manifests' wall
+# times vary between regenerations.
+results:
+	$(GO) run ./cmd/olbench -exp all -manifest > results_all.md
+	@echo "results: wrote results_all.md"
 
 # speedup times the full experiment sweep sequentially and in parallel.
 # Informational: the ratio tracks the core count (expect ~Nx on N CPUs,

@@ -12,20 +12,33 @@
 //	olbench -exp all -progress         # live cell counter on stderr
 //	olbench -exp all -parallel 1       # sequential reference run
 //	olbench -exp fig12 -size 262144    # bigger per-channel footprint
+//	olbench -exp all -manifest         # attach provenance manifests
+//	olbench -exp all -debug-addr :6060 # pprof + expvar while it runs
 //	olbench -list                      # list experiment IDs
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"orderlight"
+)
+
+// Sweep progress counters, exported at /debug/vars when -debug-addr
+// serves the expvar handler.
+var (
+	cellsDone  = expvar.NewInt("olbench_cells_done")
+	cellsTotal = expvar.NewInt("olbench_cells_total")
 )
 
 func main() {
@@ -41,6 +54,9 @@ func main() {
 		cache    = flag.Bool("cache", true, "share built kernel images between identical cells")
 		dense    = flag.Bool("dense", false, "use the naive dense tick engine (parity/debugging reference)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+
+		manifest  = flag.Bool("manifest", false, "attach provenance manifests to every table (adds wall-clock times, so output is no longer byte-stable)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address while the sweep runs, e.g. localhost:6060 (empty disables)")
 	)
 	flag.Parse()
 
@@ -69,6 +85,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "olbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+		// DefaultServeMux carries the pprof and expvar handlers; the
+		// server dies with the process.
+		go http.Serve(ln, nil) //nolint:errcheck
+	}
+
 	var cells int
 	opts := []orderlight.Option{
 		orderlight.WithScale(orderlight.Scale{BytesPerChannel: *size}),
@@ -78,16 +105,25 @@ func main() {
 	if *dense {
 		opts = append(opts, orderlight.WithDenseEngine())
 	}
+	if *manifest {
+		opts = append(opts, orderlight.WithManifest())
+	}
 	if *progress {
 		opts = append(opts, orderlight.WithProgress(func(done, total int) {
 			cells = total
+			cellsDone.Set(int64(done))
+			cellsTotal.Set(int64(total))
 			fmt.Fprintf(os.Stderr, "\rolbench: %d/%d cells", done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}))
 	} else {
-		opts = append(opts, orderlight.WithProgress(func(done, total int) { cells = total }))
+		opts = append(opts, orderlight.WithProgress(func(done, total int) {
+			cells = total
+			cellsDone.Set(int64(done))
+			cellsTotal.Set(int64(total))
+		}))
 	}
 
 	start := time.Now()
@@ -113,6 +149,9 @@ func main() {
 		case "csv":
 			fmt.Println("# " + t.ID + ": " + t.Title)
 			fmt.Print(t.CSV())
+			for _, m := range t.Manifests {
+				fmt.Println("# manifest: " + m.JSON())
+			}
 		case "chart":
 			col := *chartCol
 			if col < 0 {
@@ -121,6 +160,9 @@ func main() {
 			fmt.Println(t.Chart(col))
 		default:
 			fmt.Println(t.Markdown())
+			if mm := t.ManifestMarkdown(); mm != "" {
+				fmt.Println(mm)
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "olbench: %d experiment(s), %d cells in %.1fs (parallelism %s)\n",

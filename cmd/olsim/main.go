@@ -12,6 +12,8 @@
 //	olsim -kernel add -primitive orderlight -ts 1/8
 //	olsim -kernel kmeans -primitive fence -bytes 262144
 //	olsim -kernel add -primitive none -verify=false  # incorrect-run demo
+//	olsim -kernel add -trace-out run.json            # Perfetto trace
+//	olsim -kernel add -sample-every 1000 -sample-out run.csv
 //	olsim -list                                      # list kernels
 package main
 
@@ -21,7 +23,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
+	"time"
 
 	"orderlight"
 )
@@ -41,6 +46,11 @@ func main() {
 		routes   = flag.Int("routes", 1, "adaptive interconnect routes per channel (§9 NoC divergence)")
 		dense    = flag.Bool("dense", false, "use the naive dense tick engine (parity/debugging reference)")
 		list     = flag.Bool("list", false, "list kernels and exit")
+
+		traceOut    = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of the run to this file")
+		sampleEvery = flag.Int64("sample-every", 0, "sample counters every N core cycles (0 disables)")
+		sampleOut   = flag.String("sample-out", "", "write the sampled time-series here (.json for JSON, else CSV; default stdout)")
+		manifest    = flag.Bool("manifest", false, "print the run's provenance manifest as JSON")
 	)
 	flag.Parse()
 
@@ -94,19 +104,96 @@ func main() {
 	if *dense {
 		opts = append(opts, orderlight.WithDenseEngine())
 	}
+	var sink *orderlight.PerfettoSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = orderlight.NewPerfettoSink(f)
+		opts = append(opts, orderlight.WithTraceSink(sink))
+	}
+	var sampler *orderlight.Sampler
+	if *sampleEvery > 0 {
+		sampler = orderlight.NewSampler(*sampleEvery)
+		opts = append(opts, orderlight.WithSampler(sampler))
+	}
+	start := time.Now()
 	res, k, err := orderlight.RunSpecContext(ctx, cfg, spec, *bytes, opts...)
+	wall := time.Since(start)
 	if err != nil {
 		fatal(err)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+		}
+		fmt.Fprintf(os.Stderr, "olsim: wrote %d events (%d dropped) to %s — open in ui.perfetto.dev\n",
+			sink.Events(), sink.Dropped(), *traceOut)
+	}
+	if sampler != nil {
+		if err := writeSamples(sampler, *sampleOut); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("kernel %s, primitive %v, TS %dB (N=%d), BMF %dx, %d channels\n",
 		*name, cfg.Run.Primitive, cfg.PIM.TSBytes, cfg.CommandsPerTile(), cfg.PIM.BMF, cfg.Memory.Channels)
 	fmt.Printf("GPU-baseline (roofline): %.4f ms\n\n", orderlight.HostBaseline(cfg, k))
 	fmt.Print(res)
+	if *manifest {
+		m := orderlight.Manifest{
+			Cell:            spec.Name,
+			Kernel:          spec.Name,
+			Primitive:       cfg.Run.Primitive.String(),
+			Seed:            cfg.Run.Seed,
+			Channels:        cfg.Memory.Channels,
+			TSBytes:         cfg.PIM.TSBytes,
+			BMF:             cfg.PIM.BMF,
+			BytesPerChannel: *bytes,
+			ConfigHash:      orderlight.ConfigHash(cfg),
+			Engine:          engineName(*dense),
+			WallMS:          float64(wall.Nanoseconds()) / 1e6,
+			GoVersion:       runtime.Version(),
+		}
+		fmt.Printf("\nmanifest: %s\n", m.JSON())
+	}
 	if *verify && !res.Correct {
 		fmt.Fprintf(os.Stderr, "olsim: kernel %s under primitive %v failed functional verification\n",
 			*name, cfg.Run.Primitive)
 		os.Exit(1)
 	}
+}
+
+func engineName(dense bool) string {
+	if dense {
+		return "dense"
+	}
+	return "skip"
+}
+
+// writeSamples renders the sampled time-series: JSON when the path ends
+// in .json, CSV otherwise, stdout when no path is given.
+func writeSamples(s *orderlight.Sampler, path string) error {
+	var out []byte
+	if strings.HasSuffix(path, ".json") {
+		b, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		out = append(b, '\n')
+	} else {
+		out = []byte(s.CSV())
+	}
+	if path == "" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "olsim: wrote %d samples to %s\n", len(s.Samples()), path)
+	return nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,8 @@
 //
 //	oltrace -kernel add -primitive none -limit 40
 //	oltrace -kernel add -primitive orderlight -channel 2
+//	oltrace -kernel add -timeline -ring 65536
+//	oltrace -kernel add -trace-out run.json   # Perfetto trace of the run
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 		channel  = flag.Int("channel", 0, "channel whose issue order to dump")
 		limit    = flag.Int("limit", 60, "max issued requests to print")
 		timeline = flag.Bool("timeline", false, "print per-request stage timelines instead of issue order")
+		ring     = flag.Int("ring", 1<<16, "stage-trace ring capacity in events (-timeline; oldest events drop beyond it)")
+		traceOut = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of the run to this file")
 	)
 	flag.Parse()
 
@@ -61,18 +65,38 @@ func main() {
 	m.Controller(*channel).IssueLog = &log
 	var tr *orderlight.Tracer
 	if *timeline {
-		tr = orderlight.NewTracer(1 << 16)
+		tr = orderlight.NewTracer(*ring)
 		m.SetTracer(tr)
+	}
+	var sink *orderlight.PerfettoSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = orderlight.NewPerfettoSink(f)
+		m.SetSink(sink)
 	}
 
 	res, err := m.Run()
 	if err != nil {
 		fatal(err)
 	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+		}
+		fmt.Fprintf(os.Stderr, "oltrace: wrote %d events (%d dropped) to %s — open in ui.perfetto.dev\n",
+			sink.Events(), sink.Dropped(), *traceOut)
+	}
 	if *timeline {
 		fmt.Printf("kernel %s, primitive %v — stage timeline (times in core cycles)\n\n",
 			*name, cfg.Run.Primitive)
 		fmt.Print(tr.Timeline(*limit))
+		if d := tr.Dropped(); d > 0 {
+			fmt.Printf("\n%d events dropped (ring full — the oldest stage crossings are missing; raise -ring)\n", d)
+		}
 		fmt.Printf("\nfunctionally correct: %v\n", res.Correct)
 		checkCorrect(p, res.Correct)
 		return

@@ -1,0 +1,15 @@
+// Package cache models one L2 slice of the GPU memory pipe (Figure 6).
+// Each slice serves exactly one memory channel and is internally split
+// into sub-partitions with separate queues — the divergent paths of
+// §5.3.2 where a naive fence-free design would lose ordering. PIM
+// requests behave like non-temporal accesses: they bypass the tag
+// array entirely and only traverse the sub-partition queues, where an
+// OrderLight packet is carried by the copy-and-merge FSM of Figure 9.
+// Host requests are looked up in a small set-associative tag array;
+// hits are answered at the slice, misses forward to DRAM.
+//
+// The sub-partition count is the knob of the ablation-subpart
+// experiment (more divergent paths = more OrderLight copies to merge),
+// and host hit/miss counts feed the host-QoS columns of the
+// taxonomy-arbitration and ablation-host tables.
+package cache

@@ -1,20 +1,3 @@
-// Package dram models the HBM memory device of Table 1: address
-// geometry, per-bank timing state machines enforcing the paper's timing
-// parameters, and a functional backing store so that PIM commands move
-// real data.
-//
-// Address granularity. The unit of address in the simulator is one
-// command slot: the 32 B host-visible column access a fine-grained PIM
-// command performs. Under a bandwidth multiplication factor (BMF) of k,
-// the PIM units ganged behind a channel move k x 32 B per command, so
-// each slot carries 8*BMF int32 lanes of payload while occupying the
-// timing of a single 32 B column access. This matches the paper's
-// definition of PIM data bandwidth as command bandwidth x BMF (§6) and
-// keeps Figure 11's "8 column writes per 256 B temporary storage"
-// arithmetic exact.
-//
-// Refresh is not modeled; the paper's measurements are likewise
-// dominated by row activate/precharge and ordering stalls.
 package dram
 
 import (

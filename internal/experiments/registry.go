@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"orderlight/internal/config"
+	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
 	"orderlight/internal/runner"
 )
@@ -117,7 +118,24 @@ func RunEngine(ctx context.Context, eng *runner.Engine, id string, cfg config.Co
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
-	return Assemble(id, cfg, sc, res)
+	t, err := Assemble(id, cfg, sc, res)
+	if err != nil {
+		return nil, err
+	}
+	t.Manifests = manifests(res)
+	return t, nil
+}
+
+// manifests collects the non-nil provenance records of a result slice,
+// preserving cell declaration order.
+func manifests(res []runner.Result) []*obs.Manifest {
+	var out []*obs.Manifest
+	for _, r := range res {
+		if r.Manifest != nil {
+			out = append(out, r.Manifest)
+		}
+	}
+	return out
 }
 
 // Run executes one experiment by ID with a default engine (full
@@ -149,10 +167,12 @@ func RunAllEngine(ctx context.Context, eng *runner.Engine, cfg config.Config, sc
 	}
 	out := make([]*Table, len(ids))
 	for i, id := range ids {
-		t, err := Assemble(id, cfg, sc, res[spans[i][0]:spans[i][1]])
+		span := res[spans[i][0]:spans[i][1]]
+		t, err := Assemble(id, cfg, sc, span)
 		if err != nil {
 			return nil, err
 		}
+		t.Manifests = manifests(span)
 		out[i] = t
 	}
 	return out, nil

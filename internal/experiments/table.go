@@ -15,6 +15,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"orderlight/internal/obs"
 )
 
 // Table is a rendered experiment result.
@@ -24,6 +26,12 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Manifests carries the provenance record of every simulated cell
+	// behind the table, in cell declaration order. Populated only when
+	// the runner engine was created with Options.Manifest (the olbench
+	// -manifest flag); empty for descriptive tables with no cells.
+	Manifests []*obs.Manifest
 }
 
 // AddRow appends a formatted row.
@@ -52,6 +60,21 @@ func (t *Table) CSV() string {
 	for _, r := range t.Rows {
 		b.WriteString(strings.Join(r, ",") + "\n")
 	}
+	return b.String()
+}
+
+// ManifestMarkdown renders the attached cell manifests as a collapsed
+// markdown section, one line per cell; empty when none are attached.
+func (t *Table) ManifestMarkdown() string {
+	if len(t.Manifests) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("<details><summary>run manifests</summary>\n\n```\n")
+	for _, m := range t.Manifests {
+		b.WriteString(m.String() + "\n")
+	}
+	b.WriteString("```\n\n</details>\n")
 	return b.String()
 }
 

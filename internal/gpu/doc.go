@@ -1,0 +1,32 @@
+// Package gpu models the host accelerator: the streaming-multiprocessor
+// (SM) front end of Figure 6 — warp scheduler, operand collector, LDST
+// queue — together with the whole-machine assembly (SMs, interconnect,
+// L2 slices, memory controllers) and the roofline host-execution model
+// used for the GPU baseline bars of Figures 10b, 12 and 13.
+//
+// # Ordering primitives at the core
+//
+// The SM executes PIM kernels: warp programs of fine-grained PIM
+// instructions plus ordering primitives. The two primitives differ
+// exactly as §5 describes:
+//
+//   - Fence: the warp stalls until every prior PIM request has been
+//     issued to the DRAM device and acknowledged (FenceTracker). The
+//     round-trip-per-dependence cost is the fence-stall bars of
+//     Figures 5 and 10b.
+//   - OrderLight: the warp waits only until the operand collector's
+//     per-(channel, group) counter reads zero, then injects the packet
+//     into the LDST queue and continues (CollectorCounter, §5.3.1).
+//
+// # Machine assembly and engines
+//
+// Machine wires SMs through the interconnect, L2 slices and per-channel
+// memory controllers, and drives both clock domains on the sim engine.
+// It implements the quiescence hints (NextWork) and closed-form credit
+// accounting (Skip) that make the skip-ahead engine byte-identical to
+// the dense reference, and hosts the observability attachment points:
+// SetTracer (stage-crossing ring buffer), SetSink (streaming event
+// export, internal/obs) and SetSampler (periodic counter snapshots,
+// internal/stats). The §9 OoO-CPU front end (ooo.go) plugs into the
+// same machine behind the host interface.
+package gpu

@@ -10,6 +10,7 @@ import (
 	"orderlight/internal/isa"
 	"orderlight/internal/memctrl"
 	"orderlight/internal/noc"
+	"orderlight/internal/obs"
 	"orderlight/internal/pim"
 	"orderlight/internal/sim"
 	"orderlight/internal/stats"
@@ -38,7 +39,9 @@ type Machine struct {
 	ft     *core.FenceTracker
 	nextID uint64
 
-	tracer *trace.Tracer // optional; see SetTracer
+	tracer  *trace.Tracer  // optional; see SetTracer
+	sink    obs.Sink       // optional; see SetSink
+	sampler *stats.Sampler // optional; see SetSampler
 
 	host        HostTraffic
 	hostRng     *sim.Rand
@@ -167,17 +170,39 @@ func (d coreDomain) Skip(n int64) {
 	for _, h := range d.m.hosts {
 		h.Skip(n)
 	}
+	d.m.emitSkip(obs.TrackClockCore, n, sim.CoreTicks)
 }
 
-// memDomain adapts the memory-clock tick to sim.Worker. It needs no
-// Skip: controllers accrue per-cycle statistics (OLFlagBlocked) only in
-// states their NextWork reports as work-now, so elided memory cycles
-// are truly free of observable effects.
+// memDomain adapts the memory-clock tick to sim.Worker. Its Skip
+// credits no state — controllers accrue per-cycle statistics
+// (OLFlagBlocked) only in states their NextWork reports as work-now, so
+// elided memory cycles are truly free of observable effects — but it
+// does make the elision itself observable as a span on the mem-clock
+// track when tracing is armed.
 type memDomain struct{ m *Machine }
 
 func (d memDomain) Tick(cycle int64) { d.m.memTick(cycle) }
 
 func (d memDomain) NextWork(cycle int64) int64 { return d.m.memNextWork(cycle) }
+
+func (d memDomain) Skip(n int64) { d.m.emitSkip(obs.TrackClockMem, n, sim.MemTicks) }
+
+// emitSkip records a window of elided clock cycles as a credited span
+// on the domain's clock track: the skip-ahead engine's jumps stay
+// visible in the trace instead of reading as missing time. The engine
+// warps time before firing the post-skip edge, so Now() is the edge
+// after the window and the span covers the elided edges exactly.
+func (m *Machine) emitSkip(kind string, n int64, period sim.Time) {
+	if m.sink == nil || n <= 0 {
+		return
+	}
+	dur := sim.Time(n) * period
+	m.sink.Emit(obs.Event{
+		Name: "skip", Track: obs.Track{Kind: kind},
+		At: m.eng.Now() - dur, Dur: dur,
+		Detail: fmt.Sprintf("%d cycles credited", n),
+	})
+}
 
 // ceilCycle converts a base-tick instant to the first cycle of a clock
 // with the given period whose edge is at or after it.
@@ -185,12 +210,29 @@ func ceilCycle(t, period sim.Time) int64 {
 	return int64((t + period - 1) / period)
 }
 
-// coreNextWork is the core domain's quiescence hint: the earliest core
-// cycle at which coreTick could change anything. Host-traffic runs stay
-// dense — injection cadence and coarse-arbitration release depend on
-// cross-domain drain state that is cheaper to tick through than to
-// predict.
+// coreNextWork is the core domain's quiescence hint with the sampling
+// deadline folded in: an armed sampler's next due cycle counts as work,
+// so skip-ahead can never warp past a sample point and the time-series
+// cadence is byte-identical to a dense run.
 func (m *Machine) coreNextWork(cycle int64) int64 {
+	w := m.coreWorkHint(cycle)
+	if m.sampler != nil {
+		if sc := m.sampler.NextCycle(); sc < w {
+			if sc < cycle {
+				sc = cycle
+			}
+			return sc
+		}
+	}
+	return w
+}
+
+// coreWorkHint is the core domain's raw quiescence hint: the earliest
+// core cycle at which coreTick could change anything. Host-traffic runs
+// stay dense — injection cadence and coarse-arbitration release depend
+// on cross-domain drain state that is cheaper to tick through than to
+// predict.
+func (m *Machine) coreWorkHint(cycle int64) int64 {
 	if m.host.PerChannel != 0 {
 		return cycle
 	}
@@ -266,10 +308,69 @@ func (m *Machine) Stats() *stats.Run { return m.st }
 // before Run.
 func (m *Machine) SetTracer(t *trace.Tracer) { m.tracer = t }
 
+// SetSink arms streaming event export for the run: stage crossings,
+// DRAM commands, PIM command issues, warp fence/OrderLight stall spans,
+// and skip-ahead credit spans flow to the sink as they happen. Must be
+// called before Run. The SIMT host emits warp-track spans; the OoO-CPU
+// host of §9 contributes only the shared memory-side events.
+func (m *Machine) SetSink(s obs.Sink) {
+	m.sink = s
+	for _, h := range m.hosts {
+		if sm, ok := h.(*SM); ok {
+			sm.sink = s
+		}
+	}
+	for _, mc := range m.mcs {
+		mc.Sink = s
+	}
+}
+
+// SetSampler arms periodic counter sampling for the run, binding the
+// sampler to this machine's statistics and in-flight-request gauge.
+// Must be called before Run.
+func (m *Machine) SetSampler(s *stats.Sampler) {
+	m.sampler = s
+	s.Bind(m.st, m.memPending)
+}
+
+// memPending gauges the requests in flight anywhere in the memory
+// system: interconnect, L2 slices, L2-to-DRAM pipes, controllers, and
+// the acknowledgment path.
+func (m *Machine) memPending() int {
+	n := m.acks.Len()
+	for ch := range m.icnt {
+		n += m.icnt[ch].Len() + m.slices[ch].Pending() +
+			m.l2dram[ch].Len() + m.mcs[ch].Pending()
+	}
+	return n
+}
+
 // record traces one stage crossing if tracing is armed.
 func (m *Machine) record(stage trace.Stage, r isa.Request) {
 	if m.tracer != nil {
 		m.tracer.Record(m.eng.Now(), stage, r)
+	}
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{
+			Name:   stage.String(),
+			Track:  stageTrack(stage, r),
+			At:     m.eng.Now(),
+			Detail: fmt.Sprintf("#%d %v ch%d g%d", r.ID, r.Kind, r.Channel, r.Group),
+		})
+	}
+}
+
+// stageTrack maps a stage crossing to its component track: injection on
+// the issuing SM, the interconnect-to-DRAM path stages on the channel's
+// L2 track, controller acceptance and device issue on the MC track.
+func stageTrack(stage trace.Stage, r isa.Request) obs.Track {
+	switch stage {
+	case trace.StageInject:
+		return obs.Track{Kind: "sm", ID: r.SM}
+	case trace.StageL2, trace.StageToDRAM:
+		return obs.Track{Kind: "l2", ID: r.Channel}
+	default:
+		return obs.Track{Kind: "mc", ID: r.Channel}
 	}
 }
 
@@ -421,6 +522,9 @@ func (m *Machine) completeHost(r isa.Request) {
 // coreTick advances everything in the 1200 MHz core domain.
 func (m *Machine) coreTick() {
 	now := m.eng.Now()
+	if m.sampler != nil {
+		m.sampler.ObserveCycle(now)
+	}
 	m.injectHost()
 	// Acknowledgments reach the fence trackers.
 	for {
@@ -503,6 +607,9 @@ func (m *Machine) Run() (*stats.Run, error) {
 		return m.st, err
 	}
 	m.st.End = m.eng.Now()
+	if m.sampler != nil {
+		m.sampler.Finish(m.eng.Now())
+	}
 	if m.cfg.Run.Verify {
 		if err := m.Verify(); err != nil {
 			return m.st, err

@@ -1,18 +1,3 @@
-// Package gpu models the host accelerator: the streaming-multiprocessor
-// (SM) front end of Figure 6 — warp scheduler, operand collector, LDST
-// queue — together with the whole-machine assembly (SMs, interconnect,
-// L2 slices, memory controllers) and the roofline host-execution model
-// used for the GPU baseline bars of Figures 10b, 12 and 13.
-//
-// The SM executes PIM kernels: warp programs of fine-grained PIM
-// instructions plus ordering primitives. The two primitives differ
-// exactly as §5 describes:
-//
-//   - Fence: the warp stalls until every prior PIM request has been
-//     issued to the DRAM device and acknowledged (FenceTracker).
-//   - OrderLight: the warp waits only until the operand collector's
-//     per-(channel, group) counter reads zero, then injects the packet
-//     into the LDST queue and continues (CollectorCounter).
 package gpu
 
 import (
@@ -22,6 +7,7 @@ import (
 	"orderlight/internal/core"
 	"orderlight/internal/dram"
 	"orderlight/internal/isa"
+	"orderlight/internal/obs"
 	"orderlight/internal/sim"
 	"orderlight/internal/stats"
 )
@@ -53,6 +39,12 @@ type warp struct {
 	state   warpState
 	pktNum  uint32 // per-(channel,group) OrderLight packet number; one warp owns its channel
 	seq     uint64 // program-order sequence for emitted requests
+
+	// stallAcc counts issue slots burned spinning on the current
+	// ordering instruction (fence drain or OrderLight counter wait),
+	// credited identically by step and Skip so the stall span emitted
+	// when the instruction finally issues is engine-independent.
+	stallAcc int64
 }
 
 // collectorEntry is a PIM request being gathered in the operand
@@ -79,6 +71,11 @@ type SM struct {
 	// send pushes a request into the interconnect toward its channel;
 	// it returns false when the channel pipe is full this cycle.
 	send func(r isa.Request) bool
+
+	// sink, when non-nil, receives warp-track ordering events: a span
+	// for each fence/OrderLight stall episode and an instant when the
+	// primitive issues. Armed by Machine.SetSink.
+	sink obs.Sink
 
 	nextID *uint64 // shared request-ID counter
 
@@ -265,9 +262,11 @@ func (s *SM) Skip(k int64) {
 		case stallFence:
 			w.state = warpFence
 			s.st.FenceStallCycles += cnt
+			w.stallAcc += cnt
 		case stallOL:
 			w.state = warpOL
 			s.st.OLStallCycles += cnt
+			w.stallAcc += cnt
 		case stallCredit:
 			s.st.CreditStallCycles += cnt
 		case stallCollector:
@@ -348,10 +347,12 @@ func (s *SM) step(w *warp, now sim.Time) bool {
 	case stallFence:
 		w.state = warpFence
 		s.st.FenceStallCycles++
+		w.stallAcc++
 		return true // the warp occupies its slot spinning
 	case stallOL:
 		w.state = warpOL
 		s.st.OLStallCycles++
+		w.stallAcc++
 		return true
 	case stallCredit:
 		// Credit-based flow control: the §8.1 baseline may not have
@@ -366,6 +367,7 @@ func (s *SM) step(w *warp, now sim.Time) bool {
 	switch in.Kind {
 	case isa.KindFence:
 		s.st.FenceCount++
+		s.emitOrdering(w, "fence", now)
 		w.state = warpReady
 		w.pc++
 		return true
@@ -387,6 +389,7 @@ func (s *SM) step(w *warp, now sim.Time) bool {
 		w.seq++
 		s.st.OLCount++
 		s.st.WarpInstrs++
+		s.emitOrdering(w, "orderlight", now)
 		w.state = warpReady
 		w.pc++
 		return true
@@ -410,6 +413,32 @@ func (s *SM) step(w *warp, now sim.Time) bool {
 		}
 		return true
 	}
+}
+
+// emitOrdering reports an ordering primitive issuing on warp w: the
+// stall episode that preceded it as a duration span (its length is the
+// per-warp slot count both engines credit identically, so dense and
+// skip-ahead runs emit byte-identical streams) followed by an instant
+// marking the issue itself. Resets the episode accumulator either way.
+func (s *SM) emitOrdering(w *warp, name string, now sim.Time) {
+	acc := w.stallAcc
+	w.stallAcc = 0
+	if s.sink == nil {
+		return
+	}
+	track := obs.Track{Kind: "warp", ID: w.id}
+	if acc > 0 {
+		dur := sim.Time(acc) * sim.CoreTicks
+		s.sink.Emit(obs.Event{
+			Name: name + "-stall", Track: track,
+			At: now - dur, Dur: dur,
+			Detail: fmt.Sprintf("%d slots ch%d", acc, w.channel),
+		})
+	}
+	s.sink.Emit(obs.Event{
+		Name: name, Track: track, At: now,
+		Detail: fmt.Sprintf("ch%d", w.channel),
+	})
 }
 
 // laneRequest materializes the current lane of a warp (or OoO-thread)

@@ -1,19 +1,3 @@
-// Package memctrl implements one memory channel's controller: separate
-// read/write queues (Table 1: 64 entries each), an FR-FCFS transaction
-// scheduler, DRAM command generation subject to the timing model, and —
-// the paper's §5.3.2 augmentation — OrderLight enforcement via a
-// per-memory-group request counter and flag (generalized to epochs).
-//
-// The controller is where the two ordering designs meet:
-//
-//   - With fences, the controller is unmodified; correctness relies on
-//     the core never having two dependent commands in flight at once.
-//   - With OrderLight, packets replicated into the read and write queues
-//     merge at the scheduler stage (copy-and-merge, Figure 9) and gate
-//     FR-FCFS's reordering freedom per memory-group.
-//   - With no primitive at all, FR-FCFS's row-hit-first policy freely
-//     reorders dependent PIM commands and the functional result is
-//     corrupted — Figure 5's "functionally incorrect" configuration.
 package memctrl
 
 import (
@@ -23,7 +7,9 @@ import (
 	"orderlight/internal/core"
 	"orderlight/internal/dram"
 	"orderlight/internal/isa"
+	"orderlight/internal/obs"
 	"orderlight/internal/pim"
+	"orderlight/internal/sim"
 	"orderlight/internal/stats"
 )
 
@@ -61,6 +47,12 @@ type Controller struct {
 	// IssueLog, if non-nil, records requests in device issue order (used
 	// by tests and the trace tool).
 	IssueLog *[]isa.Request
+
+	// Sink, if non-nil, receives device-level events: every DRAM command
+	// (ACT/PRE/RD/WR, refresh as a tRFC-long span) on the channel's MC
+	// track and every PIM command execution on the channel's PIM track.
+	// Armed by Machine.SetSink.
+	Sink obs.Sink
 }
 
 // txEntry is one transaction in the scheduler's working set.
@@ -156,6 +148,22 @@ func (c *Controller) Accept(r isa.Request) {
 // Pending returns the number of requests buffered anywhere in the
 // controller (queues plus scheduler working set).
 func (c *Controller) Pending() int { return c.conv.Len() + len(c.txq) }
+
+// emit reports a device-level event if a sink is armed. Commands occur
+// at memory-clock edges that are identical under the dense and
+// skip-ahead engines, so the exported stream is engine-independent.
+func (c *Controller) emit(kind, name string, memCycle, durCycles int64, detail string) {
+	if c.Sink == nil {
+		return
+	}
+	c.Sink.Emit(obs.Event{
+		Name:   name,
+		Track:  obs.Track{Kind: kind, ID: c.channel},
+		At:     sim.Time(memCycle) * sim.MemTicks,
+		Dur:    sim.Time(durCycles) * sim.MemTicks,
+		Detail: detail,
+	})
+}
 
 // Tick advances the controller by one memory-clock cycle.
 func (c *Controller) Tick(memCycle int64) {
@@ -278,6 +286,7 @@ func (c *Controller) refresh(cycle int64) bool {
 		if c.timing.CanIssue(dram.CmdPRE, b, open, cycle) {
 			c.timing.Issue(dram.CmdPRE, b, open, cycle)
 			c.st.PreCmds++
+			c.emit("mc", "PRE", cycle, 0, fmt.Sprintf("bank %d (refresh drain)", b))
 		}
 		return true
 	}
@@ -286,6 +295,7 @@ func (c *Controller) refresh(cycle int64) bool {
 	c.refreshUntil = cycle + c.rfc
 	c.nextRefresh += c.refi
 	c.st.Refreshes++
+	c.emit("mc", "REF", cycle, c.rfc, "all-bank refresh")
 	return true
 }
 
@@ -378,6 +388,7 @@ func (c *Controller) schedule(memCycle int64) {
 			if c.timing.CanIssue(dram.CmdPRE, e.r.Bank, open, memCycle) {
 				c.timing.Issue(dram.CmdPRE, e.r.Bank, open, memCycle)
 				c.st.PreCmds++
+				c.emit("mc", "PRE", memCycle, 0, fmt.Sprintf("bank %d row %d", e.r.Bank, open))
 				return
 			}
 		default:
@@ -385,6 +396,7 @@ func (c *Controller) schedule(memCycle int64) {
 				c.timing.Issue(dram.CmdACT, e.r.Bank, e.r.Row, memCycle)
 				c.st.ActCmds++
 				e.didACT = true
+				c.emit("mc", "ACT", memCycle, 0, fmt.Sprintf("bank %d row %d", e.r.Bank, e.r.Row))
 				return
 			}
 		}
@@ -418,8 +430,9 @@ func (c *Controller) issueColumn(i int, memCycle int64) {
 	e := c.txq[i]
 	if e.r.Kind != isa.KindPIMExec {
 		cmd := dram.CmdRD
+		name := "RD"
 		if e.r.Kind.IsWrite() {
-			cmd = dram.CmdWR
+			cmd, name = dram.CmdWR, "WR"
 		}
 		c.timing.Issue(cmd, e.r.Bank, e.r.Row, memCycle)
 		if e.didACT {
@@ -427,11 +440,17 @@ func (c *Controller) issueColumn(i int, memCycle int64) {
 		} else {
 			c.st.RowHits++
 		}
+		c.emit("mc", name, memCycle, 0,
+			fmt.Sprintf("#%d bank %d row %d", e.r.ID, e.r.Bank, e.r.Row))
+	} else {
+		c.emit("mc", "exec", memCycle, 0, fmt.Sprintf("#%d", e.r.ID))
 	}
 	if e.r.Kind.IsPIM() {
 		if err := c.unit.Exec(e.r); err != nil {
 			panic(fmt.Sprintf("memctrl: PIM execution failed: %v", err))
 		}
+		c.emit("pim", fmt.Sprintf("%v", e.r.Kind), memCycle, 0,
+			fmt.Sprintf("#%d g%d slot %d", e.r.ID, e.r.Group, e.r.TSlot))
 	}
 	c.st.CountCmd(e.r.Kind)
 	c.tracker.Issued(e.r.Group, e.epoch)

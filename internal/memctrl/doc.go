@@ -1,0 +1,27 @@
+// Package memctrl implements one memory channel's controller: separate
+// read/write queues (Table 1: 64 entries each), an FR-FCFS transaction
+// scheduler, DRAM command generation subject to the timing model, and —
+// the paper's §5.3.2 augmentation — OrderLight enforcement via a
+// per-memory-group request counter and flag (generalized to epochs).
+//
+// # Where the ordering designs meet
+//
+//   - With fences, the controller is unmodified; correctness relies on
+//     the core never having two dependent commands in flight at once.
+//   - With OrderLight, packets replicated into the read and write
+//     queues merge at the scheduler stage (copy-and-merge, Figure 9)
+//     and gate FR-FCFS's reordering freedom per memory-group.
+//   - With no primitive at all, FR-FCFS's row-hit-first policy freely
+//     reorders dependent PIM commands and the functional result is
+//     corrupted — Figure 5's "functionally incorrect" configuration.
+//   - The §8.1 sequence-number baseline releases PIM requests to the
+//     device strictly in warp order (related-seqno experiment).
+//
+// The scheduler's row hit/miss split and command counts feed the
+// bandwidth figures (10a, 11) and the row-hit-rate columns of the
+// tables; an optional all-bank refresh state machine (off in the
+// paper's setup) feeds the ablation-refresh experiment. When a trace
+// sink is armed, every ACT/PRE/RD/WR, refresh window and PIM command
+// execution is exported on the channel's MC and PIM tracks
+// (internal/obs).
+package memctrl

@@ -1,0 +1,16 @@
+// Package noc models the interconnection network between the SMs and
+// the L2 slices. Its reason to exist is the paper's §9 observation that
+// networks-on-chip "may unorder PIM requests — ideas related to path
+// divergence are applicable here": a Link can be configured with
+// several parallel routes and adaptive (least-occupied) routing, which
+// reorders same-channel requests in flight. An OrderLight packet is
+// replicated across every route and merged at the receiving end with
+// the Figure 9 copy-and-merge discipline, so ordering survives exactly
+// the way it survives the L2 sub-partition divergence of §5.3.2.
+//
+// With a single route the Link degenerates to the plain in-order,
+// fixed-latency pipe of the baseline configuration — the setting every
+// paper figure uses. The multi-route configurations feed the
+// ablation-noc experiment, whose correctness columns demonstrate that
+// per-group ordering composes with route divergence.
+package noc

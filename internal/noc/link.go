@@ -1,15 +1,3 @@
-// Package noc models the interconnection network between the SMs and
-// the L2 slices. Its reason to exist is the paper's §9 observation that
-// networks-on-chip "may unorder PIM requests — ideas related to path
-// divergence are applicable here": a Link can be configured with
-// several parallel routes and adaptive (least-occupied) routing, which
-// reorders same-channel requests in flight. An OrderLight packet is
-// replicated across every route and merged at the receiving end with
-// the Figure 9 copy-and-merge discipline, so ordering survives exactly
-// the way it survives the L2 sub-partition divergence.
-//
-// With a single route the Link degenerates to the plain in-order,
-// fixed-latency pipe of the baseline configuration.
 package noc
 
 import (

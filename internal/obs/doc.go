@@ -1,0 +1,29 @@
+// Package obs is the simulator's observability layer: structured event
+// export, run manifests, and the sink plumbing that turns the
+// simulator's internal happenings into artifacts an outside tool can
+// inspect.
+//
+// The package models no paper structure itself — it is the instrument
+// panel bolted onto the machine of Figure 6 so the paper's headline
+// evidence can be seen forming instead of only read off at the end:
+//
+//   - Event / Track / Sink are the streaming event model. Components
+//     (SMs, warps, L2 slices, memory controllers, PIM units, the two
+//     clock domains) emit duration and instant events onto per-component
+//     tracks; a Sink consumes them as they happen.
+//   - PerfettoSink renders the stream as Chrome trace-event JSON,
+//     loadable in ui.perfetto.dev, with one named thread per track.
+//     Fence and OrderLight stall spans on the warp tracks are the
+//     per-request view behind Figure 5's fence-stall breakdown; DRAM
+//     command instants on the controller tracks are the scheduling
+//     decisions behind Figures 10-11.
+//   - Manifest attaches provenance to a run — config hash, kernel,
+//     seed, engine (dense or quiescence skip-ahead), wall time, Go
+//     version — so any experiment datapoint (any cell of the tables in
+//     results_all.md) is reproducible from its manifest alone.
+//
+// The event stream is engine-faithful: the quiescence skip-ahead engine
+// emits the same work events at the same simulated instants as the
+// naive dense engine, and windows it elides appear as explicit credited
+// "skip" spans on the clock-domain tracks (see internal/sim).
+package obs

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+
+	"orderlight/internal/sim"
+)
+
+// Track identifies the component timeline an event belongs to. Tracks
+// render as named threads in the Perfetto UI.
+type Track struct {
+	// Kind is the component class: "clock-core", "clock-mem", "sm",
+	// "warp", "l2", "mc" or "pim".
+	Kind string
+	// ID distinguishes instances of the same kind (SM id, warp id,
+	// channel number). Clock-domain tracks use ID 0.
+	ID int
+}
+
+// Clock-domain track kinds. Component kinds ("sm", "warp", "l2", "mc",
+// "pim") carry an instance ID; the two clock domains are singletons.
+const (
+	TrackClockCore = "clock-core"
+	TrackClockMem  = "clock-mem"
+)
+
+// IsClock reports whether the track is a clock-domain track. Credited
+// skip-ahead spans live only on clock tracks, so event-stream parity
+// checks filter on this.
+func (t Track) IsClock() bool {
+	return t.Kind == TrackClockCore || t.Kind == TrackClockMem
+}
+
+// Label renders the track's display name.
+func (t Track) Label() string {
+	if t.IsClock() {
+		return t.Kind
+	}
+	return fmt.Sprintf("%s %d", t.Kind, t.ID)
+}
+
+// Event is one observable happening inside the simulated machine: an
+// instant (Dur == 0) such as a stage crossing or a DRAM command, or a
+// duration span such as a warp's fence stall or an elided-cycle window.
+type Event struct {
+	Name   string   // e.g. "inject", "RD", "fence-stall", "skip"
+	Track  Track    // component timeline
+	At     sim.Time // start instant in base ticks
+	Dur    sim.Time // span length; 0 means instant
+	Detail string   // optional free-form payload (request id/kind, counts)
+}
+
+// Sink consumes the event stream as the simulation runs. The simulator
+// is single-threaded, so Sink implementations need no locking against
+// Emit; a sink shared across concurrently running machines must
+// synchronize internally.
+type Sink interface {
+	// Emit delivers one event. Events arrive in emission order, which
+	// is deterministic for a given configuration and engine.
+	Emit(Event)
+	// Drop records that n events were lost upstream before reaching
+	// the sink (e.g. a bounded buffer overwrote them), so exported
+	// artifacts can state their own incompleteness.
+	Drop(n int64)
+}
+
+// CollectSink buffers events in memory — the sink used by tests and by
+// callers that post-process the stream themselves. The zero value is
+// ready to use and unbounded; set Max to bound retention (excess events
+// are counted as dropped, newest-first is NOT preserved: the cap keeps
+// the oldest Max events, mirroring a full queue refusing arrivals).
+type CollectSink struct {
+	Max     int // 0 = unbounded
+	events  []Event
+	dropped int64
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(e Event) {
+	if s.Max > 0 && len(s.events) >= s.Max {
+		s.dropped++
+		return
+	}
+	s.events = append(s.events, e)
+}
+
+// Drop implements Sink.
+func (s *CollectSink) Drop(n int64) { s.dropped += n }
+
+// Events returns the buffered events in emission order.
+func (s *CollectSink) Events() []Event { return s.events }
+
+// Dropped returns how many events were lost (upstream-reported plus
+// locally capped).
+func (s *CollectSink) Dropped() int64 { return s.dropped }
+
+// MultiSink fans every event out to several sinks in order.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Drop implements Sink.
+func (m MultiSink) Drop(n int64) {
+	for _, s := range m {
+		s.Drop(n)
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"orderlight/internal/sim"
+)
+
+// PerfettoSink streams the event stream as Chrome trace-event JSON,
+// the legacy format ui.perfetto.dev (and chrome://tracing) loads
+// directly. Every Track becomes a named thread under one "orderlight"
+// process; duration events use phase "X" (complete), instants phase
+// "i". Timestamps are simulated microseconds.
+//
+// The sink writes incrementally — a run producing millions of events
+// never buffers them — and must be Closed to terminate the JSON
+// document. Write errors are sticky: the first one stops all further
+// output and is reported by Close.
+type PerfettoSink struct {
+	w       *bufio.Writer
+	err     error
+	started bool
+	events  int64
+	dropped int64
+	tids    map[Track]int
+}
+
+// NewPerfettoSink creates a sink streaming to w. Call Close when the
+// run finishes to terminate the JSON document.
+func NewPerfettoSink(w io.Writer) *PerfettoSink {
+	return &PerfettoSink{w: bufio.NewWriterSize(w, 1<<16), tids: make(map[Track]int)}
+}
+
+// pid is the single trace-event process all tracks live under.
+const pid = 1
+
+// writeString appends s, latching the first write error.
+func (p *PerfettoSink) writeString(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = p.w.WriteString(s)
+}
+
+// header opens the JSON document on first use.
+func (p *PerfettoSink) header() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.writeString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	p.writeString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"orderlight"}}`)
+}
+
+// tid returns the thread id for a track, emitting its thread_name
+// metadata event on first sight. Assignment order follows emission
+// order, which is deterministic for a given run.
+func (p *PerfettoSink) tid(t Track) int {
+	if id, ok := p.tids[t]; ok {
+		return id
+	}
+	id := len(p.tids) + 1
+	p.tids[t] = id
+	p.writeString(",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+		strconv.Itoa(id) + ",\"args\":{\"name\":" + strconv.Quote(t.Label()) + "}}")
+	return id
+}
+
+// us renders a tick count as simulated microseconds. FormatFloat with
+// precision -1 emits the shortest decimal that round-trips, so output
+// is deterministic across platforms.
+func us(t sim.Time) string {
+	return strconv.FormatFloat(float64(t)/(sim.BaseTickHz/1e6), 'f', -1, 64)
+}
+
+// Emit implements Sink.
+func (p *PerfettoSink) Emit(e Event) {
+	p.header()
+	tid := p.tid(e.Track)
+	if p.err != nil {
+		return
+	}
+	p.events++
+	p.writeString(",\n{\"name\":" + strconv.Quote(e.Name))
+	if e.Dur > 0 {
+		p.writeString(`,"ph":"X","ts":` + us(e.At) + `,"dur":` + us(e.Dur))
+	} else {
+		p.writeString(`,"ph":"i","s":"t","ts":` + us(e.At))
+	}
+	p.writeString(`,"pid":1,"tid":` + strconv.Itoa(tid))
+	if e.Detail != "" {
+		p.writeString(`,"args":{"detail":` + strconv.Quote(e.Detail) + "}")
+	}
+	p.writeString("}")
+}
+
+// Drop implements Sink: upstream losses are accumulated and recorded in
+// the document trailer so a truncated trace declares itself.
+func (p *PerfettoSink) Drop(n int64) { p.dropped += n }
+
+// Events returns how many events have been written.
+func (p *PerfettoSink) Events() int64 { return p.events }
+
+// Dropped returns the upstream-reported dropped-event count.
+func (p *PerfettoSink) Dropped() int64 { return p.dropped }
+
+// Close terminates the JSON document (recording the event and dropped
+// counts as trace metadata), flushes, and returns the first write error
+// if any occurred.
+func (p *PerfettoSink) Close() error {
+	p.header()
+	p.writeString(",\n{\"name\":\"trace_stats\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"events\":" +
+		strconv.FormatInt(p.events, 10) + ",\"dropped\":" + strconv.FormatInt(p.dropped, 10) + "}}")
+	p.writeString("\n]}\n")
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

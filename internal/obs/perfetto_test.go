@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orderlight/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testEvents is a fixed event stream covering every encoding path:
+// instants with and without detail, duration spans, repeated tracks
+// (tid reuse) and a clock-track skip credit.
+func testEvents() []Event {
+	return []Event{
+		{Name: "inject", Track: Track{Kind: "sm", ID: 0}, At: 1 * sim.CoreTicks, Detail: "#1 PIM_Load ch0 g0"},
+		{Name: "RD", Track: Track{Kind: "mc", ID: 3}, At: 1 * sim.MemTicks},
+		{Name: "inject", Track: Track{Kind: "sm", ID: 0}, At: 2 * sim.CoreTicks, Detail: "#2 PIM_Store ch0 g1"},
+		{Name: "fence-stall", Track: Track{Kind: "warp", ID: 2}, At: 10 * sim.CoreTicks, Dur: 20 * sim.CoreTicks, Detail: "20 slots ch2"},
+		{Name: "fence", Track: Track{Kind: "warp", ID: 2}, At: 30 * sim.CoreTicks, Detail: "ch2"},
+		{Name: "skip", Track: Track{Kind: TrackClockCore}, At: 100 * sim.CoreTicks, Dur: 100 * sim.CoreTicks, Detail: "100 cycles credited"},
+	}
+}
+
+// TestPerfettoGolden pins the exporter's byte output: the JSON document
+// for a fixed event stream must never change shape silently (stable
+// ordering, deterministic float formatting). Regenerate with -update
+// after an intentional format change.
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPerfettoSink(&buf)
+	for _, e := range testEvents() {
+		p.Emit(e)
+	}
+	p.Drop(7)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "perfetto.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exporter output deviates from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	if p.Events() != int64(len(testEvents())) {
+		t.Errorf("Events() = %d, want %d", p.Events(), len(testEvents()))
+	}
+	if p.Dropped() != 7 {
+		t.Errorf("Dropped() = %d, want 7", p.Dropped())
+	}
+}
+
+// ValidatePerfetto asserts data is a loadable Chrome trace-event JSON
+// document: a traceEvents array whose entries all carry name/ph/pid/tid,
+// with "X" entries holding numeric ts+dur and "i" entries ts plus scope.
+// Shared with the end-to-end test in internal/experiments.
+func ValidatePerfetto(t *testing.T, data []byte) (events int) {
+	t.Helper()
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		switch ph := ev["ph"]; ph {
+		case "M":
+			// Metadata events carry args only.
+		case "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("event %d: complete event without numeric ts: %v", i, ev)
+			}
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("event %d: complete event without numeric dur: %v", i, ev)
+			}
+			events++
+		case "i":
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("event %d: instant without numeric ts: %v", i, ev)
+			}
+			if ev["s"] != "t" {
+				t.Fatalf("event %d: instant without thread scope: %v", i, ev)
+			}
+			events++
+		default:
+			t.Fatalf("event %d: unexpected phase %v", i, ph)
+		}
+	}
+	return events
+}
+
+// TestPerfettoSchema checks the synthetic stream parses back as a
+// structurally sound trace document, including the trailer stats.
+func TestPerfettoSchema(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPerfettoSink(&buf)
+	for _, e := range testEvents() {
+		p.Emit(e)
+	}
+	p.Drop(3)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ValidatePerfetto(t, buf.Bytes()); n != len(testEvents()) {
+		t.Errorf("schema walk saw %d events, want %d", n, len(testEvents()))
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Args struct {
+				Events  int64 `json:"events"`
+				Dropped int64 `json:"dropped"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.Name != "trace_stats" || last.Args.Events != int64(len(testEvents())) || last.Args.Dropped != 3 {
+		t.Errorf("trailer = %+v, want trace_stats with events=%d dropped=3", last, len(testEvents()))
+	}
+}
+
+// TestPerfettoEmptyClose checks a sink closed with no events still
+// produces a valid document.
+func TestPerfettoEmptyClose(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewPerfettoSink(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+}
+
+// errWriter fails after n bytes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, os.ErrClosed
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestPerfettoStickyError checks the first write error is latched and
+// surfaced by Close rather than silently swallowed.
+func TestPerfettoStickyError(t *testing.T) {
+	p := NewPerfettoSink(&errWriter{n: 8})
+	for _, e := range testEvents() {
+		p.Emit(e)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("Close() = nil, want the latched write error")
+	}
+}
+
+func TestCollectSinkCap(t *testing.T) {
+	s := &CollectSink{Max: 2}
+	for _, e := range testEvents() {
+		s.Emit(e)
+	}
+	s.Drop(5)
+	if len(s.Events()) != 2 {
+		t.Errorf("capped sink kept %d events, want 2", len(s.Events()))
+	}
+	if want := int64(len(testEvents())-2) + 5; s.Dropped() != want {
+		t.Errorf("Dropped() = %d, want %d", s.Dropped(), want)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := &CollectSink{}, &CollectSink{}
+	m := MultiSink{a, b}
+	for _, e := range testEvents() {
+		m.Emit(e)
+	}
+	m.Drop(2)
+	if len(a.Events()) != len(testEvents()) || len(b.Events()) != len(testEvents()) {
+		t.Errorf("fan-out delivered %d/%d events, want %d each", len(a.Events()), len(b.Events()), len(testEvents()))
+	}
+	if a.Dropped() != 2 || b.Dropped() != 2 {
+		t.Errorf("fan-out dropped %d/%d, want 2 each", a.Dropped(), b.Dropped())
+	}
+}

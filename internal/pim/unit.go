@@ -1,13 +1,3 @@
-// Package pim implements the generic, parameterized PIM compute unit of
-// §4.1: a SIMD ALU coupled with temporary storage (TS), attached to one
-// memory channel. The unit executes fine-grained PIM commands
-// functionally over real int32 data in the DRAM backing store, in the
-// exact order the memory controller issues them — so a run whose
-// ordering is wrong produces wrong bytes, not just wrong statistics.
-//
-// The bandwidth multiplication factor (BMF) of the unit is embodied in
-// the lane width of the store's slots: one command moves 8*BMF int32
-// lanes while occupying the channel like a single 32 B column access.
 package pim
 
 import (

@@ -1,17 +1,3 @@
-// Package runner is the parallel experiment engine: it executes flat
-// lists of independent simulation cells (kernel x primitive x scale)
-// across a bounded goroutine pool and hands the results back in
-// declaration order, so a parallel sweep is byte-identical to a
-// sequential one.
-//
-// Each cell is one complete simulation: build (or fetch from the kernel
-// cache) a kernel image, assemble a machine, run it, collect the
-// measurements. Cells never share mutable state — the cache clones the
-// DRAM store per use — which is what makes the fan-out safe. A
-// panicking cell is recovered into a typed *CellError wrapping
-// olerrors.ErrCellPanic instead of crashing the sweep, and a canceled
-// context stops the pool at the next cell boundary with
-// olerrors.ErrCanceled.
 package runner
 
 import (
@@ -21,10 +7,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"orderlight/internal/config"
 	"orderlight/internal/gpu"
 	"orderlight/internal/kernel"
+	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
 	"orderlight/internal/stats"
 )
@@ -59,6 +47,10 @@ type Result struct {
 	// Concurrent-host measurements (zero when the cell had no Traffic).
 	HostLatency float64 // mean host-load latency in core cycles
 	HostServed  int64   // host loads served
+
+	// Manifest is the cell's provenance record; nil unless the engine
+	// was created with Options.Manifest.
+	Manifest *obs.Manifest
 }
 
 // CellError is the typed error a failing cell contributes to the sweep:
@@ -95,6 +87,20 @@ type Options struct {
 	// of the quiescence skip-ahead one. Results are byte-identical; the
 	// dense engine is the parity reference and a debugging escape hatch.
 	DenseEngine bool
+
+	// TraceSink, when set, streams every machine event (stage crossings,
+	// DRAM commands, warp stalls, skip credits) from the run into the
+	// sink. Only legal for single-cell Run calls: a multi-cell sweep
+	// would interleave streams nondeterministically, so Run rejects it.
+	TraceSink obs.Sink
+
+	// Sampler, when set, snapshots the run's counters every N core
+	// cycles into a time-series. Single-cell only, like TraceSink.
+	Sampler *stats.Sampler
+
+	// Manifest attaches a provenance record (config hash, seed, engine,
+	// wall time, go version) to every Result.
+	Manifest bool
 }
 
 // Engine executes cell lists. An Engine is safe for concurrent use and
@@ -105,6 +111,9 @@ type Engine struct {
 	progress func(done, total int)
 	dense    bool
 	cache    *kernelCache
+	sink     obs.Sink
+	sampler  *stats.Sampler
+	manifest bool
 
 	mu   sync.Mutex // serializes progress callbacks
 	done int
@@ -112,7 +121,14 @@ type Engine struct {
 
 // New creates an engine.
 func New(opts Options) *Engine {
-	e := &Engine{par: opts.Parallelism, progress: opts.Progress, dense: opts.DenseEngine}
+	e := &Engine{
+		par:      opts.Parallelism,
+		progress: opts.Progress,
+		dense:    opts.DenseEngine,
+		sink:     opts.TraceSink,
+		sampler:  opts.Sampler,
+		manifest: opts.Manifest,
+	}
 	if !opts.DisableKernelCache {
 		e.cache = newKernelCache()
 	}
@@ -135,6 +151,10 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 // context yields an error wrapping olerrors.ErrCanceled unless a
 // non-cancellation failure happened first.
 func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
+	if (e.sink != nil || e.sampler != nil) && len(cells) > 1 {
+		return nil, fmt.Errorf("runner: %w: TraceSink/Sampler attach to exactly one cell, got %d",
+			olerrors.ErrInvalidSpec, len(cells))
+	}
 	total := len(cells)
 	results := make([]Result, total)
 	errs := make([]error, total)
@@ -265,13 +285,39 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 	if e.dense {
 		m.SetDense(true)
 	}
+	if e.sink != nil {
+		m.SetSink(e.sink)
+	}
+	if e.sampler != nil {
+		m.SetSampler(e.sampler)
+	}
+	start := time.Now()
 	st, err := m.Run()
+	wall := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s (%v, TS %dB): %w",
 			c.Spec.Name, c.Cfg.Run.Primitive, c.Cfg.PIM.TSBytes, err)
 	}
 	lat, served := m.HostLatency()
-	return Result{Run: st, Kernel: k, HostLatency: lat, HostServed: served}, nil
+	res = Result{Run: st, Kernel: k, HostLatency: lat, HostServed: served}
+	if e.manifest {
+		res.Manifest = &obs.Manifest{
+			Cell:            c.Key,
+			Kernel:          c.Spec.Name,
+			Primitive:       c.Cfg.Run.Primitive.String(),
+			Seed:            c.Cfg.Run.Seed,
+			Channels:        c.Cfg.Memory.Channels,
+			TSBytes:         c.Cfg.PIM.TSBytes,
+			BMF:             c.Cfg.PIM.BMF,
+			BytesPerChannel: c.Bytes,
+			HostBaseline:    c.Host,
+			ConfigHash:      obs.ConfigHash(c.Cfg),
+			Engine:          obs.EngineName(e.dense),
+			WallMS:          float64(wall.Nanoseconds()) / 1e6,
+			GoVersion:       runtime.Version(),
+		}
+	}
+	return res, nil
 }
 
 // buildKernel generates or fetches the cell's kernel image. Cached

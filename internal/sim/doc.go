@@ -1,0 +1,36 @@
+// Package sim provides the deterministic discrete-time simulation
+// kernel used by every other subsystem in the OrderLight reproduction.
+//
+// # Two clock domains, one integer timeline
+//
+// The simulated machine has two clock domains — the GPU core clock and
+// the HBM memory clock of Table 1. To keep all arithmetic exact, time
+// is measured in an integer number of base ticks whose frequency is the
+// least common multiple of the two domain frequencies: with a 1200 MHz
+// core and an 850 MHz memory clock the base tick runs at 20.4 GHz, so
+// one core cycle is exactly 17 ticks (CoreTicks) and one memory cycle
+// is exactly 24 ticks (MemTicks). All latencies in the model are
+// integer tick counts and every run is fully deterministic, which is
+// what lets the repo's parity tests demand byte-identical results
+// across engines and worker-pool shapes.
+//
+// # Dense and quiescence skip-ahead engines
+//
+// The Engine fires clock edges in tick order. In dense mode every edge
+// of every domain fires. In the default skip-ahead mode, a Clock whose
+// Worker reports no work before some future time has its elided cycles
+// credited in one Skip call — statistics accrue closed-form instead of
+// by spinning — and the engine jumps straight to the next edge that can
+// change state. Hints may be early (a no-op edge fires, exactly as the
+// dense engine would) but never late; the dense engine is the parity
+// reference that enforces this contract.
+//
+// # Building blocks
+//
+// Queue and Pipe are the bounded FIFO and fixed-latency pipe every
+// stage of the Figure 6 memory path is assembled from. Every
+// measurement in the paper's figures ultimately derives from the
+// timestamps this package produces: execution times (Figures 10b, 12,
+// 13), command bandwidths (Figures 10a, 11) and stall-cycle breakdowns
+// all read the same integer timeline.
+package sim

@@ -1,14 +1,3 @@
-// Package sim provides the deterministic discrete-time simulation kernel
-// used by every other subsystem in the OrderLight reproduction.
-//
-// The simulator has two clock domains (the GPU core clock and the HBM
-// memory clock). To keep all arithmetic exact, time is measured in an
-// integer number of base ticks whose frequency is the least common
-// multiple of the two domain frequencies: with a 1200 MHz core and an
-// 850 MHz memory clock the base tick runs at 20.4 GHz, so one core cycle
-// is exactly 17 ticks and one memory cycle is exactly 24 ticks. All
-// latencies in the model are integer tick counts and every run is fully
-// deterministic.
 package sim
 
 import "fmt"

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"orderlight/internal/sim"
+)
+
+// Sample is one snapshot of the shared Run counters at a core-cycle
+// boundary. Counters are cumulative since the start of the run, so
+// Figure-5-style endpoint numbers become curves: plot the samples
+// directly for totals, or difference consecutive samples for rates.
+type Sample struct {
+	Cycle int64   `json:"cycle"` // core cycle of the snapshot
+	USec  float64 `json:"usec"`  // simulated microseconds
+
+	PIMCommands       int64 `json:"pim_commands"`
+	HostCommands      int64 `json:"host_commands"`
+	FenceCount        int64 `json:"fences"`
+	OLCount           int64 `json:"ol_packets"`
+	FenceStallCycles  int64 `json:"fence_stall_cycles"`
+	OLStallCycles     int64 `json:"ol_stall_cycles"`
+	CreditStallCycles int64 `json:"credit_stall_cycles"`
+	IssueStallCycles  int64 `json:"issue_stall_cycles"`
+	RowHits           int64 `json:"row_hits"`
+	RowMisses         int64 `json:"row_misses"`
+	OLMerges          int64 `json:"ol_merges"`
+	OLFlagBlocked     int64 `json:"ol_flag_blocked"`
+
+	// Pending is a gauge, not a counter: requests in flight anywhere in
+	// the memory system (interconnect, L2 slices, L2-to-DRAM pipes,
+	// controllers, acknowledgment path) at the snapshot instant.
+	Pending int `json:"pending"`
+
+	// CommandBW is the cumulative PIM command bandwidth in GC/s from
+	// run start to the snapshot (the §6 metric as a running value).
+	CommandBW float64 `json:"command_bw_gcs"`
+}
+
+// Sampler snapshots a Run's counters every N simulated core cycles.
+// Create one with NewSampler, arm it with Machine.SetSampler (which
+// binds the run and the queue-depth gauge), and read the time-series
+// after the run. Sampling cadence is exact under the quiescence
+// skip-ahead engine: the machine's quiescence hints treat a due sample
+// as work, so sample cycles are never elided and the series is
+// byte-identical to a dense-engine run.
+type Sampler struct {
+	every   int64
+	next    int64
+	run     *Run
+	gauge   func() int
+	samples []Sample
+}
+
+// NewSampler creates a sampler with the given cadence in core cycles.
+func NewSampler(everyCycles int64) *Sampler {
+	if everyCycles <= 0 {
+		everyCycles = 1
+	}
+	return &Sampler{every: everyCycles, next: everyCycles}
+}
+
+// Every returns the cadence in core cycles.
+func (s *Sampler) Every() int64 { return s.every }
+
+// Bind attaches the run whose counters are sampled and an optional
+// gauge for the Pending column. The machine calls this; user code
+// normally never does.
+func (s *Sampler) Bind(run *Run, gauge func() int) {
+	s.run = run
+	s.gauge = gauge
+}
+
+// NextCycle returns the next core cycle at which a sample is due. The
+// machine folds this into its quiescence hint so skip-ahead never warps
+// past a sample point.
+func (s *Sampler) NextCycle() int64 { return s.next }
+
+// ObserveCycle takes a sample if one is due at the given instant. The
+// machine calls it once per fired core edge; cadence stays exact
+// because the machine also wakes itself at NextCycle.
+func (s *Sampler) ObserveCycle(now sim.Time) {
+	cyc := now.CoreCycles()
+	if cyc < s.next || s.run == nil {
+		return
+	}
+	s.take(cyc, now)
+	// Re-arm at the next multiple of the cadence after cyc, so a late
+	// observation (possible only in externally-driven creep phases)
+	// cannot double-sample a window.
+	s.next = (cyc/s.every + 1) * s.every
+}
+
+// Finish records one final sample at the run's end instant so the
+// series always reaches the endpoint the tables report. The machine
+// calls it after the engine drains.
+func (s *Sampler) Finish(now sim.Time) {
+	if s.run == nil {
+		return
+	}
+	cyc := now.CoreCycles()
+	if n := len(s.samples); n > 0 && s.samples[n-1].Cycle == cyc {
+		return
+	}
+	s.take(cyc, now)
+}
+
+func (s *Sampler) take(cyc int64, now sim.Time) {
+	r := s.run
+	sm := Sample{
+		Cycle:             cyc,
+		USec:              now.Seconds() * 1e6,
+		PIMCommands:       r.PIMCommands,
+		HostCommands:      r.HostCommands,
+		FenceCount:        r.FenceCount,
+		OLCount:           r.OLCount,
+		FenceStallCycles:  r.FenceStallCycles,
+		OLStallCycles:     r.OLStallCycles,
+		CreditStallCycles: r.CreditStallCycles,
+		IssueStallCycles:  r.IssueStallCycles,
+		RowHits:           r.RowHits,
+		RowMisses:         r.RowMisses,
+		OLMerges:          r.OLMerges,
+		OLFlagBlocked:     r.OLFlagBlocked,
+	}
+	if s.gauge != nil {
+		sm.Pending = s.gauge()
+	}
+	if secs := (now - r.Start).Seconds(); secs > 0 {
+		sm.CommandBW = float64(r.PIMCommands) / secs / 1e9
+	}
+	s.samples = append(s.samples, sm)
+}
+
+// Samples returns the recorded time-series in cycle order.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// CSV renders the series with a header row, one sample per line.
+func (s *Sampler) CSV() string {
+	var b strings.Builder
+	b.WriteString("cycle,usec,pim_commands,host_commands,fences,ol_packets," +
+		"fence_stall_cycles,ol_stall_cycles,credit_stall_cycles,issue_stall_cycles," +
+		"row_hits,row_misses,ol_merges,ol_flag_blocked,pending,command_bw_gcs\n")
+	for _, x := range s.samples {
+		fmt.Fprintf(&b, "%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f\n",
+			x.Cycle, x.USec, x.PIMCommands, x.HostCommands, x.FenceCount, x.OLCount,
+			x.FenceStallCycles, x.OLStallCycles, x.CreditStallCycles, x.IssueStallCycles,
+			x.RowHits, x.RowMisses, x.OLMerges, x.OLFlagBlocked, x.Pending, x.CommandBW)
+	}
+	return b.String()
+}
+
+// JSON renders the series as a JSON array.
+func (s *Sampler) JSON() ([]byte, error) {
+	if s.samples == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.samples)
+}

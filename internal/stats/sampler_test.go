@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"orderlight/internal/sim"
+)
+
+func at(cyc int64) sim.Time { return sim.Time(cyc) * sim.CoreTicks }
+
+// TestSamplerCadence checks samples land exactly on cadence multiples
+// and that a late observation (an edge past the due cycle) re-arms on
+// the grid instead of drifting.
+func TestSamplerCadence(t *testing.T) {
+	run := &Run{}
+	s := NewSampler(100)
+	s.Bind(run, func() int { return 7 })
+
+	if s.NextCycle() != 100 {
+		t.Fatalf("NextCycle() = %d, want 100", s.NextCycle())
+	}
+	run.PIMCommands = 5
+	s.ObserveCycle(at(99)) // not due yet
+	if len(s.Samples()) != 0 {
+		t.Fatal("sampled before the cadence cycle")
+	}
+	s.ObserveCycle(at(100))
+	run.PIMCommands = 11
+	s.ObserveCycle(at(250)) // late: cycle 200 was never observed
+	if s.NextCycle() != 300 {
+		t.Errorf("after a late sample NextCycle() = %d, want 300 (grid-aligned)", s.NextCycle())
+	}
+	s.ObserveCycle(at(300))
+	s.Finish(at(342))
+
+	got := s.Samples()
+	wantCycles := []int64{100, 250, 300, 342}
+	if len(got) != len(wantCycles) {
+		t.Fatalf("recorded %d samples, want %d", len(got), len(wantCycles))
+	}
+	for i, w := range wantCycles {
+		if got[i].Cycle != w {
+			t.Errorf("sample %d at cycle %d, want %d", i, got[i].Cycle, w)
+		}
+	}
+	if got[0].PIMCommands != 5 || got[1].PIMCommands != 11 {
+		t.Errorf("counter snapshots wrong: %+v", got[:2])
+	}
+	if got[0].Pending != 7 {
+		t.Errorf("gauge not sampled: %+v", got[0])
+	}
+}
+
+// TestSamplerFinishDedup checks Finish does not duplicate a sample when
+// the run ends exactly on a cadence cycle.
+func TestSamplerFinishDedup(t *testing.T) {
+	s := NewSampler(50)
+	s.Bind(&Run{}, nil)
+	s.ObserveCycle(at(50))
+	s.Finish(at(50))
+	if len(s.Samples()) != 1 {
+		t.Errorf("endpoint on a cadence cycle recorded %d samples, want 1", len(s.Samples()))
+	}
+}
+
+// TestSamplerRenders checks both export formats stay consistent with
+// the sample schema.
+func TestSamplerRenders(t *testing.T) {
+	s := NewSampler(10)
+	s.Bind(&Run{PIMCommands: 3}, nil)
+	s.ObserveCycle(at(10))
+
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 sample:\n%s", len(lines), csv)
+	}
+	if h, r := len(strings.Split(lines[0], ",")), len(strings.Split(lines[1], ",")); h != r {
+		t.Errorf("CSV header has %d columns, row has %d", h, r)
+	}
+
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Sample
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].PIMCommands != 3 {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+
+	empty := NewSampler(10)
+	if b, _ := empty.JSON(); string(b) != "[]" {
+		t.Errorf("empty series JSON = %s, want []", b)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+)
+
+// TestDropped checks the ring declares its own truncation: once more
+// events are recorded than the ring holds, Dropped reports exactly how
+// many fell out.
+func TestDropped(t *testing.T) {
+	tr := New(4)
+	if tr.Dropped() != 0 {
+		t.Fatalf("fresh tracer Dropped() = %d, want 0", tr.Dropped())
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(sim.Time(i+1)*sim.CoreTicks, StageInject, isa.Request{ID: uint64(i + 1)})
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// The survivors must be the newest four, in order.
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Req.ID != want {
+			t.Errorf("event %d: request #%d, want #%d", i, ev.Req.ID, want)
+		}
+	}
+}
+
+// TestTimelineUnderWrap checks a wrapped ring still renders (requests
+// whose inject event was lost are silently omitted from the table — the
+// caller reports the drop count via Dropped).
+func TestTimelineUnderWrap(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 6; i++ {
+		tr.Record(sim.Time(i+1)*sim.CoreTicks, StageInject, isa.Request{ID: uint64(i + 1)})
+	}
+	out := tr.Timeline(10)
+	if !strings.Contains(out, "#4 ") || strings.Contains(out, "#1 ") {
+		t.Errorf("wrapped timeline should show only retained requests:\n%s", out)
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", tr.Dropped())
+	}
+}

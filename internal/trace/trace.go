@@ -88,6 +88,11 @@ func (t *Tracer) Record(at sim.Time, stage Stage, r isa.Request) {
 // (including any that fell out of the ring).
 func (t *Tracer) Total() int64 { return t.total }
 
+// Dropped returns how many recorded events have fallen out of the ring
+// buffer. A nonzero count means renders from this tracer are truncated
+// (the oldest events are gone) and callers should say so.
+func (t *Tracer) Dropped() int64 { return t.total - int64(len(t.ring)) }
+
 // Events returns the retained events in chronological order.
 func (t *Tracer) Events() []Event {
 	if !t.wrapped {

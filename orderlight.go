@@ -37,11 +37,14 @@ package orderlight
 import (
 	"context"
 
+	"io"
+
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
 	"orderlight/internal/gpu"
 	"orderlight/internal/isa"
 	"orderlight/internal/kernel"
+	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
 	"orderlight/internal/runner"
 	"orderlight/internal/stats"
@@ -151,6 +154,44 @@ type Tracer = trace.Tracer
 // NewTracer creates a tracer retaining the most recent max events.
 func NewTracer(max int) *Tracer { return trace.New(max) }
 
+// EventSink consumes the machine's streaming event feed (stage
+// crossings, DRAM commands, warp stalls, skip-ahead credits); arm one
+// with WithTraceSink or Machine.SetSink.
+type EventSink = obs.Sink
+
+// TraceEvent is one event in the streaming feed.
+type TraceEvent = obs.Event
+
+// EventTrack names the component timeline a TraceEvent belongs to.
+type EventTrack = obs.Track
+
+// PerfettoSink streams the event feed as Chrome trace-event JSON,
+// loadable in ui.perfetto.dev. Close it after the run to terminate the
+// document.
+type PerfettoSink = obs.PerfettoSink
+
+// NewPerfettoSink creates a Perfetto JSON sink streaming to w.
+func NewPerfettoSink(w io.Writer) *PerfettoSink { return obs.NewPerfettoSink(w) }
+
+// Manifest is the provenance record of one simulated cell (config hash,
+// seed, engine, wall time, go version).
+type Manifest = obs.Manifest
+
+// ConfigHash returns the short deterministic digest manifests identify
+// configurations by.
+func ConfigHash(cfg Config) string { return obs.ConfigHash(cfg) }
+
+// Sampler snapshots a run's counters every N core cycles into a
+// time-series; arm one with WithSampler. The cadence is exact even
+// under the quiescence skip-ahead engine.
+type Sampler = stats.Sampler
+
+// MetricSample is one sampled counter snapshot.
+type MetricSample = stats.Sample
+
+// NewSampler creates a sampler with the given cadence in core cycles.
+func NewSampler(everyCycles int64) *Sampler { return stats.NewSampler(everyCycles) }
+
 // Scale controls the data footprint experiments simulate.
 type Scale = experiments.Scale
 
@@ -208,6 +249,9 @@ type runOptions struct {
 	disableCache bool
 	dense        bool
 	scale        Scale
+	sink         obs.Sink
+	sampler      *stats.Sampler
+	manifest     bool
 }
 
 // WithParallelism bounds the sweep's worker pool to n goroutines.
@@ -249,6 +293,31 @@ func WithScale(sc Scale) Option {
 	return func(o *runOptions) { o.scale = sc }
 }
 
+// WithTraceSink streams every machine event of the run into the sink —
+// stage crossings, DRAM commands, warp fence/OrderLight stalls, elided
+// skip-ahead windows. Only single-cell entry points (RunKernelContext,
+// RunSpecContext) accept it; experiment sweeps reject it with
+// ErrInvalidSpec because parallel cells would interleave the stream.
+func WithTraceSink(s EventSink) Option {
+	return func(o *runOptions) { o.sink = s }
+}
+
+// WithSampler snapshots the run's counters into the sampler every
+// sampler-cadence core cycles. Single-cell entry points only, like
+// WithTraceSink.
+func WithSampler(s *Sampler) Option {
+	return func(o *runOptions) { o.sampler = s }
+}
+
+// WithManifest attaches a provenance Manifest to every simulated cell;
+// experiment tables carry them in Table.Manifests (rendered by
+// Table.ManifestMarkdown and the olbench -manifest flag). Manifests
+// record wall-clock time, so enabling them makes output
+// run-dependent — keep them out of byte-identity comparisons.
+func WithManifest() Option {
+	return func(o *runOptions) { o.manifest = true }
+}
+
 // engine assembles the runner engine an option set describes.
 func (o *runOptions) engine() *runner.Engine {
 	return runner.New(runner.Options{
@@ -256,6 +325,9 @@ func (o *runOptions) engine() *runner.Engine {
 		Progress:           o.progress,
 		DisableKernelCache: o.disableCache,
 		DenseEngine:        o.dense,
+		TraceSink:          o.sink,
+		Sampler:            o.sampler,
+		Manifest:           o.manifest,
 	})
 }
 
