@@ -3,8 +3,10 @@ SMOKE_EXP ?= fig5
 SMOKE_SIZE ?= 32768
 BENCHTIME ?= 2x
 BENCH_OUT ?= BENCH_PR2
+COVER_FLOOR ?= 80.0
+FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race smoke speedup bench bench-compare profile results clean
+.PHONY: ci vet build test race smoke cover fuzz-smoke speedup bench bench-compare profile results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
 # detector, and a parallel-vs-sequential smoke of the CLIs.
@@ -41,6 +43,32 @@ smoke:
 		echo "smoke: FAIL: dense-engine output differs from skip-ahead"; exit 1; }; \
 	cat $$tmp/seq.log $$tmp/par.log; \
 	echo "smoke: OK (parallel and dense-engine output byte-identical)"
+	@$(GO) build -o /tmp/ol-smoke-olfault ./cmd/olfault
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	/tmp/ol-smoke-olfault -seed 1 -campaign default >$$tmp/a.md || { \
+		echo "smoke: FAIL: fault campaign found escapes or missed the pinned case"; exit 1; }; \
+	/tmp/ol-smoke-olfault -seed 1 -campaign default >$$tmp/b.md; \
+	diff $$tmp/a.md $$tmp/b.md >/dev/null || { \
+		echo "smoke: FAIL: fault campaign not byte-identical across runs"; exit 1; }; \
+	echo "smoke: OK (fault campaign deterministic, zero escapes)"
+
+# cover enforces a statement-coverage floor over the internal packages.
+# The floor sits well under the current ~87% so legitimate refactors
+# don't trip it, but a dropped test file does.
+cover:
+	@$(GO) test -coverprofile=cover.out ./internal/... >/dev/null
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "cover: internal/... total $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit !(t+0 >= f+0) }' || { \
+		echo "cover: FAIL: $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# fuzz-smoke runs each native fuzz target briefly (default 10s each):
+# long enough to exercise the generators and corpus mutations, short
+# enough for every CI run. Crashers land in testdata/fuzz/ as usual.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPacketRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/isa
+	$(GO) test -run '^$$' -fuzz '^FuzzKernelSpec$$' -fuzztime $(FUZZTIME) ./internal/kernel
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/runner
 
 # results regenerates results_all.md — every experiment's tables plus a
 # collapsed per-cell run-manifest block (config hash, seed, engine,
@@ -86,5 +114,5 @@ profile:
 	@echo "profile: wrote cpu.pprof and mem.pprof (go tool pprof cpu.pprof)"
 
 clean:
-	rm -f /tmp/ol-smoke-olsim /tmp/ol-smoke-olbench /tmp/ol-speedup-olbench \
-		cpu.pprof mem.pprof orderlight.test
+	rm -f /tmp/ol-smoke-olsim /tmp/ol-smoke-olbench /tmp/ol-smoke-olfault \
+		/tmp/ol-speedup-olbench cpu.pprof mem.pprof cover.out orderlight.test

@@ -32,8 +32,8 @@ func cell(t *testing.T, tab *Table, row, col int) float64 {
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
-		t.Fatalf("IDs() = %v, want 22 experiments", ids)
+	if len(ids) != 23 {
+		t.Fatalf("IDs() = %v, want 23 experiments", ids)
 	}
 	for _, id := range ids {
 		if Title(id) == "" {

@@ -35,6 +35,7 @@ func noCells(config.Config, Scale) ([]runner.Cell, error) { return nil, nil }
 var registry = map[string]decl{
 	"table1":                  {"simulator configuration (paper Table 1)", noCells, table1Assemble},
 	"table2":                  {"workload suite (paper Table 2)", noCells, table2Assemble},
+	"fault-campaign":          {"ordering-fault injection campaign with differential oracle", faultCampaignCells, faultCampaignAssemble},
 	"fig5":                    {"fence overhead for vector_add (paper Figure 5)", fig5Cells, fig5Assemble},
 	"fig10a":                  {"stream command/data bandwidth (paper Figure 10a)", streamGridCells, fig10aAssemble},
 	"fig10b":                  {"stream execution time and stalls (paper Figure 10b)", streamGridCells, fig10bAssemble},

@@ -1,0 +1,22 @@
+// Package fault is the deterministic ordering-fault injection
+// subsystem: it selectively breaks the machinery the rest of the
+// simulator exists to model — ordering primitives, tracker drain
+// semantics, FR-FCFS eligibility, PIM write-back visibility — and then
+// checks that the machine *notices*.
+//
+// A Spec (class + seed + rate) describes a campaign point; NewPlan
+// materializes it into a Plan the machine threads through its hosts and
+// memory controllers. Every injection decision is a stateless hash of
+// (seed, class, event key), never a draw from a stream, so decisions
+// are identical under the dense and skip-ahead engines, under any
+// worker-pool schedule, and across repeated runs.
+//
+// The differential oracle (Classify) compares the faulted run's final
+// memory against an independently replayed golden image and
+// cross-checks the machine's own verification verdict, classifying each
+// cell as detected (wrong answer, flagged), benign (violation injected,
+// race did not materialize), clean (no fault fired) or escape (the
+// verifier and the oracle disagree — a simulator bug). Campaigns run
+// via the fault-campaign experiment and the olfault command; zero
+// escapes is the invariant the whole layer enforces.
+package fault

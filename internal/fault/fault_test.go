@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestClassStringsRoundTrip(t *testing.T) {
+	for _, c := range append(Classes(), ClassNone) {
+		got, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("ParseClass(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if _, err := ParseClass("frobnicate"); err == nil {
+		t.Error("ParseClass accepted an unknown class name")
+	}
+	if c, err := ParseClass(" Drop "); err != nil || c != ClassDropOrdering {
+		t.Errorf("ParseClass is not case/space insensitive: %v, %v", c, err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"drop full", Spec{Class: ClassDropOrdering, Rate: 1}, true},
+		{"delay default lag", Spec{Class: ClassDelayVisibility}, true},
+		{"unknown class", Spec{Class: Class(99)}, false},
+		{"rate NaN", Spec{Class: ClassDropOrdering, Rate: math.NaN()}, false},
+		{"rate +Inf", Spec{Class: ClassDropOrdering, Rate: math.Inf(1)}, false},
+		{"rate -Inf", Spec{Class: ClassDropOrdering, Rate: math.Inf(-1)}, false},
+		{"rate > 1", Spec{Class: ClassDropOrdering, Rate: 1.5}, false},
+		{"rate <= 0 means full", Spec{Class: ClassDropOrdering, Rate: -3}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%t", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := (Spec{}).String(); got != "none" {
+		t.Errorf("zero spec = %q", got)
+	}
+	s := Spec{Class: ClassDelayVisibility, Seed: 7, Rate: 0.25, Delay: 10}
+	if got := s.String(); got != "delay/seed=7/rate=0.25/lag=10" {
+		t.Errorf("String() = %q", got)
+	}
+	s = Spec{Class: ClassDropOrdering, Seed: 3}
+	if got := s.String(); got != "drop/seed=3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Nil plans must answer "no fault" everywhere: hot paths rely on it.
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.ShouldDropOrdering(1, 2) || p.ShouldWeakenDrain(3) || p.ShouldBypassOrdering(4) {
+		t.Error("nil plan injected a fault")
+	}
+	if _, ok := p.DelayExec(5); ok {
+		t.Error("nil plan delayed execution")
+	}
+	p.Record(PointReordered) // must not panic
+	p.RecordN(PointOLDropped, 10)
+	if p.Injections() != 0 {
+		t.Error("nil plan counted injections")
+	}
+	if r := p.Report(); r.Class != ClassNone || r.Injections != 0 {
+		t.Errorf("nil plan report = %+v", r)
+	}
+	if p.Spec().Active() {
+		t.Error("nil plan spec is active")
+	}
+}
+
+// Decisions must be stateless: the same (seed, class, key) always
+// answers the same, regardless of call order or interleaving — that is
+// what keeps the dense and skip-ahead engines in lock-step.
+func TestDecisionsAreStateless(t *testing.T) {
+	a := NewPlan(Spec{Class: ClassIllegalReorder, Seed: 42, Rate: 0.5})
+	b := NewPlan(Spec{Class: ClassIllegalReorder, Seed: 42, Rate: 0.5})
+	// Consult b in reverse order and twice: answers must still agree.
+	for id := uint64(0); id < 2000; id++ {
+		rev := 1999 - id
+		_ = b.ShouldBypassOrdering(rev)
+	}
+	for id := uint64(0); id < 2000; id++ {
+		if a.ShouldBypassOrdering(id) != b.ShouldBypassOrdering(id) {
+			t.Fatalf("decision for id %d depends on history", id)
+		}
+	}
+}
+
+// Full rate must fault every candidate; classes must not cross-fire.
+func TestFullRateAndClassIsolation(t *testing.T) {
+	p := NewPlan(Spec{Class: ClassDropOrdering, Rate: 1, Seed: 9})
+	for warp := 0; warp < 8; warp++ {
+		for pc := 0; pc < 64; pc++ {
+			if !p.ShouldDropOrdering(warp, pc) {
+				t.Fatalf("rate-1 drop plan spared warp %d pc %d", warp, pc)
+			}
+		}
+	}
+	if p.ShouldWeakenDrain(1) || p.ShouldBypassOrdering(1) {
+		t.Error("drop plan answered for another class")
+	}
+	if _, ok := p.DelayExec(1); ok {
+		t.Error("drop plan delayed execution")
+	}
+}
+
+// The empirical fault rate must track the requested one.
+func TestRateIsApproximatelyHonored(t *testing.T) {
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		p := NewPlan(Spec{Class: ClassWeakenDrain, Seed: 1234, Rate: rate})
+		const n = 20000
+		hits := 0
+		for id := uint64(0); id < n; id++ {
+			if p.ShouldWeakenDrain(id) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("rate %g: empirical %g", rate, got)
+		}
+	}
+}
+
+func TestDelayExecUsesSpecLag(t *testing.T) {
+	p := NewPlan(Spec{Class: ClassDelayVisibility, Seed: 5, Rate: 1, Delay: 17})
+	d, ok := p.DelayExec(99)
+	if !ok || d != 17 {
+		t.Fatalf("DelayExec = (%d, %t), want (17, true)", d, ok)
+	}
+	p = NewPlan(Spec{Class: ClassDelayVisibility, Seed: 5, Rate: 1})
+	if d, _ := p.DelayExec(99); d != DefaultDelay {
+		t.Fatalf("default lag = %d, want %d", d, DefaultDelay)
+	}
+}
+
+func TestRecordAndReport(t *testing.T) {
+	p := NewPlan(Spec{Class: ClassWeakenDrain, Seed: 2, Rate: 1})
+	p.Record(PointOLWeakened)
+	p.RecordN(PointOLWeakened, 2)
+	p.Record(PointOLDropped)
+	p.RecordN(PointReordered, 0)  // ignored
+	p.RecordN(PointReordered, -5) // ignored
+	if p.Injections() != 4 {
+		t.Fatalf("Injections() = %d, want 4", p.Injections())
+	}
+	r := p.Report()
+	if r.Class != ClassWeakenDrain || r.Seed != 2 || r.Injections != 4 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Points[PointOLWeakened] != 3 || r.Points[PointOLDropped] != 1 {
+		t.Fatalf("points = %v", r.Points)
+	}
+	s := r.String()
+	if !strings.Contains(s, "ol-weakened 3") || !strings.Contains(s, "ol-dropped 1") {
+		t.Errorf("Report.String() = %q", s)
+	}
+	if got := (Report{Class: ClassDropOrdering}).String(); got != "drop: 0" {
+		t.Errorf("empty report = %q", got)
+	}
+}
+
+func TestPointStrings(t *testing.T) {
+	want := map[Point]string{
+		PointFenceDropped: "fence-dropped",
+		PointOLDropped:    "ol-dropped",
+		PointOLWeakened:   "ol-weakened",
+		PointReordered:    "reordered",
+		PointDelayedExec:  "delayed-exec",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("Point(%d) = %q, want %q", p, p.String(), w)
+		}
+	}
+}

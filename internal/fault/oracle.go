@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"fmt"
+
+	"orderlight/internal/dram"
+	"orderlight/internal/stats"
+)
+
+// Outcome classifies what a faulted run did to the machine's
+// correctness story.
+type Outcome uint8
+
+const (
+	// OutcomeClean: the plan was armed but no fault actually fired (the
+	// kernel never exercised the targeted mechanism), and the answer is
+	// correct — the cell carries no evidence either way.
+	OutcomeClean Outcome = iota
+
+	// OutcomeBenign: faults were injected but the final memory image
+	// still matches the golden one — the ordering violation existed but
+	// the data race it permits did not materialize on this schedule.
+	OutcomeBenign
+
+	// OutcomeDetected: faults were injected, the final image is wrong,
+	// and the machine's own verification flagged it. This is the
+	// healthy outcome for a harmful fault — the paper's "no fence,
+	// functionally incorrect" datapoint generalized.
+	OutcomeDetected
+
+	// OutcomeEscape: the simulator's verdict disagrees with the
+	// oracle's independent diff — a wrong answer that verification
+	// passed (or never ran on), a correct answer verification flagged,
+	// or corruption with zero injections. Any escape is a simulator
+	// bug, not a property of the fault.
+	OutcomeEscape
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeBenign:
+		return "benign"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeEscape:
+		return "escape"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Verdict is the oracle's classification of one faulted cell.
+type Verdict struct {
+	Outcome Outcome
+	Report  Report
+
+	// WrongSlots counts memory slots differing from the golden image
+	// (capped at diffCap).
+	WrongSlots int
+
+	// Why is a one-line deterministic explanation of the outcome.
+	Why string
+}
+
+func (v Verdict) String() string {
+	return fmt.Sprintf("%v [%v] %s", v.Outcome, v.Report, v.Why)
+}
+
+// diffCap bounds the slot diff the oracle materializes per cell.
+const diffCap = 1 << 20
+
+// Classify runs the differential oracle over one finished cell: golden
+// is the program-order reference image (an unfaulted replay over the
+// pristine initial memory), final is the machine's memory after the
+// faulted run, st carries the machine's own verification verdict, and
+// rep the plan's injection accounting.
+//
+// The oracle never trusts st.Correct alone — it diffs final against
+// golden independently, and any disagreement between that diff and the
+// machine's verdict is an escape: the verification layer, not the
+// fault, is broken. Faulted cells are expected to run with
+// cfg.Run.Verify enabled; a wrong answer on an unverified run is also
+// an escape (the harness let corruption through unchecked).
+func Classify(golden, final *dram.Store, st *stats.Run, rep Report) Verdict {
+	v := Verdict{Report: rep}
+	wrong := !final.Equal(golden)
+	if wrong {
+		v.WrongSlots = len(final.Diff(golden, diffCap))
+	}
+	detected := st.Verified && !st.Correct
+
+	switch {
+	case st.Verified && st.Correct == wrong:
+		// The machine's verifier and the oracle's independent diff
+		// disagree about whether the image is corrupt.
+		v.Outcome = OutcomeEscape
+		v.Why = fmt.Sprintf("verifier says correct=%t but oracle diff finds %d wrong slots", st.Correct, v.WrongSlots)
+	case !st.Verified && wrong:
+		v.Outcome = OutcomeEscape
+		v.Why = fmt.Sprintf("%d wrong slots on an unverified run", v.WrongSlots)
+	case rep.Injections == 0 && wrong:
+		v.Outcome = OutcomeEscape
+		v.Why = fmt.Sprintf("%d wrong slots with zero injections", v.WrongSlots)
+	case wrong && detected:
+		v.Outcome = OutcomeDetected
+		v.Why = fmt.Sprintf("verification caught %d wrong slots", v.WrongSlots)
+	case rep.Injections == 0:
+		v.Outcome = OutcomeClean
+		v.Why = "no fault fired"
+	default:
+		v.Outcome = OutcomeBenign
+		v.Why = "ordering violated, data race did not materialize"
+	}
+	return v
+}

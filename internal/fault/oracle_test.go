@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/stats"
+)
+
+// testStores builds a golden image and a final image differing in
+// `wrong` slots.
+func testStores(t *testing.T, wrong int) (golden, final *dram.Store) {
+	t.Helper()
+	golden = dram.NewStore(4)
+	for a := 0; a < 8; a++ {
+		golden.Write(isa.Addr(a), []int32{1, 2, 3, 4})
+	}
+	final = golden.Clone()
+	for a := 0; a < wrong; a++ {
+		final.Write(isa.Addr(a), []int32{9, 9, 9, 9})
+	}
+	return golden, final
+}
+
+func TestClassify(t *testing.T) {
+	rep1 := Report{Class: ClassDropOrdering, Injections: 5}
+	rep0 := Report{Class: ClassDropOrdering}
+	cases := []struct {
+		name     string
+		wrong    int
+		verified bool
+		correct  bool
+		rep      Report
+		want     Outcome
+		why      string
+	}{
+		{"detected", 3, true, false, rep1, OutcomeDetected, "verification caught 3 wrong slots"},
+		{"benign", 0, true, true, rep1, OutcomeBenign, "did not materialize"},
+		{"clean", 0, true, true, rep0, OutcomeClean, "no fault fired"},
+		{"escape: verifier passed wrong image", 2, true, true, rep1, OutcomeEscape, "verifier says correct=true"},
+		{"escape: verifier flagged correct image", 0, true, false, rep1, OutcomeEscape, "verifier says correct=false"},
+		{"escape: wrong but unverified", 1, false, false, rep1, OutcomeEscape, "unverified run"},
+		{"escape: wrong with zero injections", 1, true, false, rep0, OutcomeEscape, "zero injections"},
+		{"clean unverified", 0, false, false, rep0, OutcomeClean, "no fault fired"},
+	}
+	for _, tc := range cases {
+		golden, final := testStores(t, tc.wrong)
+		st := &stats.Run{Verified: tc.verified, Correct: tc.correct}
+		v := Classify(golden, final, st, tc.rep)
+		if v.Outcome != tc.want {
+			t.Errorf("%s: outcome = %v, want %v (why: %s)", tc.name, v.Outcome, tc.want, v.Why)
+			continue
+		}
+		if v.WrongSlots != tc.wrong {
+			t.Errorf("%s: WrongSlots = %d, want %d", tc.name, v.WrongSlots, tc.wrong)
+		}
+		if !strings.Contains(v.Why, tc.why) {
+			t.Errorf("%s: Why = %q, want substring %q", tc.name, v.Why, tc.why)
+		}
+		if !strings.Contains(v.String(), v.Outcome.String()) {
+			t.Errorf("%s: String() = %q missing outcome", tc.name, v.String())
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeClean: "clean", OutcomeBenign: "benign",
+		OutcomeDetected: "detected", OutcomeEscape: "escape",
+	}
+	for o, w := range want {
+		if o.String() != w {
+			t.Errorf("Outcome(%d) = %q, want %q", o, o.String(), w)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/core"
 	"orderlight/internal/dram"
+	"orderlight/internal/fault"
 	"orderlight/internal/isa"
 	"orderlight/internal/memctrl"
 	"orderlight/internal/noc"
@@ -42,6 +43,7 @@ type Machine struct {
 	tracer  *trace.Tracer  // optional; see SetTracer
 	sink    obs.Sink       // optional; see SetSink
 	sampler *stats.Sampler // optional; see SetSampler
+	fplan   *fault.Plan    // optional; see SetFaultPlan
 
 	host        HostTraffic
 	hostRng     *sim.Rand
@@ -322,6 +324,28 @@ func (m *Machine) SetSink(s obs.Sink) {
 	}
 	for _, mc := range m.mcs {
 		mc.Sink = s
+	}
+}
+
+// SetFaultPlan arms a seeded ordering-fault injection plan for the run,
+// threading it through every host front end (SM or OoO core: dropped
+// primitives) and memory controller (weakened drains, illegal reorders,
+// delayed PIM visibility). Must be called before Run; the plan belongs
+// to exactly one machine. Plan decisions are stateless hashes, so a
+// faulted run is exactly as deterministic — and as engine-independent —
+// as an unfaulted one.
+func (m *Machine) SetFaultPlan(p *fault.Plan) {
+	m.fplan = p
+	for _, h := range m.hosts {
+		switch h := h.(type) {
+		case *SM:
+			h.fault = p
+		case *OoOCore:
+			h.fault = p
+		}
+	}
+	for _, mc := range m.mcs {
+		mc.Fault = p
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/core"
 	"orderlight/internal/dram"
+	"orderlight/internal/fault"
 	"orderlight/internal/isa"
 	"orderlight/internal/sim"
 	"orderlight/internal/stats"
@@ -54,6 +55,11 @@ type OoOCore struct {
 
 	send   func(r isa.Request) bool
 	nextID *uint64
+
+	// fault, when non-nil, can no-op ordering instructions at dispatch
+	// (ClassDropOrdering); consulted identically by dispatch and
+	// NextWork. Armed by Machine.SetFaultPlan; methods are nil-safe.
+	fault *fault.Plan
 }
 
 // newOoOCore builds one CPU core driving the given channel's program.
@@ -105,7 +111,7 @@ func (c *OoOCore) NextWork(now sim.Time) sim.Time {
 	in := c.w.prog[c.w.pc]
 	switch in.Kind {
 	case isa.KindFence:
-		if !c.ft.Drained(c.w.id) {
+		if !c.ft.Drained(c.w.id) && !c.fault.ShouldDropOrdering(c.w.id, c.w.pc) {
 			return sim.TimeInf
 		}
 	case isa.KindOrderLight:
@@ -170,6 +176,14 @@ func (c *OoOCore) dispatch() {
 		in := c.w.prog[c.w.pc]
 		switch in.Kind {
 		case isa.KindFence:
+			if c.fault.ShouldDropOrdering(c.w.id, c.w.pc) {
+				// Injected fault: the fence retires without draining the
+				// window or waiting for acknowledgments.
+				c.fault.Record(fault.PointFenceDropped)
+				c.w.state = warpReady
+				c.w.pc++
+				continue
+			}
 			c.w.state = warpFence
 			if len(c.window) > 0 || !c.ft.Drained(c.w.id) {
 				c.st.FenceStallCycles++
@@ -179,6 +193,15 @@ func (c *OoOCore) dispatch() {
 			c.w.state = warpReady
 			c.w.pc++
 		case isa.KindOrderLight:
+			if c.fault.ShouldDropOrdering(c.w.id, c.w.pc) {
+				// Injected fault: no packet is built; the number is still
+				// consumed so surviving packets keep increasing numbers.
+				c.fault.Record(fault.PointOLDropped)
+				c.w.pktNum++
+				c.w.state = warpReady
+				c.w.pc++
+				continue
+			}
 			c.w.state = warpOL
 			drained := c.rs.Zero(c.w.channel, in.Group)
 			for _, g := range in.XGroups {

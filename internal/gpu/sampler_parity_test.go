@@ -1,0 +1,45 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/stats"
+)
+
+// TestSamplerSkipDenseParity: the quiescence engine folds the sampler's
+// next due cycle into its work hint, so skip targets land exactly on
+// sample cycles instead of warping past them. The time-series from a
+// skip-ahead run must therefore be byte-identical to a dense run of the
+// same machine, across cadences chosen to straddle the skip windows
+// (including every-cycle sampling, which forbids skipping entirely).
+func TestSamplerSkipDenseParity(t *testing.T) {
+	for _, every := range []int64{1, 64, 1000} {
+		for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+			run := func(dense bool) []stats.Sample {
+				cfg := smallConfig(prim)
+				store, programs := vectorAddSetup(cfg, 4)
+				m, err := NewMachine(cfg, store, programs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetDense(dense)
+				s := stats.NewSampler(every)
+				m.SetSampler(s)
+				if _, err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return s.Samples()
+			}
+			d, q := run(true), run(false)
+			if len(d) == 0 {
+				t.Fatalf("every=%d %v: dense run produced no samples", every, prim)
+			}
+			if !reflect.DeepEqual(d, q) {
+				t.Errorf("every=%d %v: skip-ahead series diverged from dense (%d vs %d samples)",
+					every, prim, len(d), len(q))
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/core"
 	"orderlight/internal/dram"
+	"orderlight/internal/fault"
 	"orderlight/internal/isa"
 	"orderlight/internal/obs"
 	"orderlight/internal/sim"
@@ -77,6 +78,13 @@ type SM struct {
 	// primitive issues. Armed by Machine.SetSink.
 	sink obs.Sink
 
+	// fault, when non-nil, can no-op ordering instructions at issue
+	// (ClassDropOrdering). Consulted identically by stall, step and —
+	// through stall — NextWork, keyed by static instruction location,
+	// so all three always agree. Armed by Machine.SetFaultPlan;
+	// decision methods are nil-safe.
+	fault *fault.Plan
+
 	nextID *uint64 // shared request-ID counter
 
 	skipScratch []int // active-warp index buffer reused by Skip
@@ -143,11 +151,17 @@ func (s *SM) stall(w *warp) warpStall {
 	in := w.prog[w.pc]
 	switch in.Kind {
 	case isa.KindFence:
+		if s.fault.ShouldDropOrdering(w.id, w.pc) {
+			return stallNone // the fence is no-oped; nothing to wait for
+		}
 		if !s.ft.Drained(w.id) {
 			return stallFence
 		}
 		return stallNone
 	case isa.KindOrderLight:
+		if s.fault.ShouldDropOrdering(w.id, w.pc) {
+			return stallNone // the packet is never built; no counter wait
+		}
 		drained := s.cc.Zero(w.channel, in.Group)
 		for _, g := range in.XGroups {
 			drained = drained && s.cc.Zero(w.channel, int(g))
@@ -366,12 +380,30 @@ func (s *SM) step(w *warp, now sim.Time) bool {
 	}
 	switch in.Kind {
 	case isa.KindFence:
+		if s.fault.ShouldDropOrdering(w.id, w.pc) {
+			// Injected fault: the fence retires without waiting for the
+			// drain and without counting as a primitive.
+			s.fault.Record(fault.PointFenceDropped)
+			w.state = warpReady
+			w.pc++
+			return true
+		}
 		s.st.FenceCount++
 		s.emitOrdering(w, "fence", now)
 		w.state = warpReady
 		w.pc++
 		return true
 	case isa.KindOrderLight:
+		if s.fault.ShouldDropOrdering(w.id, w.pc) {
+			// Injected fault: no packet reaches the memory side; the
+			// packet number is still consumed so surviving packets keep
+			// strictly increasing numbers.
+			s.fault.Record(fault.PointOLDropped)
+			w.pktNum++
+			w.state = warpReady
+			w.pc++
+			return true
+		}
 		pkt := isa.OLPacket{
 			PktID:       isa.PktIDOrderLight,
 			Channel:     uint8(w.channel),

@@ -1,0 +1,34 @@
+package isa
+
+import "testing"
+
+// FuzzPacketRoundTrip checks the Figure 8 bit layout against arbitrary
+// 64-bit words: decoding any word and re-encoding it must reproduce the
+// word's low 42 bits exactly, the encoding must never spill past
+// OLPacketBits, and decode∘encode must be the identity on decoded
+// packets.
+func FuzzPacketRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(3)) // bare OrderLight tag
+	f.Add(OLPacket{PktID: PktIDOrderLight, Channel: 15, Group: 15, Number: 1<<32 - 1}.Encode())
+	f.Add(OLPacket{PktID: PktIDOrderLight, Channel: 7, Group: 3, Number: 41}.Encode())
+	f.Add(^uint64(0)) // every bit set, including the 22 beyond the packet
+	f.Fuzz(func(t *testing.T, w uint64) {
+		p := DecodeOLPacket(w)
+		e := p.Encode()
+		if e >= 1<<OLPacketBits {
+			t.Fatalf("Encode(%+v) = %#x spills past %d bits", p, e, OLPacketBits)
+		}
+		if mask := uint64(1)<<OLPacketBits - 1; e != w&mask {
+			t.Fatalf("decode∘encode(%#x) = %#x, want the low %d bits %#x", w, e, OLPacketBits, w&mask)
+		}
+		q := DecodeOLPacket(e)
+		if q.PktID != p.PktID || q.Channel != p.Channel || q.Group != p.Group || q.Number != p.Number {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", q, p)
+		}
+		// Valid packets must survive the trip with validity intact.
+		if p.Valid() != q.Valid() {
+			t.Fatalf("validity not preserved: %t vs %t", p.Valid(), q.Valid())
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/isa"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/sim"
+)
+
+// fuzzSpec decodes an arbitrary byte string into a (frequently invalid)
+// kernel spec: three bytes per phase select the command kind, ALU op,
+// data-structure index, immediate and count mode, deliberately covering
+// negative counts, ordering-primitive kinds, host kinds, and the
+// KindInvalid zero value.
+func fuzzSpec(phaseData []byte, dataStructs, extraOrder int64, cmdsPerN float64) Spec {
+	spec := Spec{
+		Name:            "fuzz",
+		Desc:            "fuzz-generated",
+		ComputeRatio:    "?",
+		DataStructs:     int(dataStructs % (1 << 20)),
+		ExtraOrderEvery: int(extraOrder % (1 << 20)),
+	}
+	for i := 0; i+2 < len(phaseData) && len(spec.Phases) < 8; i += 3 {
+		p := PhaseSpec{
+			Name: "p",
+			Kind: isa.Kind(phaseData[i] % 12),
+			Op:   isa.ALUOp(phaseData[i+1] % 8),
+			Vec:  int(int8(phaseData[i+1])),
+			Imm:  int32(phaseData[i+2]),
+		}
+		switch phaseData[i+2] % 3 {
+		case 0:
+			p.CmdsPerN = cmdsPerN
+		case 1:
+			p.FixedCmds = int(int8(phaseData[i]))
+		default:
+			p.CmdsPerN = 1
+			p.RandomRows = true
+		}
+		spec.Phases = append(spec.Phases, p)
+	}
+	return spec
+}
+
+// FuzzKernelSpec feeds arbitrary specs through Validate, Build and —
+// when the generated program is small enough — a full simulation. The
+// invariant: a spec either fails Validate with a classified error, or
+// it builds and simulates without panicking; the machine may only fail
+// with a deadline error, never wedge or crash.
+func FuzzKernelSpec(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 2, 1, 1, 3, 2, 2}, int64(3), int64(0), 1.0)
+	f.Add([]byte{4, 0, 1}, int64(1), int64(4), 0.5)
+	f.Add([]byte{5, 5, 5}, int64(0), int64(-1), 2.0)
+	f.Add([]byte{6, 1, 0, 7, 2, 1}, int64(2), int64(0), -1.0)
+	f.Add([]byte{}, int64(0), int64(0), 0.0)
+	f.Fuzz(func(t *testing.T, phaseData []byte, dataStructs, extraOrder int64, cmdsPerN float64) {
+		spec := fuzzSpec(phaseData, dataStructs, extraOrder, cmdsPerN)
+		cfg := smallCfg(config.PrimitiveOrderLight)
+
+		verr := spec.Validate()
+		k, berr := Build(cfg, spec, 2048)
+		if verr != nil {
+			if !errors.Is(verr, olerrors.ErrInvalidSpec) {
+				t.Fatalf("Validate error %v is not classified as ErrInvalidSpec", verr)
+			}
+			if berr == nil {
+				t.Fatalf("Validate rejected the spec (%v) but Build accepted it", verr)
+			}
+			return
+		}
+		if berr != nil {
+			t.Fatalf("valid spec failed to build: %v", berr)
+		}
+		if k.TotalCmds() > 20000 {
+			return // structurally fine, too big to simulate per fuzz iteration
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			t.Fatalf("valid kernel rejected by the machine: %v", err)
+		}
+		if _, err := m.Run(); err != nil && !errors.Is(err, sim.ErrDeadline) {
+			t.Fatalf("simulation of a valid spec failed: %v", err)
+		}
+	})
+}

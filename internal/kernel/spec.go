@@ -16,6 +16,7 @@ package kernel
 
 import (
 	"fmt"
+	"math"
 
 	"orderlight/internal/isa"
 	"orderlight/internal/olerrors"
@@ -83,6 +84,12 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// maxPhaseCmds bounds a single phase's command count (fixed or scaled):
+// beyond it a spec describes a program no real kernel resembles and
+// generation would only burn memory. The Table 2 suite peaks at
+// CmdsPerN 14.
+const maxPhaseCmds = 1 << 16
+
 func (s Spec) validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("kernel: spec needs a name")
@@ -93,6 +100,9 @@ func (s Spec) validate() error {
 	if s.ExtraOrderEvery < 0 {
 		return fmt.Errorf("kernel: spec %q has negative ExtraOrderEvery", s.Name)
 	}
+	if s.DataStructs < 0 {
+		return fmt.Errorf("kernel: spec %q has negative DataStructs", s.Name)
+	}
 	hasMem := false
 	for i, p := range s.Phases {
 		switch {
@@ -102,12 +112,21 @@ func (s Spec) validate() error {
 			return fmt.Errorf("kernel: spec %q phase %d: kind %v is not a PIM command", s.Name, i, p.Kind)
 		case p.FixedCmds < 0:
 			return fmt.Errorf("kernel: spec %q phase %d: negative FixedCmds", s.Name, i)
+		case p.FixedCmds > maxPhaseCmds:
+			return fmt.Errorf("kernel: spec %q phase %d: FixedCmds %d exceeds %d", s.Name, i, p.FixedCmds, maxPhaseCmds)
+		case math.IsNaN(p.CmdsPerN) || math.IsInf(p.CmdsPerN, 0):
+			return fmt.Errorf("kernel: spec %q phase %d: CmdsPerN %v is not finite", s.Name, i, p.CmdsPerN)
 		case p.FixedCmds == 0 && p.CmdsPerN <= 0:
 			return fmt.Errorf("kernel: spec %q phase %d: needs CmdsPerN > 0 or FixedCmds > 0", s.Name, i)
+		case p.CmdsPerN > maxPhaseCmds:
+			return fmt.Errorf("kernel: spec %q phase %d: CmdsPerN %v exceeds %d", s.Name, i, p.CmdsPerN, maxPhaseCmds)
 		}
 		if p.Kind.IsMemAccess() {
 			hasMem = true
-			if s.DataStructs > 0 && (p.Vec < 0 || p.Vec >= s.DataStructs) {
+			if p.Vec < 0 {
+				return fmt.Errorf("kernel: spec %q phase %d: negative vec %d", s.Name, i, p.Vec)
+			}
+			if s.DataStructs > 0 && p.Vec >= s.DataStructs {
 				return fmt.Errorf("kernel: spec %q phase %d: vec %d outside [0,%d)", s.Name, i, p.Vec, s.DataStructs)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/core"
 	"orderlight/internal/dram"
+	"orderlight/internal/fault"
 	"orderlight/internal/isa"
 	"orderlight/internal/obs"
 	"orderlight/internal/pim"
@@ -53,6 +54,13 @@ type Controller struct {
 	// track and every PIM command execution on the channel's PIM track.
 	// Armed by Machine.SetSink.
 	Sink obs.Sink
+
+	// Fault, if non-nil, is the ordering-fault injection plan for this
+	// run: it can weaken OrderLight tracker programming (dequeue),
+	// bypass the tracker's issue gate (canIssue), and defer PIM
+	// write-back visibility (issueColumn). Armed by
+	// Machine.SetFaultPlan. All Plan decision methods are nil-safe.
+	Fault *fault.Plan
 }
 
 // txEntry is one transaction in the scheduler's working set.
@@ -146,8 +154,9 @@ func (c *Controller) Accept(r isa.Request) {
 }
 
 // Pending returns the number of requests buffered anywhere in the
-// controller (queues plus scheduler working set).
-func (c *Controller) Pending() int { return c.conv.Len() + len(c.txq) }
+// controller (queues, scheduler working set, and PIM commands whose
+// write-back visibility a fault plan has deferred).
+func (c *Controller) Pending() int { return c.conv.Len() + len(c.txq) + c.unit.Deferred() }
 
 // emit reports a device-level event if a sink is armed. Commands occur
 // at memory-clock edges that are identical under the dense and
@@ -167,6 +176,14 @@ func (c *Controller) emit(kind, name string, memCycle, durCycles int64, detail s
 
 // Tick advances the controller by one memory-clock cycle.
 func (c *Controller) Tick(memCycle int64) {
+	// Fault-deferred PIM write-backs become visible first: deferral is
+	// purely functional (no bus slot), so it runs even on cycles the
+	// refresh machinery owns.
+	if c.unit.Deferred() > 0 {
+		if err := c.unit.RunDue(memCycle); err != nil {
+			panic(fmt.Sprintf("memctrl: deferred PIM execution failed: %v", err))
+		}
+	}
 	c.dequeue()
 	if c.refresh(memCycle) {
 		return // the refresh machinery owns the command bus this cycle
@@ -187,14 +204,27 @@ func (c *Controller) NextWork(cycle int64) int64 {
 		return cycle // dequeue admits one request per cycle
 	}
 	next := never
+	if due, ok := c.unit.NextDue(); ok {
+		if due <= cycle {
+			return cycle // a deferred PIM write-back becomes visible now
+		}
+		next = due
+	}
 	if c.refreshOn {
 		if cycle < c.refreshUntil {
-			return c.refreshUntil // mid-refresh: the channel is blocked until tRFC elapses
+			// Mid-refresh: the command bus is blocked until tRFC elapses,
+			// but a deferred write-back (already in next) can act sooner.
+			if c.refreshUntil < next {
+				next = c.refreshUntil
+			}
+			return next
 		}
 		if c.draining || cycle >= c.nextRefresh {
 			return cycle // precharge drain / refresh proper owns the bus every cycle
 		}
-		next = c.nextRefresh
+		if c.nextRefresh < next {
+			next = c.nextRefresh
+		}
 	}
 	if len(c.txq) > 0 {
 		w := c.nextSchedule(cycle)
@@ -219,7 +249,7 @@ func (c *Controller) nextSchedule(cycle int64) int64 {
 	any := false
 	for i := range c.txq {
 		e := &c.txq[i]
-		if !c.tracker.CanIssue(e.r.Group, e.epoch) {
+		if !c.canIssue(e) {
 			continue
 		}
 		if c.seqno && e.r.Kind.IsPIM() && e.r.Seq != c.nextSeq {
@@ -327,7 +357,21 @@ func (c *Controller) dequeue() {
 	}
 	if r.Kind == isa.KindOrderLight {
 		c.st.OLMerges++
-		for _, g := range r.OL.Groups() {
+		groups := r.OL.Groups()
+		if c.Fault.ShouldWeakenDrain(r.ID) {
+			// Weakened drain semantics: the packet's cross-group targets
+			// are never programmed into the tracker; a single-group packet
+			// is dropped at the controller outright, releasing its epoch's
+			// younger requests early.
+			if len(groups) > 1 {
+				c.Fault.RecordN(fault.PointOLWeakened, int64(len(groups)-1))
+				groups = groups[:1]
+			} else {
+				c.Fault.Record(fault.PointOLDropped)
+				groups = nil
+			}
+		}
+		for _, g := range groups {
 			if err := c.tracker.OrderLight(int(g), r.OL.Number); err != nil {
 				panic(fmt.Sprintf("memctrl: %v", err))
 			}
@@ -348,7 +392,7 @@ func (c *Controller) schedule(memCycle int64) {
 	anyCandidate := false
 	for i := range c.txq {
 		e := &c.txq[i]
-		if !c.tracker.CanIssue(e.r.Group, e.epoch) {
+		if !c.canIssue(e) {
 			continue
 		}
 		if c.seqno && e.r.Kind.IsPIM() && e.r.Seq != c.nextSeq {
@@ -370,7 +414,7 @@ func (c *Controller) schedule(memCycle int64) {
 	// Pass 2: progress the oldest candidate's bank (precharge/activate).
 	for i := range c.txq {
 		e := &c.txq[i]
-		if !c.tracker.CanIssue(e.r.Group, e.epoch) {
+		if !c.canIssue(e) {
 			continue
 		}
 		if c.seqno && e.r.Kind.IsPIM() && e.r.Seq != c.nextSeq {
@@ -410,6 +454,17 @@ func (c *Controller) schedule(memCycle int64) {
 	}
 }
 
+// canIssue is the scheduler's ordering gate: the tracker's verdict,
+// overridden for transactions a fault plan illegally reorders. Shared
+// by schedule, nextSchedule and issueColumn so the dense run, the
+// quiescence hint and the injection accounting always agree.
+func (c *Controller) canIssue(e *txEntry) bool {
+	if c.tracker.CanIssue(e.r.Group, e.epoch) {
+		return true
+	}
+	return c.Fault.ShouldBypassOrdering(e.r.ID)
+}
+
 // columnReady reports whether the transaction's final command could
 // issue this cycle.
 func (c *Controller) columnReady(e *txEntry, memCycle int64) bool {
@@ -445,8 +500,19 @@ func (c *Controller) issueColumn(i int, memCycle int64) {
 	} else {
 		c.emit("mc", "exec", memCycle, 0, fmt.Sprintf("#%d", e.r.ID))
 	}
+	if c.Fault != nil && !c.tracker.CanIssue(e.r.Group, e.epoch) {
+		// The transaction is issuing past an undrained older epoch: the
+		// canIssue bypass actually fired. Count it here, where the
+		// reorder becomes real, not at every scheduler glance.
+		c.Fault.Record(fault.PointReordered)
+	}
 	if e.r.Kind.IsPIM() {
-		if err := c.unit.Exec(e.r); err != nil {
+		if d, ok := c.Fault.DelayExec(e.r.ID); ok {
+			// Delayed visibility: the command is acknowledged and ordered
+			// now, but its functional effect lands d cycles later.
+			c.Fault.Record(fault.PointDelayedExec)
+			c.unit.Defer(e.r, memCycle+d)
+		} else if err := c.unit.Exec(e.r); err != nil {
 			panic(fmt.Sprintf("memctrl: PIM execution failed: %v", err))
 		}
 		c.emit("pim", fmt.Sprintf("%v", e.r.Kind), memCycle, 0,

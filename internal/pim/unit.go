@@ -15,8 +15,21 @@ type Unit struct {
 	slots   [][]int32
 	store   *dram.Store
 
+	// deferred holds commands whose functional execution has been
+	// pushed into the future (fault injection: delayed write-back
+	// visibility). Entries are appended in issue order with a constant
+	// per-plan lag, so due times are non-decreasing and RunDue drains
+	// from the front.
+	deferred []deferredCmd
+
 	// Executed counts commands by kind, for statistics.
 	Executed map[isa.Kind]int64
+}
+
+// deferredCmd is one command awaiting deferred execution.
+type deferredCmd struct {
+	r   isa.Request
+	due int64 // memory cycle at which the command becomes visible
 }
 
 // NewUnit creates a PIM unit with nslots temporary-storage slots over
@@ -82,6 +95,39 @@ func (u *Unit) Exec(r isa.Request) error {
 	}
 	u.Executed[r.Kind]++
 	return nil
+}
+
+// Defer queues r to execute functionally at memory cycle due instead of
+// now — the fault injector's delayed-visibility hook. The command has
+// already been acknowledged upstream; only its state change lags.
+func (u *Unit) Defer(r isa.Request, due int64) {
+	u.deferred = append(u.deferred, deferredCmd{r: r, due: due})
+}
+
+// RunDue executes every deferred command whose due cycle has arrived,
+// in deferral order.
+func (u *Unit) RunDue(cycle int64) error {
+	for len(u.deferred) > 0 && u.deferred[0].due <= cycle {
+		d := u.deferred[0]
+		copy(u.deferred, u.deferred[1:])
+		u.deferred = u.deferred[:len(u.deferred)-1]
+		if err := u.Exec(d.r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deferred returns the number of commands awaiting deferred execution.
+func (u *Unit) Deferred() int { return len(u.deferred) }
+
+// NextDue returns the earliest due cycle among deferred commands, or
+// false when none are pending.
+func (u *Unit) NextDue() (int64, bool) {
+	if len(u.deferred) == 0 {
+		return 0, false
+	}
+	return u.deferred[0].due, true
 }
 
 // Replay executes a command sequence in the given (program) order on a

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"errors"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/fault"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+	"orderlight/internal/sim"
+)
+
+// FuzzFaultPlan throws arbitrary fault plans at the skip-ahead engine:
+// any class, seed, rate (including NaN/Inf/negative) and delay, under
+// both ordering primitives. The invariant is liveness: a faulted
+// machine either finishes the run or fails with the simulated-time
+// deadline error — it never wedges the quiescence protocol (a hang
+// would surface as the fuzzer's per-run timeout) and never panics.
+// The machine is driven directly, without the engine's panic recovery,
+// so a crash registers as a crash.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), uint64(1), 1.0, int64(0), false)
+	f.Add(uint64(2), uint64(99), 0.5, int64(64), true)
+	f.Add(uint64(3), uint64(0), -1.0, int64(-5), false)
+	f.Add(uint64(4), uint64(7), 0.25, int64(100000), true)
+	f.Add(uint64(0), uint64(3), 0.0, int64(1), false)
+	f.Fuzz(func(t *testing.T, classBits, seed uint64, rate float64, delay int64, fence bool) {
+		spec := fault.Spec{
+			Class: fault.Class(classBits % 5),
+			Seed:  seed,
+			Rate:  rate,
+			Delay: delay,
+		}
+		if spec.Validate() != nil {
+			// NaN/Inf/overweight rates are rejected at the spec layer;
+			// nothing downstream may ever see them.
+			return
+		}
+		cfg := config.Default()
+		cfg.Memory.Channels = 2
+		cfg.GPU.PIMSMs = 1
+		cfg.GPU.WarpsPerSM = 2
+		cfg.Run.DeadlineMS = 20
+		cfg.Run.Primitive = config.PrimitiveOrderLight
+		if fence {
+			cfg.Run.Primitive = config.PrimitiveFence
+		}
+		ks, err := kernel.ByName("add")
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := kernel.Build(cfg, ks, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetFaultPlan(fault.NewPlan(spec))
+		if _, err := m.Run(); err != nil && !errors.Is(err, sim.ErrDeadline) {
+			t.Fatalf("faulted run %s failed with a non-deadline error: %v", spec, err)
+		}
+	})
+}

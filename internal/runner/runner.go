@@ -10,10 +10,12 @@ import (
 	"time"
 
 	"orderlight/internal/config"
+	"orderlight/internal/fault"
 	"orderlight/internal/gpu"
 	"orderlight/internal/kernel"
 	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
+	"orderlight/internal/pim"
 	"orderlight/internal/stats"
 )
 
@@ -34,6 +36,13 @@ type Cell struct {
 	// Traffic injects synthetic concurrent host loads (zero disables).
 	Traffic gpu.HostTraffic
 
+	// Fault, when active, arms a seeded ordering-fault injection plan
+	// for this cell; the result then carries the differential oracle's
+	// Verdict. Each cell materializes its own fault.Plan from the spec,
+	// so faulted cells parallelize like any others. PIM kernels only —
+	// a host-baseline cell with an active Fault is rejected.
+	Fault fault.Spec
+
 	// hook, when set, runs at the start of the cell's execution. It is a
 	// package-private test seam for exercising panic recovery.
 	hook func()
@@ -51,6 +60,10 @@ type Result struct {
 	// Manifest is the cell's provenance record; nil unless the engine
 	// was created with Options.Manifest.
 	Manifest *obs.Manifest
+
+	// Fault is the differential oracle's verdict on a fault-injected
+	// cell; nil unless the cell had an active Fault spec.
+	Fault *fault.Verdict
 }
 
 // CellError is the typed error a failing cell contributes to the sweep:
@@ -151,9 +164,17 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 // context yields an error wrapping olerrors.ErrCanceled unless a
 // non-cancellation failure happened first.
 func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
-	if (e.sink != nil || e.sampler != nil) && len(cells) > 1 {
-		return nil, fmt.Errorf("runner: %w: TraceSink/Sampler attach to exactly one cell, got %d",
-			olerrors.ErrInvalidSpec, len(cells))
+	if len(cells) > 1 {
+		// Name the offending option: "TraceSink/Sampler" told the caller
+		// nothing about which of their options to remove.
+		if e.sink != nil {
+			return nil, fmt.Errorf("runner: %w: WithTraceSink attaches to exactly one cell, got %d",
+				olerrors.ErrInvalidSpec, len(cells))
+		}
+		if e.sampler != nil {
+			return nil, fmt.Errorf("runner: %w: WithSampler attaches to exactly one cell, got %d",
+				olerrors.ErrInvalidSpec, len(cells))
+		}
 	}
 	total := len(cells)
 	results := make([]Result, total)
@@ -271,6 +292,18 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 		c.hook()
 	}
 
+	var plan *fault.Plan
+	if c.Fault.Active() {
+		if err := c.Fault.Validate(); err != nil {
+			return Result{}, err
+		}
+		if c.Host {
+			return Result{}, fmt.Errorf("runner: %w: fault injection targets the PIM pipeline; host-baseline cell %q cannot take a Fault spec",
+				olerrors.ErrInvalidSpec, c.Key)
+		}
+		plan = fault.NewPlan(c.Fault)
+	}
+
 	k, err := e.buildKernel(c)
 	if err != nil {
 		return Result{}, err
@@ -278,6 +311,9 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 	m, err := gpu.NewMachine(c.Cfg, k.Store, k.Programs)
 	if err != nil {
 		return Result{}, err
+	}
+	if plan != nil {
+		m.SetFaultPlan(plan)
 	}
 	if c.Traffic.PerChannel > 0 {
 		m.SetHostTraffic(c.Traffic)
@@ -300,6 +336,13 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 	}
 	lat, served := m.HostLatency()
 	res = Result{Run: st, Kernel: k, HostLatency: lat, HostServed: served}
+	if plan != nil {
+		v, oerr := e.classifyFault(c, k, st, plan)
+		if oerr != nil {
+			return Result{}, oerr
+		}
+		res.Fault = &v
+	}
 	if e.manifest {
 		res.Manifest = &obs.Manifest{
 			Cell:            c.Key,
@@ -318,6 +361,28 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 		}
 	}
 	return res, nil
+}
+
+// classifyFault runs the differential oracle for a fault-injected cell:
+// it rebuilds a pristine kernel image (the cache hands out an
+// independent store clone per use), replays every program on the
+// reference PIM executor to obtain the golden image, and classifies the
+// faulted run's final store against it. The golden replay is fully
+// independent of the simulator's own Verify pass, so a disagreement
+// between the two is an escape, not a tautology.
+func (e *Engine) classifyFault(c *Cell, k *kernel.Kernel, st *stats.Run, plan *fault.Plan) (fault.Verdict, error) {
+	gold, err := e.buildKernel(c)
+	if err != nil {
+		return fault.Verdict{}, fmt.Errorf("runner: fault oracle rebuild: %w", err)
+	}
+	nslots := c.Cfg.CommandsPerTile() * c.Cfg.Memory.GroupsPerChannel
+	for _, p := range gold.Programs {
+		reqs := gpu.ExpandProgram(gold.Geom, c.Cfg.CommandsPerTile(), p)
+		if err := pim.Replay(gold.Store, p.Channel, nslots, reqs); err != nil {
+			return fault.Verdict{}, fmt.Errorf("runner: fault oracle replay: %w", err)
+		}
+	}
+	return fault.Classify(gold.Store, k.Store, st, plan.Report()), nil
 }
 
 // buildKernel generates or fetches the cell's kernel image. Cached

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNewSamplerClampsNonPositiveCadence pins the constructor guard: a
+// zero or negative cadence degrades to every-cycle sampling instead of
+// a sampler that never fires (or divides by zero in the re-arm).
+func TestNewSamplerClampsNonPositiveCadence(t *testing.T) {
+	for _, every := range []int64{0, -3} {
+		s := NewSampler(every)
+		if s.Every() != 1 {
+			t.Errorf("NewSampler(%d).Every() = %d, want 1", every, s.Every())
+		}
+		if s.NextCycle() != 1 {
+			t.Errorf("NewSampler(%d).NextCycle() = %d, want 1", every, s.NextCycle())
+		}
+	}
+	if s := NewSampler(64); s.Every() != 64 {
+		t.Errorf("Every() = %d, want 64", s.Every())
+	}
+}
+
+// TestSamplerUnboundIsInert: before Bind, due observations and Finish
+// must record nothing — the machine arms samplers before the run, but a
+// user holding an unbound sampler must not corrupt the series.
+func TestSamplerUnboundIsInert(t *testing.T) {
+	s := NewSampler(10)
+	s.ObserveCycle(at(10))
+	s.ObserveCycle(at(20))
+	s.Finish(at(25))
+	if n := len(s.Samples()); n != 0 {
+		t.Fatalf("unbound sampler recorded %d samples", n)
+	}
+	if s.NextCycle() != 10 {
+		t.Errorf("unbound sampler advanced its due cycle to %d", s.NextCycle())
+	}
+}
+
+// TestSamplerSkipTargetOnCadence emulates the quiescence skip-ahead
+// contract at the boundary the PR 3 suite left untested: the engine
+// folds NextCycle into its work hint, so after a warp the next fired
+// edge lands *exactly* on the sample cycle. Observing at precisely
+// NextCycle every time must walk the cadence grid one step per sample —
+// no double samples, no elided windows, and a Finish landing on the
+// last skip target must dedup instead of appending.
+func TestSamplerSkipTargetOnCadence(t *testing.T) {
+	const every = 128
+	s := NewSampler(every)
+	run := &Run{}
+	s.Bind(run, nil)
+
+	for i := 1; i <= 5; i++ {
+		due := s.NextCycle()
+		if want := int64(i) * every; due != want {
+			t.Fatalf("skip target %d = cycle %d, want %d", i, due, want)
+		}
+		run.PIMCommands = int64(i) // distinguish the snapshots
+		s.ObserveCycle(at(due))    // the engine warps exactly here
+		if got := s.NextCycle(); got != due+every {
+			t.Fatalf("after sampling at %d, NextCycle() = %d, want %d", due, got, due+every)
+		}
+	}
+	// The run drains on the final skip target itself: sample cycle ==
+	// skip target == end cycle. Finish must not duplicate it.
+	s.Finish(at(5 * every))
+	got := s.Samples()
+	if len(got) != 5 {
+		t.Fatalf("recorded %d samples, want 5", len(got))
+	}
+	for i, sm := range got {
+		if sm.Cycle != int64(i+1)*every {
+			t.Errorf("sample %d at cycle %d, want %d", i, sm.Cycle, int64(i+1)*every)
+		}
+		if sm.PIMCommands != int64(i+1) {
+			t.Errorf("sample %d snapshot %d, want %d", i, sm.PIMCommands, i+1)
+		}
+	}
+}
+
+// TestSamplerFinishOffGrid: a Finish past the last cadence cycle
+// appends the endpoint even when no further sample was due.
+func TestSamplerFinishOffGrid(t *testing.T) {
+	s := NewSampler(100)
+	s.Bind(&Run{}, nil)
+	s.ObserveCycle(at(100))
+	s.Finish(at(117))
+	got := s.Samples()
+	if len(got) != 2 || got[1].Cycle != 117 {
+		t.Fatalf("endpoint sample missing or misplaced: %+v", got)
+	}
+}
+
+// TestSamplerCommandBW covers the running-bandwidth column: zero until
+// simulated time advances past the run start, then commands per second.
+func TestSamplerCommandBW(t *testing.T) {
+	run := &Run{Start: 0, PIMCommands: 1000}
+	s := NewSampler(1)
+	s.Bind(run, nil)
+	s.ObserveCycle(at(0) + 1) // one base tick: due (cycle >= 1? no) — not due
+	s.ObserveCycle(at(1))
+	got := s.Samples()
+	if len(got) != 1 {
+		t.Fatalf("recorded %d samples, want 1", len(got))
+	}
+	secs := at(1).Seconds()
+	want := 1000 / secs / 1e9
+	if math.Abs(got[0].CommandBW-want) > 1e-9 {
+		t.Errorf("CommandBW = %g, want %g", got[0].CommandBW, want)
+	}
+
+	// A snapshot at the start instant itself has no elapsed time; the
+	// column must stay zero rather than divide by zero.
+	z := NewSampler(1)
+	z.Bind(&Run{Start: at(5), PIMCommands: 7}, nil)
+	z.Finish(at(5))
+	if zs := z.Samples(); len(zs) != 1 || zs[0].CommandBW != 0 {
+		t.Errorf("zero-elapsed snapshot CommandBW = %+v, want 0", zs)
+	}
+}

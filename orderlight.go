@@ -39,8 +39,11 @@ import (
 
 	"io"
 
+	"fmt"
+
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
+	"orderlight/internal/fault"
 	"orderlight/internal/gpu"
 	"orderlight/internal/isa"
 	"orderlight/internal/kernel"
@@ -237,6 +240,53 @@ func NewMachine(cfg Config, k *Kernel) (*Machine, error) {
 	return gpu.NewMachine(cfg, k.Store, k.Programs)
 }
 
+// FaultSpec selects a seeded ordering-fault injection campaign class
+// for a run (see WithFaultPlan and RunFaultedKernelContext).
+type FaultSpec = fault.Spec
+
+// FaultClass enumerates the injectable ordering-fault classes.
+type FaultClass = fault.Class
+
+// The injectable fault classes: drop ordering packets at issue, weaken
+// OrderLight drain semantics in the controller, illegally reorder
+// issues past in-flight epochs in the FR-FCFS arbiter, and delay PIM
+// result visibility.
+const (
+	FaultNone           = fault.ClassNone
+	FaultDropOrdering   = fault.ClassDropOrdering
+	FaultWeakenDrain    = fault.ClassWeakenDrain
+	FaultIllegalReorder = fault.ClassIllegalReorder
+	FaultDelayVisible   = fault.ClassDelayVisibility
+)
+
+// ParseFaultClass parses a fault-class name (drop, weaken, reorder,
+// delay, none).
+func ParseFaultClass(s string) (FaultClass, error) { return fault.ParseClass(s) }
+
+// FaultClasses lists every injectable class.
+func FaultClasses() []FaultClass { return fault.Classes() }
+
+// FaultVerdict is the differential oracle's classification of a
+// fault-injected run; FaultOutcome enumerates its verdicts.
+type (
+	FaultVerdict = fault.Verdict
+	FaultOutcome = fault.Outcome
+)
+
+// Oracle outcomes: clean (no fault fired), benign (fault fired, answer
+// correct), detected (wrong answer, flagged by verification), escape
+// (wrong answer the verifier missed, or oracle/verifier disagreement —
+// a simulator bug).
+const (
+	FaultClean    = fault.OutcomeClean
+	FaultBenign   = fault.OutcomeBenign
+	FaultDetected = fault.OutcomeDetected
+	FaultEscape   = fault.OutcomeEscape
+)
+
+// FaultSummary aggregates a fault campaign's verdict counts.
+type FaultSummary = experiments.FaultSummary
+
 // Option adjusts how a context-aware entry point executes. Options
 // never change simulation results — parallelism, progress reporting and
 // caching are invisible in the output, which stays byte-identical to a
@@ -252,6 +302,7 @@ type runOptions struct {
 	sink         obs.Sink
 	sampler      *stats.Sampler
 	manifest     bool
+	fault        FaultSpec
 }
 
 // WithParallelism bounds the sweep's worker pool to n goroutines.
@@ -309,6 +360,17 @@ func WithSampler(s *Sampler) Option {
 	return func(o *runOptions) { o.sampler = s }
 }
 
+// WithFaultPlan arms a seeded ordering-fault injection plan for the
+// run: the machine deliberately drops ordering packets, weakens drain
+// semantics, illegally reorders issues, or delays PIM visibility per
+// the spec, and the result carries the differential oracle's Verdict.
+// Only single-cell entry points (RunKernelContext, RunSpecContext)
+// accept it; experiment sweeps reject it with ErrInvalidSpec — the
+// fault campaign (RunFaultCampaignContext) declares its own grid.
+func WithFaultPlan(spec FaultSpec) Option {
+	return func(o *runOptions) { o.fault = spec }
+}
+
 // WithManifest attaches a provenance Manifest to every simulated cell;
 // experiment tables carry them in Table.Manifests (rendered by
 // Table.ManifestMarkdown and the olbench -manifest flag). Manifests
@@ -348,24 +410,50 @@ func RunKernelContext(ctx context.Context, cfg Config, name string, bytesPerChan
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
-	return res, err
+	res, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
+	if err != nil {
+		return nil, err
+	}
+	return res.Run, nil
 }
 
 // RunSpecContext builds and simulates a user-defined spec under ctx,
 // returning the measurements together with the built kernel (for
 // HostBaseline and inspection).
 func RunSpecContext(ctx context.Context, cfg Config, spec Spec, bytesPerChannel int64, opts ...Option) (*Result, *Kernel, error) {
-	return runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
-}
-
-func runSpec(ctx context.Context, cfg Config, spec Spec, bytes int64, host bool, o *runOptions) (*Result, *Kernel, error) {
-	cells := []runner.Cell{{Key: spec.Name, Cfg: cfg, Spec: spec, Bytes: bytes, Host: host}}
-	res, err := o.engine().Run(ctx, cells)
+	res, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
 	if err != nil {
 		return nil, nil, err
 	}
-	return res[0].Run, res[0].Kernel, nil
+	return res.Run, res.Kernel, nil
+}
+
+// RunFaultedKernelContext builds and simulates a named kernel with the
+// given ordering-fault spec armed, returning the measurements together
+// with the differential oracle's verdict. A verdict of FaultEscape
+// means the simulator produced a wrong answer its own verification
+// machinery failed to flag — a simulator bug.
+func RunFaultedKernelContext(ctx context.Context, cfg Config, name string, bytesPerChannel int64, fspec FaultSpec, opts ...Option) (*Result, *FaultVerdict, error) {
+	spec, err := kernel.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	o := gather(opts)
+	o.fault = fspec
+	res, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Run, res.Fault, nil
+}
+
+func runSpec(ctx context.Context, cfg Config, spec Spec, bytes int64, host bool, o *runOptions) (*runner.Result, error) {
+	cells := []runner.Cell{{Key: spec.Name, Cfg: cfg, Spec: spec, Bytes: bytes, Host: host, Fault: o.fault}}
+	res, err := o.engine().Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	return &res[0], nil
 }
 
 // RunKernel builds and simulates a named kernel and returns its
@@ -390,6 +478,9 @@ func ExperimentTitle(id string) string { return experiments.Title(id) }
 // under ctx, fanning its simulation cells across the worker pool.
 func RunExperimentContext(ctx context.Context, id string, cfg Config, opts ...Option) (*Table, error) {
 	o := gather(opts)
+	if err := o.rejectFault(); err != nil {
+		return nil, err
+	}
 	return experiments.RunEngine(ctx, o.engine(), id, cfg, o.scale)
 }
 
@@ -400,7 +491,35 @@ func RunExperimentContext(ctx context.Context, id string, cfg Config, opts ...Op
 // byte-identical to a sequential (WithParallelism(1)) run.
 func RunAllExperimentsContext(ctx context.Context, cfg Config, opts ...Option) ([]*Table, error) {
 	o := gather(opts)
+	if err := o.rejectFault(); err != nil {
+		return nil, err
+	}
 	return experiments.RunAllEngine(ctx, o.engine(), cfg, o.scale)
+}
+
+// rejectFault refuses WithFaultPlan on experiment sweeps: their grids
+// declare per-cell fault specs themselves, so a sweep-wide plan would
+// be ambiguous. Named so the error tells the caller which option to
+// remove.
+func (o *runOptions) rejectFault() error {
+	if !o.fault.Active() {
+		return nil
+	}
+	return fmt.Errorf("orderlight: %w: WithFaultPlan applies to exactly one run; use RunFaultedKernelContext or RunFaultCampaignContext", ErrInvalidSpec)
+}
+
+// RunFaultCampaignContext runs the default ordering-fault injection
+// campaign (kernel × fault-class × seed grid, experiment ID
+// "fault-campaign") and returns the rendered matrix together with the
+// verdict summary. Summary.Escapes must be zero on a healthy simulator
+// and Summary.PinnedDetected must be true: the campaign pins the
+// paper's Figure 5 no-fence wrong answer as a deterministic detection.
+func RunFaultCampaignContext(ctx context.Context, cfg Config, opts ...Option) (*Table, FaultSummary, error) {
+	o := gather(opts)
+	if err := o.rejectFault(); err != nil {
+		return nil, FaultSummary{}, err
+	}
+	return experiments.FaultCampaignEngine(ctx, o.engine(), cfg, o.scale)
 }
 
 // RunExperiment regenerates one paper table/figure (or ablation). It is

@@ -71,7 +71,7 @@ func TestPublicHostBaseline(t *testing.T) {
 }
 
 func TestPublicExperimentAccess(t *testing.T) {
-	if len(Experiments()) != 22 {
+	if len(Experiments()) != 23 {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 	tab, err := RunExperiment("table2", smallConfig(), Scale{})
