@@ -5,12 +5,14 @@ BENCHTIME ?= 2x
 BENCH_OUT ?= BENCH_PR2
 COVER_FLOOR ?= 80.0
 FUZZTIME ?= 10s
+CKPT_FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race smoke cover fuzz-smoke speedup bench bench-compare profile results clean
+.PHONY: ci vet build test race smoke cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
-# detector, and a parallel-vs-sequential smoke of the CLIs.
-ci: vet build race smoke
+# detector, a parallel-vs-sequential smoke of the CLIs, and a brief run
+# of the checkpoint-decoder fuzzer (crash-safety is a tier-1 property).
+ci: vet build race smoke fuzz-ckpt
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +53,20 @@ smoke:
 	diff $$tmp/a.md $$tmp/b.md >/dev/null || { \
 		echo "smoke: FAIL: fault campaign not byte-identical across runs"; exit 1; }; \
 	echo "smoke: OK (fault campaign deterministic, zero escapes)"
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	/tmp/ol-smoke-olsim -kernel add -primitive orderlight -bytes $(SMOKE_SIZE) >$$tmp/full.txt; \
+	/tmp/ol-smoke-olsim -kernel add -primitive orderlight -bytes $(SMOKE_SIZE) \
+		-checkpoint-dir $$tmp/ck -stop-after 400 >/dev/null 2>&1; st=$$?; \
+	if [ $$st -ne 3 ]; then \
+		echo "smoke: FAIL: -stop-after run exited $$st, want 3 (halted)"; exit 1; fi; \
+	ls $$tmp/ck/*.ckpt >/dev/null 2>&1 || { \
+		echo "smoke: FAIL: halted run left no checkpoint on disk"; exit 1; }; \
+	/tmp/ol-smoke-olsim -kernel add -primitive orderlight -bytes $(SMOKE_SIZE) \
+		-checkpoint-dir $$tmp/ck -resume >$$tmp/resumed.txt || { \
+		echo "smoke: FAIL: resume from checkpoint failed"; exit 1; }; \
+	diff $$tmp/full.txt $$tmp/resumed.txt >/dev/null || { \
+		echo "smoke: FAIL: resumed run differs from uninterrupted run"; exit 1; }; \
+	echo "smoke: OK (checkpoint/kill/resume byte-identical)"
 
 # cover enforces a statement-coverage floor over the internal packages.
 # The floor sits well under the current ~87% so legitimate refactors
@@ -69,6 +85,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPacketRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/isa
 	$(GO) test -run '^$$' -fuzz '^FuzzKernelSpec$$' -fuzztime $(FUZZTIME) ./internal/kernel
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/runner
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/ckpt
+
+# fuzz-ckpt is the short ci-gate slice of the checkpoint fuzzer: a few
+# seconds is enough to replay the committed corpus plus a burst of
+# mutations on every ci run.
+fuzz-ckpt:
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(CKPT_FUZZTIME) ./internal/ckpt
 
 # results regenerates results_all.md — every experiment's tables plus a
 # collapsed per-cell run-manifest block (config hash, seed, engine,

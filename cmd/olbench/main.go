@@ -14,6 +14,9 @@
 //	olbench -exp fig12 -size 262144    # bigger per-channel footprint
 //	olbench -exp all -manifest         # attach provenance manifests
 //	olbench -exp all -debug-addr :6060 # pprof + expvar while it runs
+//	olbench -exp all -checkpoint-dir ck          # journal progress per cell
+//	olbench -exp all -checkpoint-dir ck -resume  # skip journal-completed cells
+//	olbench -exp all -retries 2 -cell-timeout 5m # retry/watchdog flaky cells
 //	olbench -list                      # list experiment IDs
 package main
 
@@ -57,6 +60,11 @@ func main() {
 
 		manifest  = flag.Bool("manifest", false, "attach provenance manifests to every table (adds wall-clock times, so output is no longer byte-stable)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address while the sweep runs, e.g. localhost:6060 (empty disables)")
+
+		ckptDir  = flag.String("checkpoint-dir", "", "keep a per-cell progress journal and checkpoints in this directory")
+		resume   = flag.Bool("resume", false, "resume an interrupted sweep from -checkpoint-dir (completed cells are not re-simulated)")
+		retries  = flag.Int("retries", 0, "retry transiently failing cells (panic, deadline, timeout) up to N times with backoff")
+		cellTime = flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog; a cell running longer fails as a timeout (0 disables)")
 	)
 	flag.Parse()
 
@@ -107,6 +115,18 @@ func main() {
 	}
 	if *manifest {
 		opts = append(opts, orderlight.WithManifest())
+	}
+	if *ckptDir != "" {
+		opts = append(opts, orderlight.WithCheckpointDir(*ckptDir))
+	}
+	if *resume {
+		opts = append(opts, orderlight.WithResume())
+	}
+	if *retries > 0 {
+		opts = append(opts, orderlight.WithCellRetries(*retries))
+	}
+	if *cellTime > 0 {
+		opts = append(opts, orderlight.WithCellTimeout(*cellTime))
 	}
 	if *progress {
 		opts = append(opts, orderlight.WithProgress(func(done, total int) {

@@ -39,6 +39,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 		dense    = flag.Bool("dense", false, "run on the naive dense tick engine (parity reference)")
 
+		ckptDir = flag.String("checkpoint-dir", "", "keep a per-cell progress journal and checkpoints in this directory")
+		resume  = flag.Bool("resume", false, "resume an interrupted campaign from -checkpoint-dir")
+
 		name  = flag.String("kernel", "", "single-run mode: Table 2 kernel name")
 		class = flag.String("class", "", "single-run mode: fault class (drop|weaken|reorder|delay)")
 		rate  = flag.Float64("rate", 1, "single-run mode: fault rate in (0,1]")
@@ -61,6 +64,12 @@ func main() {
 	}
 	if *bytes > 0 {
 		opts = append(opts, orderlight.WithScale(orderlight.Scale{BytesPerChannel: *bytes}))
+	}
+	if *ckptDir != "" {
+		opts = append(opts, orderlight.WithCheckpointDir(*ckptDir))
+	}
+	if *resume {
+		opts = append(opts, orderlight.WithResume())
 	}
 
 	if *name != "" || *class != "" {

@@ -14,11 +14,14 @@
 //	olsim -kernel add -primitive none -verify=false  # incorrect-run demo
 //	olsim -kernel add -trace-out run.json            # Perfetto trace
 //	olsim -kernel add -sample-every 1000 -sample-out run.csv
+//	olsim -kernel add -checkpoint-dir ck -stop-after 50000  # halt with a checkpoint (exit 3)
+//	olsim -kernel add -checkpoint-dir ck -resume            # continue, byte-identical
 //	olsim -list                                      # list kernels
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +54,11 @@ func main() {
 		sampleEvery = flag.Int64("sample-every", 0, "sample counters every N core cycles (0 disables)")
 		sampleOut   = flag.String("sample-out", "", "write the sampled time-series here (.json for JSON, else CSV; default stdout)")
 		manifest    = flag.Bool("manifest", false, "print the run's provenance manifest as JSON")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "keep crash-safe checkpoints and a progress journal in this directory")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint cadence in core cycles (0 = default 262144)")
+		resume    = flag.Bool("resume", false, "resume from -checkpoint-dir; the continued run is byte-identical to an uninterrupted one")
+		stopAfter = flag.Int64("stop-after", 0, "halt deterministically at this core cycle after writing a checkpoint, exit 3 (crash-resume testing)")
 	)
 	flag.Parse()
 
@@ -119,10 +127,27 @@ func main() {
 		sampler = orderlight.NewSampler(*sampleEvery)
 		opts = append(opts, orderlight.WithSampler(sampler))
 	}
+	if *ckptDir != "" {
+		opts = append(opts, orderlight.WithCheckpointDir(*ckptDir))
+	}
+	if *ckptEvery > 0 {
+		opts = append(opts, orderlight.WithCheckpointEvery(*ckptEvery))
+	}
+	if *resume {
+		opts = append(opts, orderlight.WithResume())
+	}
+	if *stopAfter > 0 {
+		opts = append(opts, orderlight.WithHaltAfter(*stopAfter))
+	}
 	start := time.Now()
 	res, k, err := orderlight.RunSpecContext(ctx, cfg, spec, *bytes, opts...)
 	wall := time.Since(start)
 	if err != nil {
+		if errors.Is(err, orderlight.ErrHalted) {
+			fmt.Fprintf(os.Stderr, "olsim: halted at checkpoint after core cycle %d; resume with -resume -checkpoint-dir %s\n",
+				*stopAfter, *ckptDir)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	if sink != nil {

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"fmt"
+
+	"orderlight/internal/core"
+	"orderlight/internal/isa"
+)
+
+// SliceState is an L2 slice's checkpointable state: the sub-partition
+// convergence FSM, the tag array's per-set LRU order (nil when caching
+// is disabled) and the hit/miss counters.
+type SliceState struct {
+	Conv   core.ConvergeState
+	Tags   [][]isa.Addr
+	Hits   int64
+	Misses int64
+}
+
+// State captures the slice's buffered requests and tag contents.
+func (s *Slice) State() SliceState {
+	st := SliceState{Conv: s.conv.State(), Hits: s.Hits, Misses: s.Misses}
+	if s.tags != nil {
+		st.Tags = make([][]isa.Addr, len(s.tags.tags))
+		for i, ways := range s.tags.tags {
+			st.Tags[i] = append([]isa.Addr(nil), ways...)
+		}
+	}
+	return st
+}
+
+// Restore replaces the slice's state with the snapshot.
+func (s *Slice) Restore(st SliceState) error {
+	if (s.tags == nil) != (len(st.Tags) == 0) {
+		// A populated tag snapshot cannot restore onto a cache-disabled
+		// slice and vice versa; an empty tag array snapshots as nil (gob
+		// elides empty slices), which restores onto either.
+		if s.tags == nil {
+			return fmt.Errorf("cache: snapshot carries tags but slice has caching disabled")
+		}
+	}
+	if err := s.conv.Restore(st.Conv); err != nil {
+		return err
+	}
+	if s.tags != nil {
+		if len(st.Tags) > 0 && len(st.Tags) != len(s.tags.tags) {
+			return fmt.Errorf("cache: snapshot has %d tag sets, slice has %d", len(st.Tags), len(s.tags.tags))
+		}
+		for i := range s.tags.tags {
+			var ways []isa.Addr
+			if i < len(st.Tags) {
+				ways = st.Tags[i]
+			}
+			if len(ways) > s.tags.assoc {
+				return fmt.Errorf("cache: snapshot set %d has %d ways, associativity is %d", i, len(ways), s.tags.assoc)
+			}
+			s.tags.tags[i] = append([]isa.Addr(nil), ways...)
+		}
+	}
+	s.Hits = st.Hits
+	s.Misses = st.Misses
+	return nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"orderlight/internal/isa"
+)
+
+// This file is the core layer's checkpoint surface: exported snapshot
+// structs plus State/Restore pairs for the Tracker, CollectorCounter,
+// FenceTracker and Converge FSMs. Snapshots deep-copy; Restore methods
+// validate structural compatibility against the component they restore
+// onto and rebuild derived state (totals, budget tags) from scratch.
+
+// TrackerGroupState is one memory-group's epoch queue.
+type TrackerGroupState struct {
+	Epochs []int
+	Base   int
+}
+
+// TrackerState is the Tracker's checkpointable state.
+type TrackerState struct {
+	Groups     []TrackerGroupState
+	LastPktNum []int64
+}
+
+// State captures the tracker's epoch queues and packet-number history.
+func (t *Tracker) State() TrackerState {
+	s := TrackerState{
+		Groups:     make([]TrackerGroupState, len(t.groups)),
+		LastPktNum: append([]int64(nil), t.lastPktNum...),
+	}
+	for i, g := range t.groups {
+		s.Groups[i] = TrackerGroupState{Epochs: append([]int(nil), g.epochs...), Base: int(g.base)}
+	}
+	return s
+}
+
+// Restore replaces the tracker's state with the snapshot.
+func (t *Tracker) Restore(s TrackerState) error {
+	if len(s.Groups) != len(t.groups) || len(s.LastPktNum) != len(t.lastPktNum) {
+		return fmt.Errorf("core: snapshot has %d tracker groups, tracker has %d", len(s.Groups), len(t.groups))
+	}
+	for i, g := range s.Groups {
+		if len(g.Epochs) == 0 {
+			// The open epoch always exists; gob elides empty slices, so an
+			// empty snapshot group is structurally invalid.
+			return fmt.Errorf("core: snapshot tracker group %d has no epochs", i)
+		}
+		t.groups[i] = trackerGroup{epochs: append([]int(nil), g.Epochs...), base: Epoch(g.Base)}
+	}
+	copy(t.lastPktNum, s.LastPktNum)
+	return nil
+}
+
+// CollectorCounterState is the CollectorCounter's checkpointable state.
+// Tagged lists the watched pair indices in ascending order; Total is
+// recomputed from Counts on restore.
+type CollectorCounterState struct {
+	Counts []int
+	Tagged []int
+}
+
+// State captures the per-pair counts and the watched-pair set.
+func (c *CollectorCounter) State() CollectorCounterState {
+	s := CollectorCounterState{Counts: append([]int(nil), c.counts...)}
+	for i := range c.tagged {
+		s.Tagged = append(s.Tagged, i)
+	}
+	sort.Ints(s.Tagged)
+	return s
+}
+
+// Restore replaces the counter state with the snapshot.
+func (c *CollectorCounter) Restore(s CollectorCounterState) error {
+	if len(s.Counts) != len(c.counts) {
+		return fmt.Errorf("core: snapshot has %d collector counters, component has %d", len(s.Counts), len(c.counts))
+	}
+	total := 0
+	for _, n := range s.Counts {
+		if n < 0 {
+			return fmt.Errorf("core: snapshot collector count %d is negative", n)
+		}
+		total += n
+	}
+	copy(c.counts, s.Counts)
+	c.total = total
+	c.tagged = make(map[int]bool, len(s.Tagged))
+	for _, i := range s.Tagged {
+		if i < 0 || i >= len(c.counts) {
+			return fmt.Errorf("core: snapshot tagged pair %d out of range", i)
+		}
+		c.tagged[i] = true
+	}
+	return nil
+}
+
+// State captures the per-warp outstanding-request counts.
+func (f *FenceTracker) State() []int {
+	return append([]int(nil), f.outstanding...)
+}
+
+// Restore replaces the per-warp counts with the snapshot.
+func (f *FenceTracker) Restore(s []int) error {
+	if len(s) != len(f.outstanding) {
+		return fmt.Errorf("core: snapshot has %d fence-tracked warps, tracker has %d", len(s), len(f.outstanding))
+	}
+	copy(f.outstanding, s)
+	return nil
+}
+
+// ConvergeState is the Converge FSM's checkpointable state: each
+// sub-path FIFO's contents plus the round-robin cursor.
+type ConvergeState struct {
+	Paths [][]isa.Request
+	RR    int
+}
+
+// State captures the sub-path FIFOs in order.
+func (c *Converge) State() ConvergeState {
+	s := ConvergeState{Paths: make([][]isa.Request, len(c.paths)), RR: c.rr}
+	for i, p := range c.paths {
+		s.Paths[i] = p.State()
+	}
+	return s
+}
+
+// Restore replaces the sub-path FIFOs with the snapshot.
+func (c *Converge) Restore(s ConvergeState) error {
+	if len(s.Paths) != len(c.paths) {
+		return fmt.Errorf("core: snapshot has %d converge paths, component has %d", len(s.Paths), len(c.paths))
+	}
+	if s.RR < 0 || (len(c.paths) > 0 && s.RR >= len(c.paths)) {
+		return fmt.Errorf("core: snapshot converge cursor %d out of range", s.RR)
+	}
+	for i, entries := range s.Paths {
+		if err := c.paths[i].Restore(entries); err != nil {
+			return err
+		}
+	}
+	c.rr = s.RR
+	return nil
+}

@@ -293,6 +293,25 @@ func (p *Plan) Injections() int64 {
 	return n
 }
 
+// PointCounts is the per-point injection counter vector, indexed by
+// Point. It is the plan's only mutable state, exposed for checkpointing.
+type PointCounts [pointCount]int64
+
+// Counts returns the plan's injection counters.
+func (p *Plan) Counts() PointCounts {
+	if p == nil {
+		return PointCounts{}
+	}
+	return PointCounts(p.counts)
+}
+
+// SetCounts replaces the plan's injection counters (checkpoint resume).
+func (p *Plan) SetCounts(c PointCounts) {
+	if p != nil {
+		p.counts = [pointCount]int64(c)
+	}
+}
+
 // Report snapshots the plan's injection accounting.
 func (p *Plan) Report() Report {
 	r := Report{Class: ClassNone}

@@ -1,0 +1,376 @@
+package gpu
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/fault"
+	"orderlight/internal/obs"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/sim"
+	"orderlight/internal/stats"
+)
+
+// refRun executes an uninterrupted vector_add run and returns the
+// machine (for its store and stats) plus its event stream.
+func refRun(t *testing.T, dense bool, tiles int) (*Machine, []obs.Event) {
+	t.Helper()
+	cfg := smallConfig(config.PrimitiveOrderLight)
+	store, programs := vectorAddSetup(cfg, tiles)
+	m, err := NewMachine(cfg, store, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetDense(dense)
+	sink := &obs.CollectSink{}
+	m.SetSink(sink)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m, sink.Events()
+}
+
+// nonClock filters out the clock-domain tracks: skip-credit spans are
+// window-shaped (the windowed run cuts them differently), but every
+// machine event — stage crossings, DRAM commands, stalls — must match.
+func nonClock(evs []obs.Event) []obs.Event {
+	var out []obs.Event
+	for _, e := range evs {
+		if !e.Track.IsClock() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestHaltResumeParity is the tentpole determinism property at machine
+// level: a run halted at cycle C, captured, restored onto a freshly
+// built machine and continued must be byte-identical to an
+// uninterrupted run — same stats, same final memory image, same
+// non-clock event stream — on both the dense and skip-ahead engines,
+// at randomized halt points.
+func TestHaltResumeParity(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		name := "skip"
+		if dense {
+			name = "dense"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref, refEvents := refRun(t, dense, 4)
+			total := int64(ref.Stats().ExecTime() / sim.CoreTicks)
+			if total < 100 {
+				t.Fatalf("reference run too short (%d cycles) to halt inside", total)
+			}
+			rng := rand.New(rand.NewSource(42))
+			halts := []int64{1, total / 2, total - 1}
+			for i := 0; i < 3; i++ {
+				halts = append(halts, 1+rng.Int63n(total-1))
+			}
+			for _, h := range halts {
+				cfg := smallConfig(config.PrimitiveOrderLight)
+				store, programs := vectorAddSetup(cfg, 4)
+				m, err := NewMachine(cfg, store, programs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetDense(dense)
+				preSink := &obs.CollectSink{}
+				m.SetSink(preSink)
+				m.SetHaltAfter(h)
+				if _, err := m.Run(); !errors.Is(err, olerrors.ErrHalted) {
+					t.Fatalf("halt at %d: Run = %v, want ErrHalted", h, err)
+				}
+				state := m.CaptureState()
+
+				store2, programs2 := vectorAddSetup(cfg, 4)
+				m2, err := NewMachine(cfg, store2, programs2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m2.SetDense(dense)
+				postSink := &obs.CollectSink{}
+				m2.SetSink(postSink)
+				if err := m2.RestoreState(state); err != nil {
+					t.Fatalf("halt at %d: restore: %v", h, err)
+				}
+				if _, err := m2.Run(); err != nil {
+					t.Fatalf("halt at %d: resumed run: %v", h, err)
+				}
+
+				if got, want := snap(m2.Stats()), snap(ref.Stats()); got != want {
+					t.Fatalf("halt at %d: resumed stats diverge:\n%+v\nwant\n%+v", h, got, want)
+				}
+				if !store2.Equal(ref.store) {
+					t.Fatalf("halt at %d: resumed memory image differs from uninterrupted run", h)
+				}
+				evs := append(nonClock(preSink.Events()), nonClock(postSink.Events())...)
+				want := nonClock(refEvents)
+				if len(evs) != len(want) {
+					t.Fatalf("halt at %d: %d non-clock events, want %d", h, len(evs), len(want))
+				}
+				for i := range evs {
+					if evs[i] != want[i] {
+						t.Fatalf("halt at %d: event %d = %+v, want %+v", h, i, evs[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHaltResumeParityFaulted: resuming under an active fault plan
+// restores the plan's injection counters, so the continued run injects
+// the identical fault sequence and classifies identically.
+func TestHaltResumeParityFaulted(t *testing.T) {
+	spec := fault.Spec{Class: fault.ClassDropOrdering, Seed: 7, Rate: 0.5}
+	run := func(halt int64) (*Machine, fault.Report) {
+		cfg := smallConfig(config.PrimitiveOrderLight)
+		store, programs := vectorAddSetup(cfg, 4)
+		m, err := NewMachine(cfg, store, programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := fault.NewPlan(spec)
+		m.SetFaultPlan(plan)
+		if halt <= 0 {
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return m, plan.Report()
+		}
+		m.SetHaltAfter(halt)
+		if _, err := m.Run(); !errors.Is(err, olerrors.ErrHalted) {
+			t.Fatalf("Run = %v, want ErrHalted", err)
+		}
+		state := m.CaptureState()
+		store2, programs2 := vectorAddSetup(cfg, 4)
+		m2, err := NewMachine(cfg, store2, programs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2 := fault.NewPlan(spec)
+		m2.SetFaultPlan(plan2)
+		if err := m2.RestoreState(state); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m2, plan2.Report()
+	}
+	ref, refReport := run(0)
+	total := int64(ref.Stats().ExecTime() / sim.CoreTicks)
+	for _, h := range []int64{total / 3, 2 * total / 3} {
+		m, report := run(h)
+		if got, want := snap(m.Stats()), snap(ref.Stats()); got != want {
+			t.Fatalf("halt at %d: faulted resumed stats diverge:\n%+v\nwant\n%+v", h, got, want)
+		}
+		if report != refReport {
+			t.Fatalf("halt at %d: injection report %+v, want %+v", h, report, refReport)
+		}
+		if !m.store.Equal(ref.store) {
+			t.Fatalf("halt at %d: faulted resumed memory image differs", h)
+		}
+	}
+}
+
+// TestHaltResumeParityHostTraffic: the host-traffic injector's state
+// (remaining loads, latency clock, RNG) survives capture/restore.
+func TestHaltResumeParityHostTraffic(t *testing.T) {
+	traffic := HostTraffic{PerChannel: 16, EveryN: 10, Group: 1}
+	run := func(halt int64) (*Machine, float64, int64) {
+		cfg := smallConfig(config.PrimitiveOrderLight)
+		store, programs := vectorAddSetup(cfg, 4)
+		m, err := NewMachine(cfg, store, programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetHostTraffic(traffic)
+		if halt <= 0 {
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			lat, served := m.HostLatency()
+			return m, lat, served
+		}
+		m.SetHaltAfter(halt)
+		if _, err := m.Run(); !errors.Is(err, olerrors.ErrHalted) {
+			t.Fatalf("Run = %v, want ErrHalted", err)
+		}
+		state := m.CaptureState()
+		store2, programs2 := vectorAddSetup(cfg, 4)
+		m2, err := NewMachine(cfg, store2, programs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2.SetHostTraffic(traffic)
+		if err := m2.RestoreState(state); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		lat, served := m2.HostLatency()
+		return m2, lat, served
+	}
+	ref, refLat, refServed := run(0)
+	total := int64(ref.Stats().ExecTime() / sim.CoreTicks)
+	m, lat, served := run(total / 2)
+	if got, want := snap(m.Stats()), snap(ref.Stats()); got != want {
+		t.Fatalf("traffic resumed stats diverge:\n%+v\nwant\n%+v", got, want)
+	}
+	if lat != refLat || served != refServed {
+		t.Fatalf("traffic resumed latency %v/%d, want %v/%d", lat, served, refLat, refServed)
+	}
+}
+
+// TestHaltResumeParitySampler: a resumed sampler continues the
+// time-series on the original cadence — the concatenated samples are
+// byte-identical to an uninterrupted run's.
+func TestHaltResumeParitySampler(t *testing.T) {
+	run := func(halt int64) (*Machine, *stats.Sampler) {
+		cfg := smallConfig(config.PrimitiveOrderLight)
+		store, programs := vectorAddSetup(cfg, 4)
+		m, err := NewMachine(cfg, store, programs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := stats.NewSampler(500)
+		m.SetSampler(s)
+		if halt <= 0 {
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return m, s
+		}
+		m.SetHaltAfter(halt)
+		if _, err := m.Run(); !errors.Is(err, olerrors.ErrHalted) {
+			t.Fatalf("Run = %v, want ErrHalted", err)
+		}
+		state := m.CaptureState()
+		store2, programs2 := vectorAddSetup(cfg, 4)
+		m2, err := NewMachine(cfg, store2, programs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := stats.NewSampler(500)
+		m2.SetSampler(s2)
+		if err := m2.RestoreState(state); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m2, s2
+	}
+	ref, refSampler := run(0)
+	total := int64(ref.Stats().ExecTime() / sim.CoreTicks)
+	_, s := run(total / 2)
+	if got, want := s.CSV(), refSampler.CSV(); got != want {
+		t.Fatalf("resumed sample series differs:\n%s\nwant\n%s", got, want)
+	}
+}
+
+// TestRestoreShapeMismatches: structural disagreements between snapshot
+// and machine are refused before any state is touched.
+func TestRestoreShapeMismatches(t *testing.T) {
+	cfg := smallConfig(config.PrimitiveOrderLight)
+	store, programs := vectorAddSetup(cfg, 2)
+	m, err := NewMachine(cfg, store, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetHaltAfter(50)
+	if _, err := m.Run(); !errors.Is(err, olerrors.ErrHalted) {
+		t.Fatalf("Run = %v, want ErrHalted", err)
+	}
+	state := m.CaptureState()
+
+	fresh := func(arm func(*Machine)) *Machine {
+		t.Helper()
+		s2, p2 := vectorAddSetup(cfg, 2)
+		m2, err := NewMachine(cfg, s2, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arm != nil {
+			arm(m2)
+		}
+		return m2
+	}
+	// Fault plan armed on the machine but absent from the snapshot.
+	m2 := fresh(func(m *Machine) {
+		m.SetFaultPlan(fault.NewPlan(fault.Spec{Class: fault.ClassDropOrdering, Seed: 1, Rate: 1}))
+	})
+	if err := m2.RestoreState(state); err == nil {
+		t.Error("restore accepted a snapshot without the armed fault plan")
+	}
+	// Host traffic armed on the machine but absent from the snapshot.
+	m2 = fresh(func(m *Machine) { m.SetHostTraffic(HostTraffic{PerChannel: 4, EveryN: 8}) })
+	if err := m2.RestoreState(state); err == nil {
+		t.Error("restore accepted a snapshot without the armed host traffic")
+	}
+	// Sampler armed on the machine but absent from the snapshot.
+	m2 = fresh(func(m *Machine) { m.SetSampler(stats.NewSampler(100)) })
+	if err := m2.RestoreState(state); err == nil {
+		t.Error("restore accepted a snapshot without the armed sampler")
+	}
+	// Channel-count mismatch.
+	cfg4 := smallConfig(config.PrimitiveOrderLight)
+	cfg4.Memory.Channels = 4
+	cfg4.GPU.PIMSMs = 2
+	s4, p4 := vectorAddSetup(cfg4, 2)
+	m4, err := NewMachine(cfg4, s4, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m4.RestoreState(state); err == nil {
+		t.Error("restore accepted a snapshot from a 2-channel machine onto 4 channels")
+	}
+}
+
+// TestAbortStopsRun: the cooperative abort flag converts a running
+// machine into a typed ErrAborted failure at the next poll window, and
+// an un-aborted windowed run matches the plain path exactly. The fence
+// run is long enough (>> abortPollCycles) that at least one poll fires
+// before completion.
+func TestAbortStopsRun(t *testing.T) {
+	const tiles = 48
+	cfg := smallConfig(config.PrimitiveFence)
+	store, programs := vectorAddSetup(cfg, tiles)
+	ref, err := NewMachine(cfg, store, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total := int64(ref.Stats().ExecTime() / sim.CoreTicks); total <= abortPollCycles {
+		t.Fatalf("run too short to poll: %d cycles, poll window %d", total, abortPollCycles)
+	}
+
+	store2, programs2 := vectorAddSetup(cfg, tiles)
+	m, err := NewMachine(cfg, store2, programs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetAbort(func() bool { return true })
+	if _, err := m.Run(); !errors.Is(err, olerrors.ErrAborted) {
+		t.Fatalf("Run = %v, want ErrAborted", err)
+	}
+
+	store3, programs3 := vectorAddSetup(cfg, tiles)
+	m3, err := NewMachine(cfg, store3, programs3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.SetAbort(func() bool { return false })
+	if _, err := m3.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snap(m3.Stats()), snap(ref.Stats()); got != want {
+		t.Fatalf("abort-polled run diverged from plain run:\n%+v\nwant\n%+v", got, want)
+	}
+}

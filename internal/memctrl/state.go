@@ -1,0 +1,80 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"orderlight/internal/core"
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/pim"
+)
+
+// ControllerState is one memory controller's checkpointable state: the
+// read/write queue FSM, the ordering tracker, DRAM timing, the
+// scheduler's working set, the sequence-number cursor, the refresh
+// machinery and the channel's PIM unit. Configuration (seqno/fcfs mode,
+// refresh intervals) is rebuilt from config, not checkpointed.
+type ControllerState struct {
+	Conv         core.ConvergeState
+	Tracker      core.TrackerState
+	Timing       dram.TimingState
+	TXQ          []TxState
+	NextSeq      uint64
+	NextRefresh  int64
+	RefreshUntil int64
+	Draining     bool
+	Unit         pim.UnitState
+}
+
+// TxState is one transaction in the scheduler's working set.
+type TxState struct {
+	R      isa.Request
+	Epoch  int
+	DidACT bool
+}
+
+// State captures the controller's full mutable state.
+func (c *Controller) State() ControllerState {
+	s := ControllerState{
+		Conv:         c.conv.State(),
+		Tracker:      c.tracker.State(),
+		Timing:       c.timing.State(),
+		NextSeq:      c.nextSeq,
+		NextRefresh:  c.nextRefresh,
+		RefreshUntil: c.refreshUntil,
+		Draining:     c.draining,
+		Unit:         c.unit.State(),
+	}
+	for _, e := range c.txq {
+		s.TXQ = append(s.TXQ, TxState{R: e.r, Epoch: int(e.epoch), DidACT: e.didACT})
+	}
+	return s
+}
+
+// Restore replaces the controller's mutable state with the snapshot.
+func (c *Controller) Restore(s ControllerState) error {
+	if len(s.TXQ) > c.txqCap {
+		return fmt.Errorf("memctrl: snapshot has %d transactions, working set holds %d", len(s.TXQ), c.txqCap)
+	}
+	if err := c.conv.Restore(s.Conv); err != nil {
+		return err
+	}
+	if err := c.tracker.Restore(s.Tracker); err != nil {
+		return err
+	}
+	if err := c.timing.Restore(s.Timing); err != nil {
+		return err
+	}
+	if err := c.unit.Restore(s.Unit); err != nil {
+		return err
+	}
+	c.txq = c.txq[:0]
+	for _, e := range s.TXQ {
+		c.txq = append(c.txq, txEntry{r: e.R, epoch: core.Epoch(e.Epoch), didACT: e.DidACT})
+	}
+	c.nextSeq = s.NextSeq
+	c.nextRefresh = s.NextRefresh
+	c.refreshUntil = s.RefreshUntil
+	c.draining = s.Draining
+	return nil
+}

@@ -1,0 +1,43 @@
+package noc
+
+import (
+	"fmt"
+
+	"orderlight/internal/isa"
+	"orderlight/internal/sim"
+)
+
+// LinkState is a link's checkpointable state: each route's in-flight
+// entries, the round-robin cursor and the merge counter.
+type LinkState struct {
+	Routes []sim.PipeState[isa.Request]
+	RR     int
+	Merges int64
+}
+
+// State captures the link's in-flight traffic.
+func (l *Link) State() LinkState {
+	s := LinkState{Routes: make([]sim.PipeState[isa.Request], len(l.routes)), RR: l.rr, Merges: l.Merges}
+	for i, rt := range l.routes {
+		s.Routes[i] = rt.State()
+	}
+	return s
+}
+
+// Restore replaces the link's state with the snapshot.
+func (l *Link) Restore(s LinkState) error {
+	if len(s.Routes) != len(l.routes) {
+		return fmt.Errorf("noc: snapshot has %d routes, link has %d", len(s.Routes), len(l.routes))
+	}
+	if s.RR < 0 || s.RR >= len(l.routes) {
+		return fmt.Errorf("noc: snapshot route cursor %d out of range", s.RR)
+	}
+	for i, rs := range s.Routes {
+		if err := l.routes[i].Restore(rs); err != nil {
+			return err
+		}
+	}
+	l.rr = s.RR
+	l.Merges = s.Merges
+	return nil
+}

@@ -1,0 +1,234 @@
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"orderlight/internal/ckpt"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/sim"
+)
+
+// journalName is the progress journal's file name inside CheckpointDir.
+const journalName = "journal.jsonl"
+
+// DefaultCheckpointEvery is the checkpoint cadence in core cycles when
+// a checkpoint directory is set without an explicit cadence.
+const DefaultCheckpointEvery = 1 << 18
+
+// cellHash renders a cell's full identity — everything that affects its
+// result — into a short stable key for journal entries and checkpoint
+// file names. %#v over value-typed structs is deterministic.
+func cellHash(c *Cell) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%#v|%#v|%d|%t|%#v|%#v",
+		c.Key, c.Cfg, c.Spec, c.Bytes, c.Host, c.Traffic, c.Fault)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// ckptPath is the cell's checkpoint file inside the checkpoint dir.
+func (e *Engine) ckptPath(hash string) string {
+	return filepath.Join(e.ckptDir, hash+".ckpt")
+}
+
+// sweepTemps removes stray checkpoint temp files. An interrupted save
+// leaves a *.tmp next to the real file; the atomic rename protocol means
+// a temp file is never a valid checkpoint, so removal is always safe.
+func (e *Engine) sweepTemps() {
+	tmps, _ := filepath.Glob(filepath.Join(e.ckptDir, "*.tmp"))
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+}
+
+// validateMeta refuses to restore a checkpoint into a run it does not
+// belong to. Identity is the cell hash (covering config, spec,
+// footprint, traffic and fault plan), the config hash as a second
+// opinion, and the engine flavor — a checkpoint resumes on the engine
+// that wrote it.
+func validateMeta(got, want ckpt.Meta) error {
+	switch {
+	case got.CellHash != want.CellHash:
+		return fmt.Errorf("runner: %w: file belongs to cell %q (%s), this run is cell %q (%s)",
+			olerrors.ErrCheckpointMismatch, got.Cell, got.CellHash, want.Cell, want.CellHash)
+	case got.ConfigHash != want.ConfigHash:
+		return fmt.Errorf("runner: %w: file was written under config %s, this run uses %s",
+			olerrors.ErrCheckpointMismatch, got.ConfigHash, want.ConfigHash)
+	case got.Engine != want.Engine:
+		return fmt.Errorf("runner: %w: file was written by the %s engine, this run uses %s (rerun with the matching engine)",
+			olerrors.ErrCheckpointMismatch, got.Engine, want.Engine)
+	}
+	return nil
+}
+
+// replayJournal reconstructs a journal-completed cell's Result without
+// re-simulating. The kernel image is rebuilt (cached builds make this
+// cheap) because results carry generation metadata; the manifest, when
+// requested, is restamped with zero wall time — the cell did not run.
+func (e *Engine) replayJournal(c *Cell, ent ckpt.JournalEntry) (Result, error) {
+	k, err := e.buildKernel(c)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Run: ent.Run, Kernel: k,
+		HostLatency: ent.HostLatency, HostServed: ent.HostServed,
+		Fault: ent.Fault,
+	}
+	if e.manifest {
+		res.Manifest = e.newManifest(c, 0)
+	}
+	return res, nil
+}
+
+// retryable reports whether a cell failure is worth retrying: recovered
+// panics, simulation deadline overruns and watchdog timeouts. Structural
+// failures (invalid specs, checkpoint damage, cancellation, deterministic
+// halts) are not — they would fail identically again.
+func retryable(err error) bool {
+	return errors.Is(err, olerrors.ErrCellPanic) ||
+		errors.Is(err, sim.ErrDeadline) ||
+		errors.Is(err, olerrors.ErrCellTimeout)
+}
+
+// backoff sleeps before retry attempt+1: exponential in the attempt with
+// deterministic jitter derived from the cell hash, so concurrent
+// retrying cells decorrelate without nondeterministic randomness. The
+// sleep is cut short by context cancellation.
+func (e *Engine) backoff(ctx context.Context, hash string, attempt int) error {
+	base := e.retryBase
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	var seed uint64
+	for _, b := range []byte(hash) {
+		seed = seed*131 + uint64(b)
+	}
+	seed += uint64(attempt) * 0x9e37_79b9_7f4a_7c15
+	d += time.Duration(seed % uint64(d/2+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("runner: %w: %v", olerrors.ErrCanceled, ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}
+
+// runCellRetry drives one cell through the watchdog and the retry loop,
+// and journals the completed result. Retries rerun the cell from
+// scratch (or from its last on-disk checkpoint when resume is on) after
+// an exponential backoff.
+func (e *Engine) runCellRetry(ctx context.Context, c *Cell, journal *ckpt.Journal) (Result, error) {
+	hash := cellHash(c)
+	for attempt := 0; ; attempt++ {
+		res, err := e.runCellGuarded(ctx, c, hash)
+		if err == nil {
+			if journal != nil {
+				ent := ckpt.JournalEntry{
+					Key: c.Key, Hash: hash, Run: res.Run,
+					HostLatency: res.HostLatency, HostServed: res.HostServed,
+					Fault: res.Fault,
+				}
+				if jerr := journal.Append(ent); jerr != nil {
+					return Result{}, jerr
+				}
+				// The cell is journal-complete; its checkpoint is spent.
+				os.Remove(e.ckptPath(hash))
+			}
+			return res, nil
+		}
+		if attempt >= e.retries || !retryable(err) {
+			return Result{}, err
+		}
+		if serr := e.backoff(ctx, hash, attempt); serr != nil {
+			return Result{}, serr
+		}
+	}
+}
+
+// abandonGrace is how long a stopped cell gets to notice its abort flag
+// before the watchdog abandons its goroutine. The abort poll runs every
+// abortPollCycles of simulated time, so anything still running after the
+// grace period is wedged inside a single tick, not merely slow.
+const abandonGrace = 10 * time.Second
+
+// runCellGuarded runs one cell under the per-cell watchdog and the
+// context: either firing sets the machine's cooperative abort flag and
+// waits a grace period for the cell to unwind. A cell that ignores the
+// flag is abandoned — its goroutine may leak, but the sweep reports a
+// typed error instead of hanging. Results are read only after the cell
+// goroutine signals completion, so an abandoned cell can never race the
+// sweep's result slots.
+func (e *Engine) runCellGuarded(ctx context.Context, c *Cell, hash string) (Result, error) {
+	if e.cellTO <= 0 && ctx.Done() == nil {
+		return e.runCell(c, hash, nil)
+	}
+	var stop atomic.Bool
+	type outcome struct {
+		res Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := e.runCell(c, hash, &stop)
+		done <- outcome{res, err}
+	}()
+
+	var timeout <-chan time.Time
+	if e.cellTO > 0 {
+		t := time.NewTimer(e.cellTO)
+		defer t.Stop()
+		timeout = t.C
+	}
+	grace := e.grace
+	if grace <= 0 {
+		grace = abandonGrace
+	}
+
+	var shape func(outcome) (Result, error)
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-ctx.Done():
+		stop.Store(true)
+		shape = func(o outcome) (Result, error) {
+			if o.err != nil && errors.Is(o.err, olerrors.ErrAborted) {
+				return Result{}, fmt.Errorf("runner: %w: %v", olerrors.ErrCanceled, ctx.Err())
+			}
+			return o.res, o.err
+		}
+	case <-timeout:
+		stop.Store(true)
+		shape = func(o outcome) (Result, error) {
+			if o.err != nil && errors.Is(o.err, olerrors.ErrAborted) {
+				return Result{}, fmt.Errorf("runner: %w: cell %q exceeded %v", olerrors.ErrCellTimeout, c.Key, e.cellTO)
+			}
+			// The cell finished (or failed on its own) at the wire;
+			// keep the genuine outcome.
+			return o.res, o.err
+		}
+	}
+
+	g := time.NewTimer(grace)
+	defer g.Stop()
+	select {
+	case o := <-done:
+		return shape(o)
+	case <-g.C:
+		if ctx.Err() != nil {
+			return Result{}, fmt.Errorf("runner: %w: %v (cell %q ignored its abort flag; goroutine abandoned)",
+				olerrors.ErrCanceled, ctx.Err(), c.Key)
+		}
+		return Result{}, fmt.Errorf("runner: %w: cell %q exceeded %v and ignored its abort flag; goroutine abandoned",
+			olerrors.ErrCellTimeout, c.Key, e.cellTO)
+	}
+}

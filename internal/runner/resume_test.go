@@ -1,0 +1,345 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"orderlight/internal/ckpt"
+	"orderlight/internal/config"
+	"orderlight/internal/fault"
+	"orderlight/internal/kernel"
+	"orderlight/internal/olerrors"
+)
+
+// oneCell returns a single add/OrderLight cell (~600 simulated core
+// cycles, so halts in the low hundreds land mid-run).
+func oneCell(t *testing.T) []Cell {
+	t.Helper()
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Run.Primitive = config.PrimitiveOrderLight
+	return []Cell{{Key: "resume/add/orderlight", Cfg: cfg, Spec: spec, Bytes: 8 << 10}}
+}
+
+func TestSweepResumeFromJournal(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cells := testCells(t)
+	ref, err := New(Options{Parallelism: 1}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Parallelism: 1, CheckpointDir: dir}).Run(ctx, cells); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash after the first two cells: drop the journal's tail.
+	jpath := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal has %d lines, want >= 4", len(lines))
+	}
+	if err := os.WriteFile(jpath, append(append([]byte(nil), lines[0]...), lines[1]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var ran int32
+	resumed := testCells(t)
+	for i := range resumed {
+		resumed[i].hook = func() { atomic.AddInt32(&ran, 1) }
+	}
+	res, err := New(Options{Parallelism: 1, CheckpointDir: dir, Resume: true}).Run(ctx, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&ran); got != int32(len(cells)-2) {
+		t.Fatalf("resumed sweep simulated %d cells, want %d (two were journal-complete)", got, len(cells)-2)
+	}
+	for i := range res {
+		if res[i].Run.String() != ref[i].Run.String() {
+			t.Errorf("cell %d (%s): resumed result differs from reference:\n%s\nvs\n%s",
+				i, cells[i].Key, res[i].Run, ref[i].Run)
+		}
+	}
+
+	// A second resume replays everything from the journal: nothing runs.
+	atomic.StoreInt32(&ran, 0)
+	res, err = New(Options{Parallelism: 1, CheckpointDir: dir, Resume: true}).Run(ctx, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 0 {
+		t.Fatalf("fully journaled sweep still simulated %d cells", got)
+	}
+	for i := range res {
+		if res[i].Run.String() != ref[i].Run.String() {
+			t.Errorf("cell %d: journal replay differs from reference", i)
+		}
+	}
+}
+
+func TestHaltCheckpointResumeSweep(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ref, err := New(Options{}).Run(ctx, oneCell(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells := oneCell(t)
+	_, err = New(Options{CheckpointDir: dir, HaltAfterCycles: 200}).Run(ctx, cells)
+	if !errors.Is(err, olerrors.ErrHalted) {
+		t.Fatalf("halted sweep error = %v, want ErrHalted", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("halted sweep error %v is not a *CellError", err)
+	}
+	ckPath := filepath.Join(dir, cellHash(&cells[0])+".ckpt")
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("halt left no checkpoint: %v", err)
+	}
+
+	res, err := New(Options{CheckpointDir: dir, Resume: true}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Run.String() != ref[0].Run.String() {
+		t.Fatalf("resumed cell differs from uninterrupted run:\n%s\nvs\n%s", res[0].Run, ref[0].Run)
+	}
+	if !res[0].Run.Correct {
+		t.Fatal("resumed cell verified incorrect")
+	}
+	// The cell is journal-complete; its checkpoint is spent and removed.
+	if _, err := os.Stat(ckPath); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("spent checkpoint still on disk: %v", err)
+	}
+}
+
+func TestFaultedCellHaltResumeParity(t *testing.T) {
+	ctx := context.Background()
+	cells := oneCell(t)
+	cells[0].Fault = fault.Spec{Class: fault.ClassDropOrdering, Seed: 7, Rate: 0.5}
+
+	ref, err := New(Options{}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref[0].Fault == nil {
+		t.Fatal("faulted reference cell has no verdict")
+	}
+
+	dir := t.TempDir()
+	if _, err := New(Options{CheckpointDir: dir, HaltAfterCycles: 200}).Run(ctx, cells); !errors.Is(err, olerrors.ErrHalted) {
+		t.Fatalf("halted faulted sweep error = %v, want ErrHalted", err)
+	}
+	res, err := New(Options{CheckpointDir: dir, Resume: true}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Fault == nil {
+		t.Fatal("resumed faulted cell has no verdict")
+	}
+	if *res[0].Fault != *ref[0].Fault {
+		t.Fatalf("resumed verdict %+v, want %+v", *res[0].Fault, *ref[0].Fault)
+	}
+	if res[0].Run.String() != ref[0].Run.String() {
+		t.Fatalf("resumed faulted stats differ:\n%s\nvs\n%s", res[0].Run, ref[0].Run)
+	}
+}
+
+func TestCellRetrySucceedsAfterTransientPanics(t *testing.T) {
+	cells := oneCell(t)
+	var attempts int32
+	cells[0].hook = func() {
+		if atomic.AddInt32(&attempts, 1) <= 2 {
+			panic("transient")
+		}
+	}
+	e := New(Options{CellRetries: 2})
+	e.retryBase = time.Millisecond
+	res, err := e.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatalf("retried cell failed: %v", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 3 {
+		t.Fatalf("cell ran %d times, want 3", got)
+	}
+	if !res[0].Run.Correct {
+		t.Fatal("retried cell verified incorrect")
+	}
+}
+
+func TestCellRetriesExhausted(t *testing.T) {
+	cells := oneCell(t)
+	var attempts int32
+	cells[0].hook = func() {
+		atomic.AddInt32(&attempts, 1)
+		panic("permanent")
+	}
+	e := New(Options{CellRetries: 1})
+	e.retryBase = time.Millisecond
+	_, err := e.Run(context.Background(), cells)
+	if !errors.Is(err, olerrors.ErrCellPanic) {
+		t.Fatalf("exhausted retries error = %v, want ErrCellPanic", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 2 {
+		t.Fatalf("cell ran %d times, want 2 (original + 1 retry)", got)
+	}
+}
+
+func TestNonRetryableFailureRunsOnce(t *testing.T) {
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	var attempts int32
+	cells := []Cell{{
+		Key: "bad", Cfg: cfg, Spec: spec, Bytes: 8 << 10, Host: true,
+		Fault: fault.Spec{Class: fault.ClassDropOrdering, Seed: 1, Rate: 1},
+		hook:  func() { atomic.AddInt32(&attempts, 1) },
+	}}
+	e := New(Options{CellRetries: 3})
+	e.retryBase = time.Millisecond
+	_, err = e.Run(context.Background(), cells)
+	if !errors.Is(err, olerrors.ErrInvalidSpec) {
+		t.Fatalf("invalid cell error = %v, want ErrInvalidSpec", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 1 {
+		t.Fatalf("structurally failing cell ran %d times, want 1 (not retryable)", got)
+	}
+}
+
+func TestCellWatchdogTimeout(t *testing.T) {
+	cells := oneCell(t)
+	release := make(chan struct{})
+	cells[0].hook = func() { <-release }
+	defer close(release)
+	e := New(Options{CellTimeout: 20 * time.Millisecond})
+	e.grace = 30 * time.Millisecond
+	start := time.Now()
+	_, err := e.Run(context.Background(), cells)
+	if !errors.Is(err, olerrors.ErrCellTimeout) {
+		t.Fatalf("wedged cell error = %v, want ErrCellTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+}
+
+func TestCancelCleanupLeavesConsistentDir(t *testing.T) {
+	dir := t.TempDir()
+	// A stray temp file from a crashed save must be swept on exit.
+	stray := filepath.Join(dir, "deadbeef.ckpt.tmp")
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cells := testCells(t)
+	cells[0].hook = func() { cancel() }
+	_, err := New(Options{Parallelism: 1, CheckpointDir: dir}).Run(ctx, cells)
+	if !errors.Is(err, olerrors.ErrCanceled) {
+		t.Fatalf("canceled sweep error = %v, want ErrCanceled", err)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("stray checkpoint temp file survived the sweep")
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left after cancellation: %v", tmps)
+	}
+	// The journal is loadable — consistent, possibly partial.
+	if _, err := ckpt.LoadJournal(filepath.Join(dir, "journal.jsonl")); err != nil {
+		t.Fatalf("journal unreadable after cancellation: %v", err)
+	}
+}
+
+func TestResumeRefusesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cells := oneCell(t)
+	path := filepath.Join(dir, cellHash(&cells[0])+".ckpt")
+	if err := os.WriteFile(path, []byte("OLCKPT but torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Options{CheckpointDir: dir, Resume: true}).Run(context.Background(), cells)
+	if !errors.Is(err, olerrors.ErrCheckpointTruncated) {
+		t.Fatalf("corrupt checkpoint error = %v, want ErrCheckpointTruncated", err)
+	}
+}
+
+func TestResumeRefusesEngineMismatch(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cells := oneCell(t)
+	if _, err := New(Options{CheckpointDir: dir, HaltAfterCycles: 200}).Run(ctx, cells); !errors.Is(err, olerrors.ErrHalted) {
+		t.Fatalf("halted sweep error = %v, want ErrHalted", err)
+	}
+	// The checkpoint was written by the skip engine; resuming on the
+	// dense engine must be refused, not silently diverge.
+	_, err := New(Options{CheckpointDir: dir, Resume: true, DenseEngine: true}).Run(ctx, cells)
+	if !errors.Is(err, olerrors.ErrCheckpointMismatch) {
+		t.Fatalf("engine-mismatch resume error = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestValidateMeta(t *testing.T) {
+	want := ckpt.Meta{CellHash: "aa", ConfigHash: "cc", Engine: "skip"}
+	if err := validateMeta(want, want); err != nil {
+		t.Fatalf("matching meta rejected: %v", err)
+	}
+	for _, got := range []ckpt.Meta{
+		{CellHash: "bb", ConfigHash: "cc", Engine: "skip"},
+		{CellHash: "aa", ConfigHash: "dd", Engine: "skip"},
+		{CellHash: "aa", ConfigHash: "cc", Engine: "dense"},
+	} {
+		if err := validateMeta(got, want); !errors.Is(err, olerrors.ErrCheckpointMismatch) {
+			t.Errorf("meta %+v: error %v, want ErrCheckpointMismatch", got, err)
+		}
+	}
+}
+
+func TestResumeOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := New(Options{Resume: true}).Run(ctx, oneCell(t)); !errors.Is(err, olerrors.ErrInvalidSpec) {
+		t.Fatalf("Resume without CheckpointDir: %v, want ErrInvalidSpec", err)
+	}
+	if _, err := New(Options{HaltAfterCycles: 100}).Run(ctx, testCells(t)); !errors.Is(err, olerrors.ErrInvalidSpec) {
+		t.Fatalf("multi-cell HaltAfterCycles: %v, want ErrInvalidSpec", err)
+	}
+}
+
+func TestCellHashStableAndSensitive(t *testing.T) {
+	cells := testCells(t)
+	a, b := cellHash(&cells[0]), cellHash(&cells[0])
+	if a != b {
+		t.Fatal("cell hash is not stable")
+	}
+	seen := map[string]string{}
+	for i := range cells {
+		h := cellHash(&cells[i])
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("cells %q and %q collide on hash %s", prev, cells[i].Key, h)
+		}
+		seen[h] = cells[i].Key
+	}
+	mutated := cells[0]
+	mutated.Bytes++
+	if cellHash(&mutated) == a {
+		t.Fatal("cell hash ignores the footprint")
+	}
+}

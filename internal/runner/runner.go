@@ -4,11 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"orderlight/internal/ckpt"
 	"orderlight/internal/config"
 	"orderlight/internal/fault"
 	"orderlight/internal/gpu"
@@ -114,6 +119,40 @@ type Options struct {
 	// Manifest attaches a provenance record (config hash, seed, engine,
 	// wall time, go version) to every Result.
 	Manifest bool
+
+	// CheckpointDir enables crash-safe progress: the directory holds a
+	// per-cell progress journal (journal.jsonl) and mid-cell machine
+	// checkpoints (<hash>.ckpt), written atomically. Empty disables.
+	CheckpointDir string
+
+	// CheckpointEvery is the mid-cell checkpoint cadence in core cycles;
+	// <= 0 means DefaultCheckpointEvery. Only meaningful with a
+	// CheckpointDir.
+	CheckpointEvery int64
+
+	// Resume continues an interrupted sweep from CheckpointDir: cells
+	// recorded complete in the journal are reconstructed without
+	// re-simulating, and a cell with an on-disk checkpoint restarts from
+	// it — deterministically, as if never interrupted. Requires a
+	// CheckpointDir.
+	Resume bool
+
+	// CellRetries retries a cell that failed transiently (recovered
+	// panic, simulation deadline, watchdog timeout) up to N more times
+	// with exponential backoff; 0 disables.
+	CellRetries int
+
+	// CellTimeout arms a per-cell wall-clock watchdog: a cell running
+	// longer is cooperatively aborted and reported as
+	// olerrors.ErrCellTimeout. 0 disables.
+	CellTimeout time.Duration
+
+	// HaltAfterCycles deterministically halts the cell at the first
+	// engine step past the given core cycle, writes a final checkpoint
+	// (when a CheckpointDir is set) and fails the run with
+	// olerrors.ErrHalted. It is the reproducible "kill" behind
+	// crash-resume testing. Single-cell only, like TraceSink.
+	HaltAfterCycles int64
 }
 
 // Engine executes cell lists. An Engine is safe for concurrent use and
@@ -128,6 +167,15 @@ type Engine struct {
 	sampler  *stats.Sampler
 	manifest bool
 
+	ckptDir   string
+	ckptEvery int64
+	resume    bool
+	retries   int
+	cellTO    time.Duration
+	haltAfter int64
+	retryBase time.Duration // backoff base; test seam, 0 means 10ms
+	grace     time.Duration // watchdog abandon grace; test seam
+
 	mu   sync.Mutex // serializes progress callbacks
 	done int
 }
@@ -135,12 +183,18 @@ type Engine struct {
 // New creates an engine.
 func New(opts Options) *Engine {
 	e := &Engine{
-		par:      opts.Parallelism,
-		progress: opts.Progress,
-		dense:    opts.DenseEngine,
-		sink:     opts.TraceSink,
-		sampler:  opts.Sampler,
-		manifest: opts.Manifest,
+		par:       opts.Parallelism,
+		progress:  opts.Progress,
+		dense:     opts.DenseEngine,
+		sink:      opts.TraceSink,
+		sampler:   opts.Sampler,
+		manifest:  opts.Manifest,
+		ckptDir:   opts.CheckpointDir,
+		ckptEvery: opts.CheckpointEvery,
+		resume:    opts.Resume,
+		retries:   opts.CellRetries,
+		cellTO:    opts.CellTimeout,
+		haltAfter: opts.HaltAfterCycles,
 	}
 	if !opts.DisableKernelCache {
 		e.cache = newKernelCache()
@@ -175,6 +229,40 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
 			return nil, fmt.Errorf("runner: %w: WithSampler attaches to exactly one cell, got %d",
 				olerrors.ErrInvalidSpec, len(cells))
 		}
+		if e.haltAfter > 0 {
+			return nil, fmt.Errorf("runner: %w: WithHaltAfter attaches to exactly one cell, got %d",
+				olerrors.ErrInvalidSpec, len(cells))
+		}
+	}
+	if e.resume && e.ckptDir == "" {
+		return nil, fmt.Errorf("runner: %w: Resume needs a CheckpointDir", olerrors.ErrInvalidSpec)
+	}
+	var (
+		journal   *ckpt.Journal
+		doneCells map[string]ckpt.JournalEntry
+	)
+	if e.ckptDir != "" {
+		if err := os.MkdirAll(e.ckptDir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+		}
+		jpath := filepath.Join(e.ckptDir, journalName)
+		if e.resume {
+			m, err := ckpt.LoadJournal(jpath)
+			if err != nil {
+				return nil, err
+			}
+			doneCells = m
+		}
+		j, err := ckpt.OpenJournal(jpath)
+		if err != nil {
+			return nil, err
+		}
+		journal = j
+		defer journal.Close()
+		// A cancelled or crashed save can strand a temp file; the rename
+		// protocol makes temps always-garbage, so sweep them on the way
+		// out and leave the directory holding only real checkpoints.
+		defer e.sweepTemps()
 	}
 	total := len(cells)
 	results := make([]Result, total)
@@ -228,7 +316,17 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
 						Err: fmt.Errorf("%w: %v", olerrors.ErrCanceled, cerr)})
 					continue
 				}
-				res, err := e.runCell(&cells[i])
+				if ent, ok := doneCells[cellHash(&cells[i])]; ok {
+					res, err := e.replayJournal(&cells[i], ent)
+					if err != nil {
+						finish(i, &CellError{Key: cells[i].Key, Index: i, Err: err})
+						continue
+					}
+					results[i] = res
+					finish(i, nil)
+					continue
+				}
+				res, err := e.runCellRetry(ctx, &cells[i], journal)
 				if err != nil {
 					finish(i, &CellError{Key: cells[i].Key, Index: i, Err: err})
 					continue
@@ -281,8 +379,10 @@ func (e *Engine) tick(total int) {
 	e.progress(e.done, total)
 }
 
-// runCell executes one simulation with panic recovery.
-func (e *Engine) runCell(c *Cell) (res Result, err error) {
+// runCell executes one simulation with panic recovery. stop, when
+// non-nil, is the cooperative abort flag the watchdog and cancellation
+// paths set; the machine polls it between engine steps.
+func (e *Engine) runCell(c *Cell, hash string, stop *atomic.Bool) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v\n%s", olerrors.ErrCellPanic, r, debug.Stack())
@@ -327,6 +427,52 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 	if e.sampler != nil {
 		m.SetSampler(e.sampler)
 	}
+	if stop != nil {
+		m.SetAbort(stop.Load)
+	}
+	if e.haltAfter > 0 {
+		m.SetHaltAfter(e.haltAfter)
+	}
+	if e.ckptDir != "" {
+		// Checkpoint wiring comes after every other setter: RestoreState
+		// overwrites whatever state the setters initialized, and the
+		// capture closure must see the fully armed machine.
+		path := e.ckptPath(hash)
+		meta := ckpt.Meta{
+			CellHash: hash, Cell: c.Key, Kernel: c.Spec.Name,
+			ConfigHash: obs.ConfigHash(c.Cfg), Engine: obs.EngineName(e.dense),
+			Seed: c.Cfg.Run.Seed, Bytes: c.Bytes, Fault: c.Fault.String(),
+			Host: c.Host, Traffic: c.Traffic.PerChannel > 0,
+		}
+		every := e.ckptEvery
+		if every <= 0 {
+			every = DefaultCheckpointEvery
+		}
+		m.SetCheckpoint(every, func() error {
+			st := m.CaptureState()
+			mm := meta
+			mm.CoreCycle = st.Engine.Now.CoreCycles()
+			mm.SimTime = int64(st.Engine.Now)
+			return ckpt.Save(path, &ckpt.Checkpoint{Meta: mm, Machine: st})
+		})
+		if e.resume {
+			switch ck, lerr := ckpt.Load(path); {
+			case lerr == nil:
+				if verr := validateMeta(ck.Meta, meta); verr != nil {
+					return Result{}, verr
+				}
+				if rerr := m.RestoreState(ck.Machine); rerr != nil {
+					return Result{}, fmt.Errorf("runner: %w: %v", olerrors.ErrCheckpointMismatch, rerr)
+				}
+			case errors.Is(lerr, fs.ErrNotExist):
+				// No mid-cell checkpoint: the cell starts from scratch.
+			default:
+				// A damaged checkpoint is a loud failure, never a silent
+				// from-scratch rerun that would mask the corruption.
+				return Result{}, fmt.Errorf("cell %q: %w", c.Key, lerr)
+			}
+		}
+	}
 	start := time.Now()
 	st, err := m.Run()
 	wall := time.Since(start)
@@ -344,23 +490,29 @@ func (e *Engine) runCell(c *Cell) (res Result, err error) {
 		res.Fault = &v
 	}
 	if e.manifest {
-		res.Manifest = &obs.Manifest{
-			Cell:            c.Key,
-			Kernel:          c.Spec.Name,
-			Primitive:       c.Cfg.Run.Primitive.String(),
-			Seed:            c.Cfg.Run.Seed,
-			Channels:        c.Cfg.Memory.Channels,
-			TSBytes:         c.Cfg.PIM.TSBytes,
-			BMF:             c.Cfg.PIM.BMF,
-			BytesPerChannel: c.Bytes,
-			HostBaseline:    c.Host,
-			ConfigHash:      obs.ConfigHash(c.Cfg),
-			Engine:          obs.EngineName(e.dense),
-			WallMS:          float64(wall.Nanoseconds()) / 1e6,
-			GoVersion:       runtime.Version(),
-		}
+		res.Manifest = e.newManifest(c, float64(wall.Nanoseconds())/1e6)
 	}
 	return res, nil
+}
+
+// newManifest builds a cell's provenance record. Journal-replayed cells
+// carry zero wall time — they did not run.
+func (e *Engine) newManifest(c *Cell, wallMS float64) *obs.Manifest {
+	return &obs.Manifest{
+		Cell:            c.Key,
+		Kernel:          c.Spec.Name,
+		Primitive:       c.Cfg.Run.Primitive.String(),
+		Seed:            c.Cfg.Run.Seed,
+		Channels:        c.Cfg.Memory.Channels,
+		TSBytes:         c.Cfg.PIM.TSBytes,
+		BMF:             c.Cfg.PIM.BMF,
+		BytesPerChannel: c.Bytes,
+		HostBaseline:    c.Host,
+		ConfigHash:      obs.ConfigHash(c.Cfg),
+		Engine:          obs.EngineName(e.dense),
+		WallMS:          wallMS,
+		GoVersion:       runtime.Version(),
+	}
 }
 
 // classifyFault runs the differential oracle for a fault-injected cell:

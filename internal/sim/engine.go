@@ -105,13 +105,41 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(done func() bool, deadline Time) error {
 	for !done() {
 		if e.now >= deadline {
-			return fmt.Errorf("%w (t=%v; %s)", ErrDeadline, e.now, e.pendingReport())
+			return e.DeadlineError()
 		}
 		if !e.Step() {
 			return errors.New("sim: no clocks registered")
 		}
 	}
 	return nil
+}
+
+// RunUntil steps the simulation until done() reports true or the next
+// actionable edge lies beyond limit, whichever comes first, and reports
+// whether done() became true. Unlike RunFor it never warps now to the
+// limit: the engine stops *between* events with every clock untouched,
+// so a later RunUntil (or Run) continues with exactly the event sequence
+// an uninterrupted run would have produced. This is the windowed run
+// primitive behind checkpointing, abort polling, and halt-at-cycle.
+func (e *Engine) RunUntil(done func() bool, limit Time) (bool, error) {
+	for !done() {
+		if len(e.clocks) == 0 {
+			return false, errors.New("sim: no clocks registered")
+		}
+		next := e.scanNext()
+		if next > limit {
+			return false, nil
+		}
+		e.fireAt(next)
+	}
+	return true, nil
+}
+
+// DeadlineError builds the error Run returns when the deadline passes:
+// ErrDeadline wrapped with the elapsed time and the pending-work report.
+// Exported so windowed runners can fail identically to Run.
+func (e *Engine) DeadlineError() error {
+	return fmt.Errorf("%w (t=%v; %s)", ErrDeadline, e.now, e.pendingReport())
 }
 
 // pendingReport describes, per clock domain, the next edge at which it

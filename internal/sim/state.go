@@ -1,0 +1,137 @@
+package sim
+
+import "fmt"
+
+// This file is the sim layer's checkpoint surface: exported snapshot
+// structs plus State/Restore pairs for the engine, clocks, pipes and
+// queues. Snapshots are taken between engine steps, where every
+// component's state is complete (no edge is half-fired), and restoring
+// one onto a freshly constructed twin reproduces the original event
+// sequence exactly. Restore methods validate structural compatibility
+// and deep-copy, so a snapshot can outlive the component it came from.
+
+// ClockState is one clock domain's checkpointable state: the edge
+// counter and the time of the next edge. The name is carried for
+// identity validation on restore.
+type ClockState struct {
+	Name  string
+	Cycle int64
+	Next  Time
+}
+
+// EngineState is the engine's checkpointable state: current time plus
+// every clock domain in registration order.
+type EngineState struct {
+	Now    Time
+	Clocks []ClockState
+}
+
+// State captures the engine and all registered clocks.
+func (e *Engine) State() EngineState {
+	s := EngineState{Now: e.now, Clocks: make([]ClockState, len(e.clocks))}
+	for i, c := range e.clocks {
+		s.Clocks[i] = ClockState{Name: c.name, Cycle: c.cycle, Next: c.next}
+	}
+	return s
+}
+
+// Restore rewinds the engine to a captured state. The clock set of the
+// restored engine must match the snapshot in count, order and name —
+// a mismatch means the snapshot came from a different machine shape.
+func (e *Engine) Restore(s EngineState) error {
+	if len(s.Clocks) != len(e.clocks) {
+		return fmt.Errorf("sim: snapshot has %d clock domains, engine has %d", len(s.Clocks), len(e.clocks))
+	}
+	for i, c := range e.clocks {
+		if s.Clocks[i].Name != c.name {
+			return fmt.Errorf("sim: snapshot clock %d is %q, engine has %q", i, s.Clocks[i].Name, c.name)
+		}
+	}
+	e.now = s.Now
+	for i, c := range e.clocks {
+		c.cycle = s.Clocks[i].Cycle
+		c.next = s.Clocks[i].Next
+		c.pending = 0 // scratch; recomputed by the next scanNext
+	}
+	return nil
+}
+
+// PipeEntryState is one in-flight pipe entry: its payload and the time
+// it becomes visible to the consumer.
+type PipeEntryState[T any] struct {
+	Ready Time
+	V     T
+}
+
+// PipeState is a pipe's checkpointable state: the in-flight entries in
+// FIFO order. Latency and capacity are construction parameters, not
+// state, so a snapshot restores onto any identically configured pipe.
+type PipeState[T any] struct {
+	Entries []PipeEntryState[T]
+}
+
+// State captures the in-flight entries in order.
+func (p *Pipe[T]) State() PipeState[T] {
+	s := PipeState[T]{}
+	if p.n > 0 {
+		s.Entries = make([]PipeEntryState[T], p.n)
+		for i := 0; i < p.n; i++ {
+			e := p.buf[(p.head+i)%len(p.buf)]
+			s.Entries[i] = PipeEntryState[T]{Ready: e.ready, V: e.v}
+		}
+	}
+	return s
+}
+
+// Restore replaces the pipe's contents with the snapshot. It fails if
+// the snapshot holds more entries than a bounded pipe can carry.
+func (p *Pipe[T]) Restore(s PipeState[T]) error {
+	if p.cap > 0 && len(s.Entries) > p.cap {
+		return fmt.Errorf("sim: snapshot has %d pipe entries, capacity is %d", len(s.Entries), p.cap)
+	}
+	if len(s.Entries) > len(p.buf) {
+		p.buf = make([]pipeEntry[T], len(s.Entries))
+	} else {
+		for i := range p.buf {
+			p.buf[i] = pipeEntry[T]{}
+		}
+	}
+	p.head = 0
+	p.n = len(s.Entries)
+	for i, e := range s.Entries {
+		p.buf[i] = pipeEntry[T]{ready: e.Ready, v: e.V}
+	}
+	return nil
+}
+
+// State captures the queued entries in FIFO order.
+func (q *Queue[T]) State() []T {
+	if q.n == 0 {
+		return nil
+	}
+	out := make([]T, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	return out
+}
+
+// Restore replaces the queue's contents with the snapshot. It fails if
+// the snapshot holds more entries than a bounded queue can carry.
+func (q *Queue[T]) Restore(entries []T) error {
+	if q.cap > 0 && len(entries) > q.cap {
+		return fmt.Errorf("sim: snapshot has %d queue entries, capacity is %d", len(entries), q.cap)
+	}
+	if len(entries) > len(q.buf) {
+		q.buf = make([]T, len(entries))
+	} else {
+		var zero T
+		for i := range q.buf {
+			q.buf[i] = zero
+		}
+	}
+	q.head = 0
+	q.n = len(entries)
+	copy(q.buf, entries)
+	return nil
+}

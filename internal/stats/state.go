@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"orderlight/internal/isa"
+)
+
+// Snapshot deep-copies the Run for checkpointing.
+func (r *Run) Snapshot() Run {
+	out := *r
+	out.CmdsByKind = make(map[isa.Kind]int64, len(r.CmdsByKind))
+	for k, n := range r.CmdsByKind {
+		out.CmdsByKind[k] = n
+	}
+	return out
+}
+
+// RestoreFrom overwrites the Run in place with a snapshot, preserving
+// the pointer every machine component shares. A nil CmdsByKind (gob
+// elides empty maps) restores as an empty map.
+func (r *Run) RestoreFrom(s Run) {
+	m := make(map[isa.Kind]int64, len(s.CmdsByKind))
+	for k, n := range s.CmdsByKind {
+		m[k] = n
+	}
+	*r = s
+	r.CmdsByKind = m
+}
+
+// SamplerState is a Sampler's checkpointable state: the next due cycle
+// and the samples taken so far. Cadence is configuration; the run and
+// gauge bindings are re-armed by Machine.SetSampler on resume.
+type SamplerState struct {
+	Next    int64
+	Samples []Sample
+}
+
+// State captures the sampler's progress.
+func (s *Sampler) State() SamplerState {
+	return SamplerState{Next: s.next, Samples: append([]Sample(nil), s.samples...)}
+}
+
+// Restore replaces the sampler's progress with the snapshot.
+func (s *Sampler) Restore(st SamplerState) {
+	s.next = st.Next
+	s.samples = append([]Sample(nil), st.Samples...)
+}

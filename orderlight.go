@@ -41,6 +41,8 @@ import (
 
 	"fmt"
 
+	"time"
+
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
 	"orderlight/internal/fault"
@@ -69,6 +71,21 @@ var (
 	// ErrCellPanic reports an experiment cell that panicked; the sweep
 	// recovers it into an error instead of crashing.
 	ErrCellPanic = olerrors.ErrCellPanic
+	// ErrCellTimeout reports a cell killed by the WithCellTimeout
+	// watchdog.
+	ErrCellTimeout = olerrors.ErrCellTimeout
+	// ErrHalted reports a run deterministically stopped by WithHaltAfter
+	// after writing its checkpoint; resume with WithResume.
+	ErrHalted = olerrors.ErrHalted
+	// ErrCheckpointFormat, ErrCheckpointTruncated, ErrCheckpointChecksum
+	// and ErrCheckpointVersion classify damaged checkpoint files;
+	// ErrCheckpointMismatch reports a healthy checkpoint that belongs to
+	// a different run (config, cell or engine disagree).
+	ErrCheckpointFormat    = olerrors.ErrCheckpointFormat
+	ErrCheckpointTruncated = olerrors.ErrCheckpointTruncated
+	ErrCheckpointChecksum  = olerrors.ErrCheckpointChecksum
+	ErrCheckpointVersion   = olerrors.ErrCheckpointVersion
+	ErrCheckpointMismatch  = olerrors.ErrCheckpointMismatch
 )
 
 // Config is the complete simulator configuration (Table 1 plus PIM and
@@ -303,6 +320,12 @@ type runOptions struct {
 	sampler      *stats.Sampler
 	manifest     bool
 	fault        FaultSpec
+	ckptDir      string
+	ckptEvery    int64
+	resume       bool
+	retries      int
+	cellTimeout  time.Duration
+	haltAfter    int64
 }
 
 // WithParallelism bounds the sweep's worker pool to n goroutines.
@@ -380,6 +403,50 @@ func WithManifest() Option {
 	return func(o *runOptions) { o.manifest = true }
 }
 
+// WithCheckpointDir makes the run crash-safe: the directory accumulates
+// a per-cell progress journal plus periodic whole-machine checkpoints,
+// all written atomically. Combine with WithResume to continue an
+// interrupted run deterministically — the resumed run's results are
+// byte-identical to an uninterrupted one.
+func WithCheckpointDir(dir string) Option {
+	return func(o *runOptions) { o.ckptDir = dir }
+}
+
+// WithCheckpointEvery sets the mid-run checkpoint cadence in core
+// cycles (default 262144). Only meaningful with WithCheckpointDir.
+func WithCheckpointEvery(cycles int64) Option {
+	return func(o *runOptions) { o.ckptEvery = cycles }
+}
+
+// WithResume continues an interrupted run from its checkpoint
+// directory: cells the journal records complete are not re-simulated,
+// and a cell with a mid-run checkpoint restarts from it. Requires
+// WithCheckpointDir.
+func WithResume() Option {
+	return func(o *runOptions) { o.resume = true }
+}
+
+// WithCellRetries retries a transiently failing cell (panic, deadline,
+// watchdog timeout) up to n more times with exponential backoff.
+func WithCellRetries(n int) Option {
+	return func(o *runOptions) { o.retries = n }
+}
+
+// WithCellTimeout arms a per-cell wall-clock watchdog: a cell running
+// longer is cooperatively aborted and reported as ErrCellTimeout (a
+// retryable failure under WithCellRetries).
+func WithCellTimeout(d time.Duration) Option {
+	return func(o *runOptions) { o.cellTimeout = d }
+}
+
+// WithHaltAfter deterministically stops the run at the first engine
+// step past the given core cycle, writes a final checkpoint (with
+// WithCheckpointDir) and fails with ErrHalted. It is the reproducible
+// "kill" for exercising crash-resume; single-run entry points only.
+func WithHaltAfter(cycles int64) Option {
+	return func(o *runOptions) { o.haltAfter = cycles }
+}
+
 // engine assembles the runner engine an option set describes.
 func (o *runOptions) engine() *runner.Engine {
 	return runner.New(runner.Options{
@@ -390,6 +457,12 @@ func (o *runOptions) engine() *runner.Engine {
 		TraceSink:          o.sink,
 		Sampler:            o.sampler,
 		Manifest:           o.manifest,
+		CheckpointDir:      o.ckptDir,
+		CheckpointEvery:    o.ckptEvery,
+		Resume:             o.resume,
+		CellRetries:        o.retries,
+		CellTimeout:        o.cellTimeout,
+		HaltAfterCycles:    o.haltAfter,
 	})
 }
 

@@ -1,0 +1,90 @@
+package orderlight_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orderlight"
+)
+
+// TestCheckpointHaltResumeE2E drives the whole stack through the public
+// facade: a run halted mid-flight with a checkpoint on disk, resumed in
+// a separate call, must reproduce the uninterrupted run exactly.
+func TestCheckpointHaltResumeE2E(t *testing.T) {
+	ctx := context.Background()
+	cfg := apiConfig()
+	spec, err := orderlight.KernelSpec("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := orderlight.RunSpecContext(ctx, cfg, spec, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	_, _, err = orderlight.RunSpecContext(ctx, cfg, spec, 8<<10,
+		orderlight.WithCheckpointDir(dir), orderlight.WithHaltAfter(200))
+	if !errors.Is(err, orderlight.ErrHalted) {
+		t.Fatalf("halted run error = %v, want ErrHalted", err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(ckpts) != 1 {
+		t.Fatalf("checkpoint files on disk: %v (%v), want exactly 1", ckpts, err)
+	}
+
+	res, _, err := orderlight.RunSpecContext(ctx, cfg, spec, 8<<10,
+		orderlight.WithCheckpointDir(dir), orderlight.WithResume())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("resumed run verified incorrect")
+	}
+	if res.String() != ref.String() {
+		t.Fatalf("resumed run differs from uninterrupted run:\n%s\nvs\n%s", res, ref)
+	}
+}
+
+// TestCheckpointSentinels: the checkpoint error surface is part of the
+// facade — damaged files and invalid option combinations map to typed,
+// matchable errors.
+func TestCheckpointSentinels(t *testing.T) {
+	ctx := context.Background()
+	cfg := apiConfig()
+	if _, err := orderlight.RunKernelContext(ctx, cfg, "add", 8<<10, orderlight.WithResume()); !errors.Is(err, orderlight.ErrInvalidSpec) {
+		t.Fatalf("WithResume without WithCheckpointDir: %v, want ErrInvalidSpec", err)
+	}
+
+	dir := t.TempDir()
+	spec, err := orderlight.KernelSpec("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := orderlight.RunSpecContext(ctx, cfg, spec, 8<<10,
+		orderlight.WithCheckpointDir(dir), orderlight.WithHaltAfter(200)); !errors.Is(err, orderlight.ErrHalted) {
+		t.Fatalf("halted run error = %v, want ErrHalted", err)
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(ckpts) != 1 {
+		t.Fatalf("want exactly one checkpoint, got %v", ckpts)
+	}
+	// Flip one payload byte: the resume must fail with the checksum
+	// sentinel, never silently restart or return a wrong result.
+	data, err := os.ReadFile(ckpts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(ckpts[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = orderlight.RunSpecContext(ctx, cfg, spec, 8<<10,
+		orderlight.WithCheckpointDir(dir), orderlight.WithResume())
+	if !errors.Is(err, orderlight.ErrCheckpointChecksum) {
+		t.Fatalf("bit-flipped checkpoint resume error = %v, want ErrCheckpointChecksum", err)
+	}
+}
