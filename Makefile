@@ -7,12 +7,14 @@ COVER_FLOOR ?= 80.0
 FUZZTIME ?= 10s
 CKPT_FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race smoke cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results clean
+.PHONY: ci vet build test race smoke smoke-serve cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
-# detector, a parallel-vs-sequential smoke of the CLIs, and a brief run
-# of the checkpoint-decoder fuzzer (crash-safety is a tier-1 property).
-ci: vet build race smoke fuzz-ckpt
+# detector (including the serve handler tests), a parallel-vs-sequential
+# smoke of the CLIs, a daemon lifecycle smoke (start → healthz → submit
+# → SIGTERM drain → resume), and a brief run of the checkpoint-decoder
+# fuzzer (crash-safety is a tier-1 property).
+ci: vet build race smoke smoke-serve fuzz-ckpt
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +69,51 @@ smoke:
 	diff $$tmp/full.txt $$tmp/resumed.txt >/dev/null || { \
 		echo "smoke: FAIL: resumed run differs from uninterrupted run"; exit 1; }; \
 	echo "smoke: OK (checkpoint/kill/resume byte-identical)"
+
+# smoke-serve checks the daemon contract end to end: a real olserve
+# process serves a figure byte-identically to a local run, SIGTERM
+# mid-sweep drains gracefully (exit 0, progress journaled under
+# -checkpoint-root), and a restarted daemon resumes the identically
+# resubmitted request — rendering the same bytes as a local run.
+smoke-serve:
+	@$(GO) build -o /tmp/ol-smoke-olserve ./cmd/olserve
+	@$(GO) build -o /tmp/ol-smoke-olbench ./cmd/olbench
+	@tmp=$$(mktemp -d); pid=; pid2=; \
+	trap 'kill $$pid $$pid2 2>/dev/null; rm -rf $$tmp' EXIT; \
+	/tmp/ol-smoke-olserve -addr localhost:0 -addr-file $$tmp/addr \
+		-checkpoint-root $$tmp/ck -workers 2 2>$$tmp/serve1.log & pid=$$!; \
+	i=0; while [ ! -s $$tmp/addr ] && [ $$i -lt 100 ]; do sleep 0.05; i=$$((i+1)); done; \
+	base="http://$$(cat $$tmp/addr)"; \
+	/tmp/ol-smoke-olserve -healthcheck $$base >/dev/null || { \
+		echo "smoke-serve: FAIL: daemon never became healthy"; cat $$tmp/serve1.log; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) >$$tmp/local.md 2>/dev/null; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -server $$base >$$tmp/served.md 2>/dev/null || { \
+		echo "smoke-serve: FAIL: daemon-submitted $(SMOKE_EXP) failed"; cat $$tmp/serve1.log; exit 1; }; \
+	diff $$tmp/local.md $$tmp/served.md >/dev/null || { \
+		echo "smoke-serve: FAIL: daemon output differs from local run"; exit 1; }; \
+	echo "smoke-serve: OK ($(SMOKE_EXP) over HTTP byte-identical to local run)"; \
+	/tmp/ol-smoke-olbench -exp fig12 -size $(SMOKE_SIZE) -server $$base \
+		>/dev/null 2>&1 & cpid=$$!; \
+	i=0; until ls $$tmp/ck/*/journal.jsonl >/dev/null 2>&1; do \
+		if [ $$i -ge 200 ]; then \
+			echo "smoke-serve: FAIL: sweep left no journal under -checkpoint-root"; exit 1; fi; \
+		sleep 0.05; i=$$((i+1)); done; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "smoke-serve: FAIL: drain exited non-zero"; cat $$tmp/serve1.log; exit 1; }; \
+	pid=; wait $$cpid 2>/dev/null || true; \
+	/tmp/ol-smoke-olserve -addr localhost:0 -addr-file $$tmp/addr2 \
+		-checkpoint-root $$tmp/ck -workers 2 2>$$tmp/serve2.log & pid2=$$!; \
+	i=0; while [ ! -s $$tmp/addr2 ] && [ $$i -lt 100 ]; do sleep 0.05; i=$$((i+1)); done; \
+	base2="http://$$(cat $$tmp/addr2)"; \
+	/tmp/ol-smoke-olserve -healthcheck $$base2 >/dev/null || { \
+		echo "smoke-serve: FAIL: restarted daemon never became healthy"; cat $$tmp/serve2.log; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp fig12 -size $(SMOKE_SIZE) >$$tmp/fig12-local.md 2>/dev/null; \
+	/tmp/ol-smoke-olbench -exp fig12 -size $(SMOKE_SIZE) -server $$base2 >$$tmp/fig12-resumed.md 2>/dev/null || { \
+		echo "smoke-serve: FAIL: resumed fig12 failed"; cat $$tmp/serve2.log; exit 1; }; \
+	diff $$tmp/fig12-local.md $$tmp/fig12-resumed.md >/dev/null || { \
+		echo "smoke-serve: FAIL: resumed fig12 differs from local run"; exit 1; }; \
+	kill -TERM $$pid2; wait $$pid2 || true; pid2=; \
+	echo "smoke-serve: OK (SIGTERM drained mid-sweep; restarted daemon resumed fig12 byte-identically)"
 
 # cover enforces a statement-coverage floor over the internal packages.
 # The floor sits well under the current ~87% so legitimate refactors
@@ -138,4 +185,5 @@ profile:
 
 clean:
 	rm -f /tmp/ol-smoke-olsim /tmp/ol-smoke-olbench /tmp/ol-smoke-olfault \
-		/tmp/ol-speedup-olbench cpu.pprof mem.pprof cover.out orderlight.test
+		/tmp/ol-smoke-olserve /tmp/ol-speedup-olbench \
+		cpu.pprof mem.pprof cover.out orderlight.test

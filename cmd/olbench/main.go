@@ -17,6 +17,7 @@
 //	olbench -exp all -checkpoint-dir ck          # journal progress per cell
 //	olbench -exp all -checkpoint-dir ck -resume  # skip journal-completed cells
 //	olbench -exp all -retries 2 -cell-timeout 5m # retry/watchdog flaky cells
+//	olbench -exp fig5 -server http://localhost:8080  # run on an olserve daemon
 //	olbench -list                      # list experiment IDs
 package main
 
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"orderlight"
+	"orderlight/internal/cliflags"
 )
 
 // Sweep progress counters, exported at /debug/vars when -debug-addr
@@ -61,11 +63,13 @@ func main() {
 		manifest  = flag.Bool("manifest", false, "attach provenance manifests to every table (adds wall-clock times, so output is no longer byte-stable)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address while the sweep runs, e.g. localhost:6060 (empty disables)")
 
-		ckptDir  = flag.String("checkpoint-dir", "", "keep a per-cell progress journal and checkpoints in this directory")
-		resume   = flag.Bool("resume", false, "resume an interrupted sweep from -checkpoint-dir (completed cells are not re-simulated)")
+		server = flag.String("server", "", "submit the experiment to an olserve daemon at this base URL instead of simulating in process (output is byte-identical)")
+		tenant = flag.String("tenant", "", "tenant name for the daemon's admission quotas (-server mode)")
+
 		retries  = flag.Int("retries", 0, "retry transiently failing cells (panic, deadline, timeout) up to N times with backoff")
 		cellTime = flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog; a cell running longer fails as a timeout (0 disables)")
 	)
+	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -116,12 +120,7 @@ func main() {
 	if *manifest {
 		opts = append(opts, orderlight.WithManifest())
 	}
-	if *ckptDir != "" {
-		opts = append(opts, orderlight.WithCheckpointDir(*ckptDir))
-	}
-	if *resume {
-		opts = append(opts, orderlight.WithResume())
-	}
+	opts = append(opts, ckpt.Options()...)
 	if *retries > 0 {
 		opts = append(opts, orderlight.WithCellRetries(*retries))
 	}
@@ -149,9 +148,23 @@ func main() {
 	start := time.Now()
 	var tables []*orderlight.Table
 	var err error
-	if *exp == "all" {
+	switch {
+	case *server != "":
+		if ckpt.Active() {
+			fatal(fmt.Errorf("-checkpoint-dir/-checkpoint-every/-resume are local paths; the daemon manages its own checkpoints (-checkpoint-root)"))
+		}
+		tables, err = remote(ctx, *server, *tenant, *exp, cfg, orderlight.RunOpts{
+			Parallelism:     *parallel,
+			Dense:           *dense,
+			NoKernelCache:   !*cache,
+			BytesPerChannel: *size,
+			Manifest:        *manifest,
+			Retries:         *retries,
+			CellTimeout:     *cellTime,
+		}, &cells)
+	case *exp == "all":
 		tables, err = orderlight.RunAllExperimentsContext(ctx, cfg, opts...)
-	} else {
+	default:
 		var t *orderlight.Table
 		t, err = orderlight.RunExperimentContext(ctx, *exp, cfg, opts...)
 		tables = []*orderlight.Table{t}
@@ -187,6 +200,38 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "olbench: %d experiment(s), %d cells in %.1fs (parallelism %s)\n",
 		len(tables), cells, time.Since(start).Seconds(), parallelismLabel(*parallel))
+}
+
+// remote submits the experiment (or full sweep) to an olserve daemon
+// and waits on its event stream. The daemon runs the exact same
+// execution path as the in-process entry points, so the rendered
+// tables are byte-identical to a local run — `olbench` output can be
+// diffed across the two modes.
+func remote(ctx context.Context, base, tenant, exp string, cfg orderlight.Config, ro orderlight.RunOpts, cells *int) ([]*orderlight.Table, error) {
+	req := orderlight.JobRequest{Kind: orderlight.JobSweep, Tenant: tenant, Config: &cfg, Opts: ro}
+	if exp != "all" {
+		req.Kind = orderlight.JobExperiment
+		req.Experiment = exp
+	}
+	// No client timeout: a full sweep legitimately runs for minutes and
+	// the events stream stays open throughout.
+	svc := orderlight.NewServiceClient(base, &http.Client{})
+	id, err := svc.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := orderlight.AwaitJob(ctx, svc, id, func(ev orderlight.WatchEvent) {
+		if ev.Type != "progress" {
+			return
+		}
+		*cells = ev.Total
+		cellsDone.Set(int64(ev.Done))
+		cellsTotal.Set(int64(ev.Total))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Tables, nil
 }
 
 func parallelismLabel(n int) string {

@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"orderlight"
+	"orderlight/internal/cliflags"
 )
 
 func main() {
@@ -39,15 +40,13 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 		dense    = flag.Bool("dense", false, "run on the naive dense tick engine (parity reference)")
 
-		ckptDir = flag.String("checkpoint-dir", "", "keep a per-cell progress journal and checkpoints in this directory")
-		resume  = flag.Bool("resume", false, "resume an interrupted campaign from -checkpoint-dir")
-
 		name  = flag.String("kernel", "", "single-run mode: Table 2 kernel name")
 		class = flag.String("class", "", "single-run mode: fault class (drop|weaken|reorder|delay)")
 		rate  = flag.Float64("rate", 1, "single-run mode: fault rate in (0,1]")
 		delay = flag.Int64("delay", 0, "single-run mode: visibility delay in controller cycles (0 = default)")
 		prim  = flag.String("primitive", "orderlight", "single-run mode: ordering primitive under attack (fence|orderlight|seqno)")
 	)
+	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,12 +64,7 @@ func main() {
 	if *bytes > 0 {
 		opts = append(opts, orderlight.WithScale(orderlight.Scale{BytesPerChannel: *bytes}))
 	}
-	if *ckptDir != "" {
-		opts = append(opts, orderlight.WithCheckpointDir(*ckptDir))
-	}
-	if *resume {
-		opts = append(opts, orderlight.WithResume())
-	}
+	opts = append(opts, ckpt.Options()...)
 
 	if *name != "" || *class != "" {
 		p, err := orderlight.ParsePrimitive(*prim)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"orderlight"
+	"orderlight/internal/cliflags"
 )
 
 func main() {
@@ -55,11 +56,9 @@ func main() {
 		sampleOut   = flag.String("sample-out", "", "write the sampled time-series here (.json for JSON, else CSV; default stdout)")
 		manifest    = flag.Bool("manifest", false, "print the run's provenance manifest as JSON")
 
-		ckptDir   = flag.String("checkpoint-dir", "", "keep crash-safe checkpoints and a progress journal in this directory")
-		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint cadence in core cycles (0 = default 262144)")
-		resume    = flag.Bool("resume", false, "resume from -checkpoint-dir; the continued run is byte-identical to an uninterrupted one")
 		stopAfter = flag.Int64("stop-after", 0, "halt deterministically at this core cycle after writing a checkpoint, exit 3 (crash-resume testing)")
 	)
+	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -127,15 +126,7 @@ func main() {
 		sampler = orderlight.NewSampler(*sampleEvery)
 		opts = append(opts, orderlight.WithSampler(sampler))
 	}
-	if *ckptDir != "" {
-		opts = append(opts, orderlight.WithCheckpointDir(*ckptDir))
-	}
-	if *ckptEvery > 0 {
-		opts = append(opts, orderlight.WithCheckpointEvery(*ckptEvery))
-	}
-	if *resume {
-		opts = append(opts, orderlight.WithResume())
-	}
+	opts = append(opts, ckpt.Options()...)
 	if *stopAfter > 0 {
 		opts = append(opts, orderlight.WithHaltAfter(*stopAfter))
 	}
@@ -145,7 +136,7 @@ func main() {
 	if err != nil {
 		if errors.Is(err, orderlight.ErrHalted) {
 			fmt.Fprintf(os.Stderr, "olsim: halted at checkpoint after core cycle %d; resume with -resume -checkpoint-dir %s\n",
-				*stopAfter, *ckptDir)
+				*stopAfter, ckpt.Dir)
 			os.Exit(3)
 		}
 		fatal(err)

@@ -1,0 +1,58 @@
+// Package cliflags holds the flag definitions the olsim, olbench and
+// olfault commands share, so the checkpoint/resume surface is declared
+// once instead of hand-rolled per command.
+package cliflags
+
+import (
+	"flag"
+
+	"orderlight"
+)
+
+// Checkpoint receives the shared crash-safety flags. Validation is not
+// done here: the option invariants (resume needs a directory, negative
+// cadence, ...) live in the library's single buildOpts gate, so every
+// command reports them identically.
+type Checkpoint struct {
+	// Dir is -checkpoint-dir.
+	Dir string
+	// Every is -checkpoint-every, in core cycles.
+	Every int64
+	// Resume is -resume.
+	Resume bool
+}
+
+// RegisterCheckpoint installs -checkpoint-dir, -checkpoint-every and
+// -resume on fs (use flag.CommandLine in main).
+func RegisterCheckpoint(fs *flag.FlagSet) *Checkpoint {
+	c := &Checkpoint{}
+	fs.StringVar(&c.Dir, "checkpoint-dir", "",
+		"keep crash-safe checkpoints and a per-cell progress journal in this directory")
+	fs.Int64Var(&c.Every, "checkpoint-every", 0,
+		"checkpoint cadence in core cycles (0 = default 262144; needs -checkpoint-dir)")
+	fs.BoolVar(&c.Resume, "resume", false,
+		"resume from -checkpoint-dir; the continued run is byte-identical to an uninterrupted one")
+	return c
+}
+
+// Options converts the parsed flags into facade options.
+func (c *Checkpoint) Options() []orderlight.Option {
+	var opts []orderlight.Option
+	if c.Dir != "" {
+		opts = append(opts, orderlight.WithCheckpointDir(c.Dir))
+	}
+	if c.Every > 0 {
+		opts = append(opts, orderlight.WithCheckpointEvery(c.Every))
+	}
+	if c.Resume {
+		opts = append(opts, orderlight.WithResume())
+	}
+	return opts
+}
+
+// Active reports whether any checkpoint flag was set — commands whose
+// remote modes cannot honor local checkpoint directories use it to
+// reject the combination up front.
+func (c *Checkpoint) Active() bool {
+	return c.Dir != "" || c.Every != 0 || c.Resume
+}

@@ -77,6 +77,10 @@ func IDs() []string {
 // Title returns an experiment's one-line description.
 func Title(id string) string { return registry[id].title }
 
+// Known reports whether id names a registered experiment. It lets
+// admission layers reject bad IDs before a job is queued.
+func Known(id string) bool { _, ok := registry[id]; return ok }
+
 // Cells enumerates an experiment's independent simulation cells, with
 // every cell key prefixed by the experiment ID. An unknown ID is
 // reported wrapping olerrors.ErrUnknownExperiment.

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"orderlight/internal/olerrors"
+)
+
+// Await blocks until the job reaches a terminal state and returns its
+// result (or its original error). It prefers the Watch stream; when a
+// transport cannot stream it degrades to Status polling. A ctx that
+// expires mid-wait requests Cancel on the job — the caller walking
+// away should not leave work running — and reports the job's own
+// terminal error when the cancellation lands, or ctx's error when the
+// service cannot be reached anymore.
+//
+// onEvent, when non-nil, observes every watch event before Await acts
+// on it (progress bars, trace taps).
+func Await(ctx context.Context, svc Service, id JobID, onEvent func(WatchEvent)) (*JobResult, error) {
+	events, err := svc.Watch(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				// Stream closed: the job is terminal, or our ctx died and
+				// Watch unsubscribed us mid-run.
+				if ctx.Err() != nil {
+					return cancelAndCollect(ctx, svc, id)
+				}
+				return svc.Result(context.WithoutCancel(ctx), id)
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			if ev.Terminal() {
+				return svc.Result(context.WithoutCancel(ctx), id)
+			}
+		case <-ctx.Done():
+			return cancelAndCollect(ctx, svc, id)
+		}
+	}
+}
+
+// cancelAndCollect turns an abandoned wait into a clean cancellation:
+// cancel the job, then wait (briefly) for it to settle so the caller
+// gets the job's real terminal error — usually wrapping
+// olerrors.ErrCanceled — instead of a bare context error.
+func cancelAndCollect(ctx context.Context, svc Service, id JobID) (*JobResult, error) {
+	bg := context.WithoutCancel(ctx)
+	if err := svc.Cancel(bg, id); err != nil {
+		return nil, fmt.Errorf("serve: %w: %v (cancel failed: %v)", olerrors.ErrCanceled, ctx.Err(), err)
+	}
+	// A running job stops at its next cell boundary; poll until it
+	// settles. The deadline only guards against a wedged service.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := svc.Status(bg, id)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w: %v (status failed: %v)", olerrors.ErrCanceled, ctx.Err(), err)
+		}
+		if st.State.Terminal() {
+			return svc.Result(bg, id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("serve: %w: %v (job %s did not settle after cancel)", olerrors.ErrCanceled, ctx.Err(), id)
+}

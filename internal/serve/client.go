@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"orderlight/internal/olerrors"
+)
+
+// Client speaks the /v1 JSON protocol to a remote daemon. It
+// implements Service, so everything written against the interface —
+// Await, the facade adapters, olbench's -server mode — works
+// unchanged against a daemon across the network.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://localhost:8080"). A nil hc uses http.DefaultClient; pass a
+// client without timeouts for Watch streams on long sweeps.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// decodeError rebuilds the service error from an error envelope. The
+// JobError's Unwrap re-arms the sentinel, so
+// errors.Is(err, olerrors.ErrUnknownKernel) holds on the client side
+// exactly as it did inside the daemon.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != nil {
+		return fmt.Errorf("serve: daemon: %w", eb.Error)
+	}
+	return fmt.Errorf("serve: daemon: unexpected status %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// doJSON performs one request and decodes a JSON response into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("serve: client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("serve: client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit implements Service.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobID, error) {
+	if req.Opts.Progress != nil || req.Opts.Sink != nil || req.Opts.Sampler != nil {
+		return "", fmt.Errorf("serve: %w: in-process callbacks (WithProgress, WithTraceSink, WithSampler) cannot cross the wire; use the events stream (stream_trace) instead", olerrors.ErrInvalidSpec)
+	}
+	var st JobStatus
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", &req, &st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// Status implements Service.
+func (c *Client) Status(ctx context.Context, id JobID) (JobStatus, error) {
+	var st JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+string(id), nil, &st)
+	return st, err
+}
+
+// Result implements Service.
+func (c *Client) Result(ctx context.Context, id JobID) (*JobResult, error) {
+	var res JobResult
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+string(id)+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel implements Service.
+func (c *Client) Cancel(ctx context.Context, id JobID) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+string(id), nil, nil)
+}
+
+// Watch implements Service by consuming the job's server-sent event
+// stream. The returned channel closes when the daemon ends the stream
+// (terminal state) or ctx is canceled.
+func (c *Client) Watch(ctx context.Context, id JobID) (<-chan WatchEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+string(id)+"/events", nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	ch := make(chan WatchEvent, 128)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if !bytes.HasPrefix(line, []byte("data: ")) {
+				continue // blank separators, comments
+			}
+			var ev WatchEvent
+			if err := json.Unmarshal(line[len("data: "):], &ev); err != nil {
+				continue
+			}
+			select {
+			case ch <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// Healthz fetches the daemon's health snapshot. It doubles as the
+// liveness probe olserve's -healthcheck mode uses.
+func (c *Client) Healthz(ctx context.Context) (HealthInfo, error) {
+	var h HealthInfo
+	err := c.doJSON(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// ServerVersion fetches the daemon's protocol and toolchain versions.
+func (c *Client) ServerVersion(ctx context.Context) (VersionInfo, error) {
+	var v VersionInfo
+	err := c.doJSON(ctx, http.MethodGet, "/v1/version", nil, &v)
+	return v, err
+}

@@ -1,0 +1,19 @@
+// Package serve is the simulation-as-a-service layer: a Service
+// interface (Submit/Status/Result/Cancel/Watch) over the runner engine,
+// a production Local implementation with a bounded FIFO job queue,
+// admission control, per-tenant quotas, graceful drain and
+// checkpoint-backed preemption, an injectable Fake with scriptable
+// failures for handler and client tests, and an HTTP/JSON transport
+// (handler + client) that the olserve daemon mounts.
+//
+// Every caller of the simulator — the library facade in the root
+// package, the CLIs, and the daemon — funnels through one code path:
+// a JobRequest validated by Validate and executed by Execute. That is
+// what keeps a figure regenerated over HTTP byte-identical to one
+// regenerated in process.
+//
+// The Manager-interface + injectable-fake idiom follows Navarch's
+// pkg/gpu: the Service interface is small enough to fake completely,
+// so the HTTP layer and its clients are tested without ever spinning
+// the cycle-level engine.
+package serve

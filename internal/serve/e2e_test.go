@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDaemonByteIdentity is the tentpole guarantee end to end: a
+// figure regenerated through real HTTP — JSON request in, JSON tables
+// out — renders byte-identically to one computed in process, because
+// both funnel through the same Execute path.
+func TestDaemonByteIdentity(t *testing.T) {
+	svc := NewLocal(LocalConfig{Workers: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	req := JobRequest{Kind: KindExperiment, Experiment: "fig5", Config: testConfig()}
+	id, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Await(ctx, client, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := Execute(ctx, &JobRequest{Kind: KindExperiment, Experiment: "fig5", Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Tables[0].Markdown(), direct.Tables[0].Markdown(); got != want {
+		t.Fatalf("daemon table differs from in-process table:\n--- daemon ---\n%s\n--- direct ---\n%s", got, want)
+	}
+	if got, want := res.Tables[0].CSV(), direct.Tables[0].CSV(); got != want {
+		t.Fatalf("daemon CSV differs from in-process CSV:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestDaemonKernelRoundTrip checks the single-cell result survives the
+// JSON round trip with its full report intact.
+func TestDaemonKernelRoundTrip(t *testing.T) {
+	svc := NewLocal(LocalConfig{})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	id, err := client.Submit(ctx, kernelReq("add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Await(ctx, client, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := Execute(ctx, func() *JobRequest { r := kernelReq("add"); return &r }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Run.String(), direct.Run.String(); got != want {
+		t.Fatalf("daemon run report differs:\n%s\nvs\n%s", got, want)
+	}
+	if res.HostLatency != direct.HostLatency || res.HostServed != direct.HostServed {
+		t.Fatalf("host counters differ: %v/%v vs %v/%v",
+			res.HostLatency, res.HostServed, direct.HostLatency, direct.HostServed)
+	}
+}
+
+// TestDaemonStreamTrace checks single-cell trace streaming over SSE:
+// trace events arrive interleaved with progress and the stream still
+// terminates cleanly.
+func TestDaemonStreamTrace(t *testing.T) {
+	svc := NewLocal(LocalConfig{})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	// Hold the single worker with an in-process blocker so the SSE
+	// watcher is attached before the traced job starts — intermediate
+	// events are lossy by contract, so the subscription must win the
+	// race deterministically.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blocker := kernelReq("add")
+	blocker.Opts.Progress = func(done, total int) {
+		select {
+		case <-started:
+		default:
+			close(started)
+		}
+		<-gate
+	}
+	idB, err := svc.Submit(ctx, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	req := kernelReq("add")
+	req.Opts.StreamTrace = true
+	id, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// client.Watch returns once the daemon has registered the watcher
+	// (the SSE response headers are flushed after subscription).
+	events, err := client.Watch(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+
+	var traces int
+	for ev := range events {
+		if ev.Type == "trace" && ev.Trace != nil {
+			traces++
+		}
+	}
+	res, err := client.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run == nil || !res.Run.Correct {
+		t.Fatalf("traced run result = %+v", res)
+	}
+	if traces == 0 {
+		t.Fatal("no trace events crossed the wire")
+	}
+	if _, err := Await(ctx, svc, idB, nil); err != nil {
+		t.Fatal(err)
+	}
+}

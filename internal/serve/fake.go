@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"orderlight/internal/olerrors"
+)
+
+// Fake is the injectable Service for transport and client tests: it
+// records submissions, lets the test script admission failures,
+// latencies and outcomes, and honors the same Watch contract as Local
+// — all without ever spinning the cycle-level engine (the Navarch
+// pkg/gpu fake-manager idiom).
+//
+// Two driving styles compose:
+//
+//   - Scripted: the test calls Start and Finish to walk a job through
+//     its lifecycle at exactly the moments it wants.
+//   - Auto: setting AutoResult (and optionally AutoLatency/AutoErr)
+//     makes every submission run itself to completion on a goroutine.
+type Fake struct {
+	// AutoResult, when non-nil, completes every job with this result
+	// after AutoLatency, or with AutoErr when that is set.
+	AutoResult *JobResult
+	// AutoErr fails auto-completed jobs instead of succeeding them.
+	AutoErr error
+	// AutoLatency delays auto-completion; zero completes immediately.
+	AutoLatency time.Duration
+
+	mu        sync.Mutex
+	seq       int
+	jobs      map[JobID]*job
+	submitErr error
+	// Submitted records every admitted request in order, for
+	// assertions on what the client actually sent.
+	Submitted []JobRequest
+}
+
+// NewFake returns an empty scripted fake.
+func NewFake() *Fake {
+	return &Fake{jobs: make(map[JobID]*job)}
+}
+
+// ScriptSubmitError makes every following Submit fail with err (until
+// scripted again with nil). Use it to provoke 429/503 handling in
+// clients: ScriptSubmitError(ErrQueueFull).
+func (f *Fake) ScriptSubmitError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.submitErr = err
+}
+
+// Submit implements Service.
+func (f *Fake) Submit(ctx context.Context, req JobRequest) (JobID, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("serve: %w: %v", olerrors.ErrCanceled, err)
+	}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	if f.submitErr != nil {
+		err := f.submitErr
+		f.mu.Unlock()
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	f.seq++
+	j := &job{
+		id:        JobID(fmt.Sprintf("job-%06d", f.seq)),
+		req:       req,
+		state:     StateQueued,
+		resumable: req.Opts.CheckpointDir != "",
+		submitted: time.Now(),
+		doneCh:    make(chan struct{}),
+	}
+	f.jobs[j.id] = j
+	f.Submitted = append(f.Submitted, req)
+	auto := f.AutoResult != nil || f.AutoErr != nil
+	f.mu.Unlock()
+	if auto {
+		go f.autoRun(j.id)
+	}
+	return j.id, nil
+}
+
+// autoRun drives one job through running to its scripted outcome.
+func (f *Fake) autoRun(id JobID) {
+	f.Start(id)
+	if f.AutoLatency > 0 {
+		time.Sleep(f.AutoLatency)
+	}
+	f.Finish(id, f.AutoResult, f.AutoErr)
+}
+
+// Start moves a queued job to running and emits the state event. It is
+// a no-op on jobs that already left the queue.
+func (f *Fake) Start(id JobID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok || j.state != StateQueued {
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	f.broadcastLocked(j, WatchEvent{Type: "state", State: StateRunning})
+}
+
+// Progress emits a progress event and updates the job's counters.
+func (f *Fake) Progress(id JobID, done, total int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok || j.state.Terminal() {
+		return
+	}
+	j.done, j.total = done, total
+	f.broadcastLocked(j, WatchEvent{Type: "progress", Done: done, Total: total})
+}
+
+// Finish moves a job to its terminal state: done when err is nil,
+// canceled when err wraps olerrors.ErrCanceled, failed otherwise. It
+// is a no-op on already-terminal jobs.
+func (f *Fake) Finish(id JobID, res *JobResult, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok || j.state.Terminal() {
+		return
+	}
+	j.finished = time.Now()
+	j.res, j.err = res, err
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, olerrors.ErrCanceled):
+		j.state = StateCanceled
+	default:
+		j.state = StateFailed
+	}
+	f.broadcastLocked(j, WatchEvent{Type: "state", State: j.state, Error: WireError(err)})
+	for _, ch := range j.watchers {
+		close(ch)
+	}
+	j.watchers = nil
+	close(j.doneCh)
+}
+
+func (f *Fake) broadcastLocked(j *job, ev WatchEvent) {
+	for _, ch := range j.watchers {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (f *Fake) lookup(id JobID) (*job, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: %w %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Status implements Service.
+func (f *Fake) Status(_ context.Context, id JobID) (JobStatus, error) {
+	j, err := f.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return JobStatus{
+		ID: j.id, Kind: j.req.Kind, State: j.state, Tenant: j.req.Tenant,
+		Done: j.done, Total: j.total,
+		Error: WireError(j.err), Resumable: j.resumable,
+		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+	}, nil
+}
+
+// Result implements Service.
+func (f *Fake) Result(_ context.Context, id JobID) (*JobResult, error) {
+	j, err := f.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, fmt.Errorf("serve: %w: job %s is %s", ErrNotFinished, id, j.state)
+	}
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.res, nil
+}
+
+// Cancel implements Service. The fake cancels queued AND running jobs
+// immediately — there is no engine to wind down.
+func (f *Fake) Cancel(_ context.Context, id JobID) error {
+	j, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	terminal := j.state.Terminal()
+	f.mu.Unlock()
+	if terminal {
+		return nil
+	}
+	f.Finish(id, nil, fmt.Errorf("serve: %w: job canceled", olerrors.ErrCanceled))
+	return nil
+}
+
+// Watch implements Service with the same contract as Local: initial
+// snapshot, buffered intermediate events, guaranteed terminal event,
+// then close.
+func (f *Fake) Watch(ctx context.Context, id JobID) (<-chan WatchEvent, error) {
+	j, err := f.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan WatchEvent, 128)
+	f.mu.Lock()
+	ch <- WatchEvent{Type: "state", State: j.state, Done: j.done, Total: j.total, Error: WireError(j.err)}
+	if j.state.Terminal() {
+		close(ch)
+		f.mu.Unlock()
+		return ch, nil
+	}
+	j.watchers = append(j.watchers, ch)
+	f.mu.Unlock()
+
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				f.mu.Lock()
+				for i, c := range j.watchers {
+					if c == ch {
+						j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+						close(ch)
+						break
+					}
+				}
+				f.mu.Unlock()
+			case <-j.doneCh:
+			}
+		}()
+	}
+	return ch, nil
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"orderlight/internal/olerrors"
+	"orderlight/internal/stats"
+)
+
+// newFakeServer wires a Fake behind the real handler and returns a
+// Client speaking real HTTP to it.
+func newFakeServer(t *testing.T) (*Fake, *Client) {
+	t.Helper()
+	fake := NewFake()
+	srv := httptest.NewServer(NewHandler(fake))
+	t.Cleanup(srv.Close)
+	return fake, NewClient(srv.URL, srv.Client())
+}
+
+func TestHandlerSubmitStatusResult(t *testing.T) {
+	fake, client := newFakeServer(t)
+	ctx := context.Background()
+
+	id, err := client.Submit(ctx, kernelReq("add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued || st.Kind != KindKernel {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(fake.Submitted) != 1 || fake.Submitted[0].Kernel != "add" {
+		t.Fatalf("daemon saw %+v", fake.Submitted)
+	}
+
+	fake.Start(id)
+	fake.Progress(id, 1, 1)
+	fake.Finish(id, &JobResult{Run: &stats.Run{Correct: true}}, nil)
+
+	res, err := client.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run == nil || !res.Run.Correct {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestHandlerAdmission429And503(t *testing.T) {
+	fake, client := newFakeServer(t)
+	ctx := context.Background()
+
+	// errors.Is round-trips through the wire envelope.
+	for _, tc := range []struct {
+		scripted error
+		status   int
+		retry    bool
+	}{
+		{ErrQueueFull, http.StatusTooManyRequests, true},
+		{ErrQuotaExceeded, http.StatusTooManyRequests, true},
+		{ErrDraining, http.StatusServiceUnavailable, true},
+	} {
+		fake.ScriptSubmitError(tc.scripted)
+		if _, err := client.Submit(ctx, kernelReq("add")); !errors.Is(err, tc.scripted) {
+			t.Fatalf("Submit = %v, want %v", err, tc.scripted)
+		}
+
+		// The raw response carries the status code and Retry-After the
+		// protocol promises.
+		body, _ := json.Marshal(kernelReq("add"))
+		resp, err := http.Post(client.base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%v: status = %d, want %d", tc.scripted, resp.StatusCode, tc.status)
+		}
+		if tc.retry && resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%v: no Retry-After header", tc.scripted)
+		}
+	}
+	fake.ScriptSubmitError(nil)
+}
+
+func TestHandlerErrorRoundTrips(t *testing.T) {
+	fake, client := newFakeServer(t)
+	ctx := context.Background()
+
+	// Unknown job: 404, ErrUnknownJob.
+	if _, err := client.Status(ctx, "job-nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Status(unknown) = %v, want ErrUnknownJob", err)
+	}
+	// Premature result: 409, ErrNotFinished.
+	id, err := client.Submit(ctx, kernelReq("add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Result(ctx, id); !errors.Is(err, ErrNotFinished) {
+		t.Fatalf("Result(queued) = %v, want ErrNotFinished", err)
+	}
+	// Validation: 400, sentinel preserved.
+	if _, err := client.Submit(ctx, kernelReq("not-a-kernel")); !errors.Is(err, olerrors.ErrUnknownKernel) {
+		t.Fatalf("Submit(bad kernel) = %v, want ErrUnknownKernel", err)
+	}
+	// A failed job's sentinel crosses the wire: the daemon classified a
+	// watchdog kill, the client re-arms the same sentinel.
+	fake.Start(id)
+	fake.Finish(id, nil, fmt.Errorf("runner: cell add: %w after 5ms", olerrors.ErrCellTimeout))
+	if _, err := client.Result(ctx, id); !errors.Is(err, olerrors.ErrCellTimeout) {
+		t.Fatalf("Result(failed) = %v, want ErrCellTimeout", err)
+	}
+	st, err := client.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || st.Error == nil || st.Error.Code != "cell-timeout" {
+		t.Fatalf("failed status = %+v", st)
+	}
+}
+
+func TestHandlerCancelMidRun(t *testing.T) {
+	fake, client := newFakeServer(t)
+	ctx := context.Background()
+
+	id, err := client.Submit(ctx, kernelReq("add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake.Start(id)
+	if err := client.Cancel(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state after cancel = %v", st.State)
+	}
+	if _, err := client.Result(ctx, id); !errors.Is(err, olerrors.ErrCanceled) {
+		t.Fatalf("Result(canceled) = %v, want ErrCanceled", err)
+	}
+}
+
+func TestHandlerWatchStreamTerminates(t *testing.T) {
+	fake, client := newFakeServer(t)
+	ctx := context.Background()
+
+	id, err := client.Submit(ctx, kernelReq("add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := client.Watch(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		fake.Start(id)
+		fake.Progress(id, 1, 2)
+		fake.Progress(id, 2, 2)
+		fake.Finish(id, &JobResult{Run: &stats.Run{Correct: true}}, nil)
+	}()
+
+	var last WatchEvent
+	var sawProgress bool
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				if !last.Terminal() || last.State != StateDone {
+					t.Fatalf("stream ended on %+v, want terminal done", last)
+				}
+				if !sawProgress {
+					t.Fatal("stream carried no progress events")
+				}
+				return
+			}
+			if ev.Type == "progress" {
+				sawProgress = true
+			}
+			last = ev
+		case <-deadline:
+			t.Fatal("watch stream did not terminate")
+		}
+	}
+}
+
+func TestHandlerAutoFakeAwait(t *testing.T) {
+	fake := NewFake()
+	fake.AutoResult = &JobResult{Run: &stats.Run{Correct: true}}
+	fake.AutoLatency = 10 * time.Millisecond
+	srv := httptest.NewServer(NewHandler(fake))
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+
+	ctx := context.Background()
+	id, err := client.Submit(ctx, kernelReq("add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Await(ctx, client, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run == nil || !res.Run.Correct {
+		t.Fatalf("awaited result = %+v", res)
+	}
+}
+
+func TestHandlerHealthzAndVersion(t *testing.T) {
+	svc := NewLocal(LocalConfig{Workers: 2, QueueDepth: 5})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+
+	ctx := context.Background()
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 2 || h.QueueDepth != 5 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	v, err := client.ServerVersion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.API != Version || v.GoVersion == "" {
+		t.Fatalf("version = %+v", v)
+	}
+}
+
+func TestHandlerMalformedBody(t *testing.T) {
+	_, client := newFakeServer(t)
+	resp, err := http.Post(client.base+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == nil || eb.Error.Code != "invalid-spec" {
+		t.Fatalf("malformed body envelope = %+v (err %v)", eb, err)
+	}
+}

@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"orderlight/internal/obs"
+	"orderlight/internal/olerrors"
+)
+
+// LocalConfig tunes the production Service implementation.
+type LocalConfig struct {
+	// QueueDepth bounds the FIFO job queue; Submit fails with
+	// ErrQueueFull beyond it. <= 0 means 64.
+	QueueDepth int
+
+	// PerTenant caps each tenant's queued-plus-running jobs; Submit
+	// fails with ErrQuotaExceeded beyond it. <= 0 disables quotas.
+	PerTenant int
+
+	// Workers is how many jobs execute concurrently (each job still
+	// fans its cells across its own worker pool). <= 0 means 1.
+	Workers int
+
+	// CheckpointRoot, when set, gives every job without an explicit
+	// checkpoint directory one keyed by the request's content hash
+	// under this root, with resume armed. A job preempted by Drain (or
+	// a daemon crash) then continues from its journal when the
+	// identical request is resubmitted — checkpoint-backed preemption.
+	CheckpointRoot string
+}
+
+// job is the service-side record of one submission.
+type job struct {
+	id     JobID
+	req    JobRequest
+	state  JobState
+	err    error
+	res    *JobResult
+	done   int
+	total  int
+	cancel context.CancelFunc
+
+	// resumable records that the job runs with a checkpoint directory,
+	// so preemption leaves it continuable.
+	resumable bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	watchers []chan WatchEvent
+	// doneCh closes at the terminal transition; Await-style helpers
+	// block on it without polling.
+	doneCh chan struct{}
+}
+
+// Local is the production Service: a bounded FIFO queue in front of
+// the runner engine, with admission control, per-tenant quotas,
+// graceful drain and checkpoint-backed preemption.
+type Local struct {
+	cfg LocalConfig
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[JobID]*job
+	queue    chan *job
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewLocal creates the service and starts its job workers.
+func NewLocal(cfg LocalConfig) *Local {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Local{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[JobID]*job),
+		queue:      make(chan *job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit implements Service. Validation and admission are synchronous;
+// execution is not.
+func (s *Local) Submit(ctx context.Context, req JobRequest) (JobID, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("serve: %w: %v", olerrors.ErrCanceled, err)
+	}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return "", fmt.Errorf("serve: %w", ErrDraining)
+	}
+	if s.cfg.PerTenant > 0 && s.inflightLocked(req.Tenant) >= s.cfg.PerTenant {
+		return "", fmt.Errorf("serve: %w: tenant %q already has %d job(s) in flight",
+			ErrQuotaExceeded, tenantName(req.Tenant), s.cfg.PerTenant)
+	}
+	if s.cfg.CheckpointRoot != "" && req.Opts.CheckpointDir == "" {
+		// Key the directory by request content, not job ID: the same
+		// request resubmitted after preemption (or a daemon restart)
+		// lands on the same journal and resumes instead of restarting.
+		req.Opts.CheckpointDir = filepath.Join(s.cfg.CheckpointRoot, requestHash(&req))
+		req.Opts.Resume = true
+	}
+	s.seq++
+	j := &job{
+		id:        JobID(fmt.Sprintf("job-%06d", s.seq)),
+		req:       req,
+		state:     StateQueued,
+		cancel:    func() {}, // replaced with the real job context's cancel at start
+		resumable: req.Opts.CheckpointDir != "",
+		submitted: time.Now(),
+		doneCh:    make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return "", fmt.Errorf("serve: %w: %d job(s) queued", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	s.jobs[j.id] = j
+	return j.id, nil
+}
+
+// inflightLocked counts a tenant's queued and running jobs. Callers
+// hold s.mu.
+func (s *Local) inflightLocked(tenant string) int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.req.Tenant == tenant && !j.state.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+func tenantName(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// requestHash is the deterministic content identity of a request: the
+// canonical JSON of its wire fields. In-process fields carry json:"-"
+// and so cannot perturb it.
+func requestHash(req *JobRequest) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// JobRequest is a closed set of marshalable types; a failure
+		// here is a programming error, but degrade to a constant rather
+		// than panic the daemon.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// worker executes queued jobs until the queue closes (drain).
+func (s *Local) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job from queued to a terminal state.
+func (s *Local) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while queued; already terminal.
+		s.mu.Unlock()
+		return
+	}
+	if s.draining {
+		s.finishLocked(j, nil, fmt.Errorf("serve: %w: job preempted by drain before starting", olerrors.ErrCanceled))
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel // Cancel and Drain now reach the running engine
+	s.broadcastLocked(j, WatchEvent{Type: "state", State: StateRunning})
+	s.mu.Unlock()
+
+	// The job's own copy of the request gets the service's observers
+	// chained onto the caller's: progress feeds Status and Watch, and
+	// single-cell trace streaming fans into Watch alongside any
+	// in-process sink.
+	req := j.req
+	userProgress := req.Opts.Progress
+	req.Opts.Progress = func(done, total int) {
+		if userProgress != nil {
+			userProgress(done, total)
+		}
+		s.mu.Lock()
+		j.done, j.total = done, total
+		s.broadcastLocked(j, WatchEvent{Type: "progress", Done: done, Total: total})
+		s.mu.Unlock()
+	}
+	if req.Opts.StreamTrace && !req.MultiCell() {
+		relay := &watchSink{s: s, j: j}
+		if req.Opts.Sink != nil {
+			req.Opts.Sink = obs.MultiSink{req.Opts.Sink, relay}
+		} else {
+			req.Opts.Sink = relay
+		}
+	}
+
+	res, err := Execute(ctx, &req)
+
+	s.mu.Lock()
+	s.finishLocked(j, res, err)
+	s.mu.Unlock()
+}
+
+// finishLocked moves a job to its terminal state, notifies watchers
+// and closes their channels. Callers hold s.mu.
+func (s *Local) finishLocked(j *job, res *JobResult, err error) {
+	j.finished = time.Now()
+	j.res, j.err = res, err
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, olerrors.ErrCanceled):
+		j.state = StateCanceled
+	default:
+		j.state = StateFailed
+	}
+	s.broadcastLocked(j, WatchEvent{Type: "state", State: j.state, Error: WireError(err)})
+	for _, ch := range j.watchers {
+		close(ch)
+	}
+	j.watchers = nil
+	close(j.doneCh)
+}
+
+// broadcastLocked delivers an event to every watcher without blocking:
+// a full subscriber buffer drops the event (Watch documents the loss
+// contract). Callers hold s.mu.
+func (s *Local) broadcastLocked(j *job, ev WatchEvent) {
+	for _, ch := range j.watchers {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// watchSink relays machine events into the job's watch stream.
+type watchSink struct {
+	s *Local
+	j *job
+}
+
+func (w *watchSink) Emit(e obs.Event) {
+	w.s.mu.Lock()
+	w.s.broadcastLocked(w.j, WatchEvent{Type: "trace", Trace: &e})
+	w.s.mu.Unlock()
+}
+
+func (w *watchSink) Drop(int64) {}
+
+// lookup fetches a job by ID.
+func (s *Local) lookup(id JobID) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: %w %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Status implements Service.
+func (s *Local) Status(_ context.Context, id JobID) (JobStatus, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobStatus{
+		ID: j.id, Kind: j.req.Kind, State: j.state, Tenant: j.req.Tenant,
+		Done: j.done, Total: j.total,
+		Error: WireError(j.err), Resumable: j.resumable,
+		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+	}, nil
+}
+
+// Result implements Service. In process it returns the job's original
+// error object, so errors.Is classification is exact; the HTTP layer
+// converts to JobError only at the boundary.
+func (s *Local) Result(_ context.Context, id JobID) (*JobResult, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, fmt.Errorf("serve: %w: job %s is %s", ErrNotFinished, id, j.state)
+	}
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.res, nil
+}
+
+// Cancel implements Service.
+func (s *Local) Cancel(_ context.Context, id JobID) error {
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case j.state.Terminal():
+		// Idempotent: canceling a finished job changes nothing.
+	case j.state == StateQueued:
+		s.finishLocked(j, nil, fmt.Errorf("serve: %w: job canceled while queued", olerrors.ErrCanceled))
+	default:
+		j.cancel()
+	}
+	return nil
+}
+
+// Watch implements Service.
+func (s *Local) Watch(ctx context.Context, id JobID) (<-chan WatchEvent, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan WatchEvent, 128)
+	s.mu.Lock()
+	// The snapshot event means a subscriber never has to race Status:
+	// the stream itself says where the job is now.
+	snap := WatchEvent{Type: "state", State: j.state, Done: j.done, Total: j.total, Error: WireError(j.err)}
+	ch <- snap
+	if j.state.Terminal() {
+		close(ch)
+		s.mu.Unlock()
+		return ch, nil
+	}
+	j.watchers = append(j.watchers, ch)
+	s.mu.Unlock()
+
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.mu.Lock()
+				for i, c := range j.watchers {
+					if c == ch {
+						j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+						close(ch)
+						break
+					}
+				}
+				s.mu.Unlock()
+			case <-j.doneCh:
+				// finishLocked already closed the channel.
+			}
+		}()
+	}
+	return ch, nil
+}
+
+// Forget drops a terminal job from the store. The in-process facade
+// calls it after collecting a one-shot result so short-lived calls do
+// not accumulate; a daemon keeps jobs until restart. Forgetting a
+// non-terminal or unknown job is a no-op.
+func (s *Local) Forget(id JobID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.state.Terminal() {
+		delete(s.jobs, id)
+	}
+}
+
+// HealthInfo is the service's load snapshot, served by /healthz.
+type HealthInfo struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// Health reports the service's current load.
+func (s *Local) Health() HealthInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := HealthInfo{Status: "ok", Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth}
+	if s.draining {
+		h.Status = "draining"
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			h.Queued++
+		case StateRunning:
+			h.Running++
+		}
+	}
+	return h
+}
+
+// Drain gracefully shuts the service down: new submissions are
+// refused, queued jobs are canceled without starting, and running jobs
+// are preempted — their contexts cancel, the runner journals every
+// completed cell and aborts the rest, and the jobs finish canceled and
+// resumable (when they have a checkpoint directory). Drain returns
+// when every worker has exited or ctx expires.
+func (s *Local) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+		for _, j := range s.jobs {
+			if j.state == StateRunning {
+				j.cancel()
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// Close drains with no deadline and releases the service's base
+// context. It is the test-friendly teardown.
+func (s *Local) Close() error {
+	err := s.Drain(context.Background())
+	s.baseCancel()
+	return err
+}

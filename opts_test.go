@@ -1,0 +1,109 @@
+package orderlight
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"orderlight/internal/stats"
+)
+
+// TestBuildOpts pins the one-pass option fold: every With* option sets
+// exactly its RunOpts field, and validation happens once in buildOpts
+// rather than per entry point.
+func TestBuildOpts(t *testing.T) {
+	sink := NewPerfettoSink(discard{})
+	sampler := NewSampler(100)
+	progress := func(done, total int) {}
+	fspec := FaultSpec{Class: FaultDropOrdering, Seed: 7, Rate: 0.5}
+
+	o, err := buildOpts(
+		WithParallelism(3),
+		WithProgress(progress),
+		WithKernelCache(false),
+		WithDenseEngine(),
+		WithScale(Scale{BytesPerChannel: 4096}),
+		WithTraceSink(sink),
+		WithSampler(sampler),
+		WithFaultPlan(fspec),
+		WithManifest(),
+		WithCheckpointDir("ck"),
+		WithCheckpointEvery(512),
+		WithResume(),
+		WithCellRetries(2),
+		WithCellTimeout(5*time.Second),
+		WithHaltAfter(9000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Parallelism != 3 || !o.NoKernelCache || !o.Dense || o.BytesPerChannel != 4096 ||
+		o.Sink != sink || o.Sampler != sampler || o.Fault != fspec || !o.Manifest ||
+		o.CheckpointDir != "ck" || o.CheckpointEvery != 512 || !o.Resume ||
+		o.Retries != 2 || o.CellTimeout != 5*time.Second || o.HaltAfter != 9000 ||
+		o.Progress == nil {
+		t.Fatalf("buildOpts folded wrong: %+v", o)
+	}
+
+	invalid := []struct {
+		name string
+		opts []Option
+	}{
+		{"resume without dir", []Option{WithResume()}},
+		{"cadence without dir", []Option{WithCheckpointEvery(512)}},
+		{"negative cadence", []Option{WithCheckpointDir("ck"), WithCheckpointEvery(-1)}},
+		{"negative retries", []Option{WithCellRetries(-1)}},
+		{"negative timeout", []Option{WithCellTimeout(-time.Second)}},
+		{"negative halt", []Option{WithHaltAfter(-5)}},
+		{"malformed fault", []Option{WithFaultPlan(FaultSpec{Class: FaultDropOrdering, Rate: 7})}},
+	}
+	for _, tc := range invalid {
+		if _, err := buildOpts(tc.opts...); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("%s: buildOpts = %v, want ErrInvalidSpec", tc.name, err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestSweepGuards pins the centralized multi-cell guards: every
+// single-run-only option is rejected by every fan-out entry point with
+// ErrInvalidSpec, enforced in one place (JobRequest.Validate) instead
+// of per entry point.
+func TestSweepGuards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+	ctx := context.Background()
+
+	options := map[string]Option{
+		"WithTraceSink": WithTraceSink(NewPerfettoSink(discard{})),
+		"WithSampler":   WithSampler(stats.NewSampler(100)),
+		"WithHaltAfter": WithHaltAfter(1000),
+		"WithFaultPlan": WithFaultPlan(FaultSpec{Class: FaultDropOrdering, Seed: 1, Rate: 1}),
+	}
+	sweeps := map[string]func(Option) error{
+		"RunExperimentContext": func(o Option) error {
+			_, err := RunExperimentContext(ctx, "fig5", cfg, o)
+			return err
+		},
+		"RunAllExperimentsContext": func(o Option) error {
+			_, err := RunAllExperimentsContext(ctx, cfg, o)
+			return err
+		},
+		"RunFaultCampaignContext": func(o Option) error {
+			_, _, err := RunFaultCampaignContext(ctx, cfg, o)
+			return err
+		},
+	}
+	for oname, opt := range options {
+		for sname, run := range sweeps {
+			if err := run(opt); !errors.Is(err, ErrInvalidSpec) {
+				t.Errorf("%s(%s) = %v, want ErrInvalidSpec", sname, oname, err)
+			}
+		}
+	}
+}

@@ -36,11 +36,9 @@ package orderlight
 
 import (
 	"context"
-
 	"io"
-
-	"fmt"
-
+	"runtime"
+	"sync"
 	"time"
 
 	"orderlight/internal/config"
@@ -51,7 +49,7 @@ import (
 	"orderlight/internal/kernel"
 	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
-	"orderlight/internal/runner"
+	"orderlight/internal/serve"
 	"orderlight/internal/stats"
 	"orderlight/internal/trace"
 )
@@ -304,35 +302,39 @@ const (
 // FaultSummary aggregates a fault campaign's verdict counts.
 type FaultSummary = experiments.FaultSummary
 
-// Option adjusts how a context-aware entry point executes. Options
-// never change simulation results — parallelism, progress reporting and
-// caching are invisible in the output, which stays byte-identical to a
-// sequential run.
-type Option func(*runOptions)
+// RunOpts is the validated bag of run options every entry point builds
+// exactly once per call with buildOpts. Most callers never name the
+// type — they pass With* options — but services and daemon clients may
+// fill it directly (its JSON-tagged fields are the wire format).
+// Options never change simulation results — parallelism, progress
+// reporting and caching are invisible in the output, which stays
+// byte-identical to a sequential run.
+type RunOpts = serve.RunOpts
 
-type runOptions struct {
-	parallelism  int
-	progress     func(done, total int)
-	disableCache bool
-	dense        bool
-	scale        Scale
-	sink         obs.Sink
-	sampler      *stats.Sampler
-	manifest     bool
-	fault        FaultSpec
-	ckptDir      string
-	ckptEvery    int64
-	resume       bool
-	retries      int
-	cellTimeout  time.Duration
-	haltAfter    int64
+// Option adjusts how a context-aware entry point executes by setting a
+// field of the RunOpts bag.
+type Option func(*RunOpts)
+
+// buildOpts folds the options into a RunOpts and validates it. Every
+// entry point calls it exactly once; all option invariants (resume
+// needs a checkpoint directory, negative cadences, malformed fault
+// specs, ...) live behind RunOpts.Validate, not in the entry points.
+func buildOpts(opts ...Option) (RunOpts, error) {
+	var o RunOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.Validate(); err != nil {
+		return RunOpts{}, err
+	}
+	return o, nil
 }
 
 // WithParallelism bounds the sweep's worker pool to n goroutines.
 // n <= 0 (and the default) means one worker per CPU (GOMAXPROCS);
 // WithParallelism(1) forces a fully sequential run.
 func WithParallelism(n int) Option {
-	return func(o *runOptions) { o.parallelism = n }
+	return func(o *RunOpts) { o.Parallelism = n }
 }
 
 // WithProgress installs a callback invoked after every completed
@@ -340,7 +342,7 @@ func WithParallelism(n int) Option {
 // serialized and monotonic; the callback must be fast and must not call
 // back into this package.
 func WithProgress(fn func(done, total int)) Option {
-	return func(o *runOptions) { o.progress = fn }
+	return func(o *RunOpts) { o.Progress = fn }
 }
 
 // WithKernelCache enables or disables the built-kernel cache (enabled
@@ -348,7 +350,7 @@ func WithProgress(fn func(done, total int)) Option {
 // cell with identical (config, spec, footprint); each use gets its own
 // copy of the mutable memory image, so results are unaffected.
 func WithKernelCache(enabled bool) Option {
-	return func(o *runOptions) { o.disableCache = !enabled }
+	return func(o *RunOpts) { o.NoKernelCache = !enabled }
 }
 
 // WithDenseEngine runs the simulation on the naive dense tick engine:
@@ -358,13 +360,13 @@ func WithKernelCache(enabled bool) Option {
 // cycle-exact parity tests); the dense engine is the reference for
 // those tests and an escape hatch when debugging the simulator itself.
 func WithDenseEngine() Option {
-	return func(o *runOptions) { o.dense = true }
+	return func(o *RunOpts) { o.Dense = true }
 }
 
 // WithScale overrides the data footprint experiments simulate (the
 // zero Scale means the default 256 KiB per channel).
 func WithScale(sc Scale) Option {
-	return func(o *runOptions) { o.scale = sc }
+	return func(o *RunOpts) { o.BytesPerChannel = sc.BytesPerChannel }
 }
 
 // WithTraceSink streams every machine event of the run into the sink —
@@ -373,14 +375,14 @@ func WithScale(sc Scale) Option {
 // RunSpecContext) accept it; experiment sweeps reject it with
 // ErrInvalidSpec because parallel cells would interleave the stream.
 func WithTraceSink(s EventSink) Option {
-	return func(o *runOptions) { o.sink = s }
+	return func(o *RunOpts) { o.Sink = s }
 }
 
 // WithSampler snapshots the run's counters into the sampler every
 // sampler-cadence core cycles. Single-cell entry points only, like
 // WithTraceSink.
 func WithSampler(s *Sampler) Option {
-	return func(o *runOptions) { o.sampler = s }
+	return func(o *RunOpts) { o.Sampler = s }
 }
 
 // WithFaultPlan arms a seeded ordering-fault injection plan for the
@@ -391,7 +393,7 @@ func WithSampler(s *Sampler) Option {
 // accept it; experiment sweeps reject it with ErrInvalidSpec — the
 // fault campaign (RunFaultCampaignContext) declares its own grid.
 func WithFaultPlan(spec FaultSpec) Option {
-	return func(o *runOptions) { o.fault = spec }
+	return func(o *RunOpts) { o.Fault = spec }
 }
 
 // WithManifest attaches a provenance Manifest to every simulated cell;
@@ -400,7 +402,7 @@ func WithFaultPlan(spec FaultSpec) Option {
 // record wall-clock time, so enabling them makes output
 // run-dependent — keep them out of byte-identity comparisons.
 func WithManifest() Option {
-	return func(o *runOptions) { o.manifest = true }
+	return func(o *RunOpts) { o.Manifest = true }
 }
 
 // WithCheckpointDir makes the run crash-safe: the directory accumulates
@@ -409,13 +411,13 @@ func WithManifest() Option {
 // interrupted run deterministically — the resumed run's results are
 // byte-identical to an uninterrupted one.
 func WithCheckpointDir(dir string) Option {
-	return func(o *runOptions) { o.ckptDir = dir }
+	return func(o *RunOpts) { o.CheckpointDir = dir }
 }
 
 // WithCheckpointEvery sets the mid-run checkpoint cadence in core
-// cycles (default 262144). Only meaningful with WithCheckpointDir.
+// cycles (default 262144). Requires WithCheckpointDir.
 func WithCheckpointEvery(cycles int64) Option {
-	return func(o *runOptions) { o.ckptEvery = cycles }
+	return func(o *RunOpts) { o.CheckpointEvery = cycles }
 }
 
 // WithResume continues an interrupted run from its checkpoint
@@ -423,20 +425,20 @@ func WithCheckpointEvery(cycles int64) Option {
 // and a cell with a mid-run checkpoint restarts from it. Requires
 // WithCheckpointDir.
 func WithResume() Option {
-	return func(o *runOptions) { o.resume = true }
+	return func(o *RunOpts) { o.Resume = true }
 }
 
 // WithCellRetries retries a transiently failing cell (panic, deadline,
 // watchdog timeout) up to n more times with exponential backoff.
 func WithCellRetries(n int) Option {
-	return func(o *runOptions) { o.retries = n }
+	return func(o *RunOpts) { o.Retries = n }
 }
 
 // WithCellTimeout arms a per-cell wall-clock watchdog: a cell running
 // longer is cooperatively aborted and reported as ErrCellTimeout (a
 // retryable failure under WithCellRetries).
 func WithCellTimeout(d time.Duration) Option {
-	return func(o *runOptions) { o.cellTimeout = d }
+	return func(o *RunOpts) { o.CellTimeout = d }
 }
 
 // WithHaltAfter deterministically stops the run at the first engine
@@ -444,34 +446,42 @@ func WithCellTimeout(d time.Duration) Option {
 // WithCheckpointDir) and fails with ErrHalted. It is the reproducible
 // "kill" for exercising crash-resume; single-run entry points only.
 func WithHaltAfter(cycles int64) Option {
-	return func(o *runOptions) { o.haltAfter = cycles }
+	return func(o *RunOpts) { o.HaltAfter = cycles }
 }
 
-// engine assembles the runner engine an option set describes.
-func (o *runOptions) engine() *runner.Engine {
-	return runner.New(runner.Options{
-		Parallelism:        o.parallelism,
-		Progress:           o.progress,
-		DisableKernelCache: o.disableCache,
-		DenseEngine:        o.dense,
-		TraceSink:          o.sink,
-		Sampler:            o.sampler,
-		Manifest:           o.manifest,
-		CheckpointDir:      o.ckptDir,
-		CheckpointEvery:    o.ckptEvery,
-		Resume:             o.resume,
-		CellRetries:        o.retries,
-		CellTimeout:        o.cellTimeout,
-		HaltAfterCycles:    o.haltAfter,
+// inProcess is the lazily started Service behind the Run* facade: a
+// local job service with a deep queue and one job worker per CPU. The
+// facade entry points are thin adapters over it — the same Submit,
+// Await and Execute path a daemon request takes, which is what keeps
+// HTTP results byte-identical to in-process ones.
+var (
+	inProcessOnce sync.Once
+	inProcessSvc  *serve.Local
+)
+
+func inProcess() *serve.Local {
+	inProcessOnce.Do(func() {
+		inProcessSvc = serve.NewLocal(serve.LocalConfig{
+			QueueDepth: 4096,
+			Workers:    runtime.GOMAXPROCS(0),
+		})
 	})
+	return inProcessSvc
 }
 
-func gather(opts []Option) *runOptions {
-	o := &runOptions{}
-	for _, opt := range opts {
-		opt(o)
+// runJob submits one request to the in-process service and waits for
+// its result, returning the job's original error object so errors.Is
+// classification is exact. One-shot jobs are forgotten after
+// collection — the facade does not accumulate job records.
+func runJob(ctx context.Context, req serve.JobRequest) (*serve.JobResult, error) {
+	svc := inProcess()
+	id, err := svc.Submit(ctx, req)
+	if err != nil {
+		return nil, err
 	}
-	return o
+	res, err := serve.Await(ctx, svc, id, nil)
+	svc.Forget(id)
+	return res, err
 }
 
 // RunKernelContext builds and simulates a named kernel under ctx. The
@@ -479,11 +489,13 @@ func gather(opts []Option) *runOptions {
 // simulator surfaces as an error wrapping ErrCellPanic and a canceled
 // context as ErrCanceled.
 func RunKernelContext(ctx context.Context, cfg Config, name string, bytesPerChannel int64, opts ...Option) (*Result, error) {
-	spec, err := kernel.ByName(name)
+	o, err := buildOpts(opts...)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
+	res, err := runJob(ctx, serve.JobRequest{
+		Kind: serve.KindKernel, Kernel: name, Bytes: bytesPerChannel, Config: &cfg, Opts: o,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +506,13 @@ func RunKernelContext(ctx context.Context, cfg Config, name string, bytesPerChan
 // returning the measurements together with the built kernel (for
 // HostBaseline and inspection).
 func RunSpecContext(ctx context.Context, cfg Config, spec Spec, bytesPerChannel int64, opts ...Option) (*Result, *Kernel, error) {
-	res, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, gather(opts))
+	o, err := buildOpts(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := runJob(ctx, serve.JobRequest{
+		Kind: serve.KindSpec, Spec: &spec, Bytes: bytesPerChannel, Config: &cfg, Opts: o,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -507,26 +525,21 @@ func RunSpecContext(ctx context.Context, cfg Config, spec Spec, bytesPerChannel 
 // means the simulator produced a wrong answer its own verification
 // machinery failed to flag — a simulator bug.
 func RunFaultedKernelContext(ctx context.Context, cfg Config, name string, bytesPerChannel int64, fspec FaultSpec, opts ...Option) (*Result, *FaultVerdict, error) {
-	spec, err := kernel.ByName(name)
+	o, err := buildOpts(opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	o := gather(opts)
-	o.fault = fspec
-	res, err := runSpec(ctx, cfg, spec, bytesPerChannel, false, o)
+	o.Fault = fspec
+	if err := o.Validate(); err != nil {
+		return nil, nil, err
+	}
+	res, err := runJob(ctx, serve.JobRequest{
+		Kind: serve.KindKernel, Kernel: name, Bytes: bytesPerChannel, Config: &cfg, Opts: o,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return res.Run, res.Fault, nil
-}
-
-func runSpec(ctx context.Context, cfg Config, spec Spec, bytes int64, host bool, o *runOptions) (*runner.Result, error) {
-	cells := []runner.Cell{{Key: spec.Name, Cfg: cfg, Spec: spec, Bytes: bytes, Host: host, Fault: o.fault}}
-	res, err := o.engine().Run(ctx, cells)
-	if err != nil {
-		return nil, err
-	}
-	return &res[0], nil
+	return res.Run, res.Verdict, nil
 }
 
 // RunKernel builds and simulates a named kernel and returns its
@@ -550,11 +563,17 @@ func ExperimentTitle(id string) string { return experiments.Title(id) }
 // RunExperimentContext regenerates one paper table/figure (or ablation)
 // under ctx, fanning its simulation cells across the worker pool.
 func RunExperimentContext(ctx context.Context, id string, cfg Config, opts ...Option) (*Table, error) {
-	o := gather(opts)
-	if err := o.rejectFault(); err != nil {
+	o, err := buildOpts(opts...)
+	if err != nil {
 		return nil, err
 	}
-	return experiments.RunEngine(ctx, o.engine(), id, cfg, o.scale)
+	res, err := runJob(ctx, serve.JobRequest{
+		Kind: serve.KindExperiment, Experiment: id, Config: &cfg, Opts: o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Tables[0], nil
 }
 
 // RunAllExperimentsContext regenerates every table and figure under
@@ -563,22 +582,17 @@ func RunExperimentContext(ctx context.Context, id string, cfg Config, opts ...Op
 // boundaries; tables come back in Experiments() order and are
 // byte-identical to a sequential (WithParallelism(1)) run.
 func RunAllExperimentsContext(ctx context.Context, cfg Config, opts ...Option) ([]*Table, error) {
-	o := gather(opts)
-	if err := o.rejectFault(); err != nil {
+	o, err := buildOpts(opts...)
+	if err != nil {
 		return nil, err
 	}
-	return experiments.RunAllEngine(ctx, o.engine(), cfg, o.scale)
-}
-
-// rejectFault refuses WithFaultPlan on experiment sweeps: their grids
-// declare per-cell fault specs themselves, so a sweep-wide plan would
-// be ambiguous. Named so the error tells the caller which option to
-// remove.
-func (o *runOptions) rejectFault() error {
-	if !o.fault.Active() {
-		return nil
+	res, err := runJob(ctx, serve.JobRequest{
+		Kind: serve.KindSweep, Config: &cfg, Opts: o,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return fmt.Errorf("orderlight: %w: WithFaultPlan applies to exactly one run; use RunFaultedKernelContext or RunFaultCampaignContext", ErrInvalidSpec)
+	return res.Tables, nil
 }
 
 // RunFaultCampaignContext runs the default ordering-fault injection
@@ -588,11 +602,17 @@ func (o *runOptions) rejectFault() error {
 // and Summary.PinnedDetected must be true: the campaign pins the
 // paper's Figure 5 no-fence wrong answer as a deterministic detection.
 func RunFaultCampaignContext(ctx context.Context, cfg Config, opts ...Option) (*Table, FaultSummary, error) {
-	o := gather(opts)
-	if err := o.rejectFault(); err != nil {
+	o, err := buildOpts(opts...)
+	if err != nil {
 		return nil, FaultSummary{}, err
 	}
-	return experiments.FaultCampaignEngine(ctx, o.engine(), cfg, o.scale)
+	res, err := runJob(ctx, serve.JobRequest{
+		Kind: serve.KindFaultCampaign, Config: &cfg, Opts: o,
+	})
+	if err != nil {
+		return nil, FaultSummary{}, err
+	}
+	return res.Tables[0], *res.Summary, nil
 }
 
 // RunExperiment regenerates one paper table/figure (or ablation). It is
