@@ -2,19 +2,26 @@ GO ?= go
 SMOKE_EXP ?= fig5
 SMOKE_SIZE ?= 32768
 BENCHTIME ?= 2x
-BENCH_OUT ?= BENCH_PR2
+BENCH_OUT ?= BENCH_PR7
+# Gate tolerance must absorb cross-machine skew: BENCH_PR2 and
+# BENCH_PR7 were recorded on different boxes and *every* benchmark —
+# including pure-CPU microbenches with no engine involvement — shifted
+# +20–60% between them. 75% still fails on a real (≥1.75x) regression
+# while letting honest trajectory points from slower machines land.
+BENCH_GATE ?= BenchmarkFig12Applications:75,BenchmarkFig10aStreamBandwidth:75
 COVER_FLOOR ?= 80.0
 FUZZTIME ?= 10s
 CKPT_FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race smoke smoke-serve cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results clean
+.PHONY: ci vet build test race race-parallel smoke smoke-serve cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
-# detector (including the serve handler tests), a parallel-vs-sequential
-# smoke of the CLIs, a daemon lifecycle smoke (start → healthz → submit
-# → SIGTERM drain → resume), and a brief run of the checkpoint-decoder
-# fuzzer (crash-safety is a tier-1 property).
-ci: vet build race smoke smoke-serve fuzz-ckpt
+# detector (including the serve handler tests), the parallel-engine
+# suite under the race detector with shards forced past the core count,
+# a parallel-vs-sequential smoke of the CLIs, a daemon lifecycle smoke
+# (start → healthz → submit → SIGTERM drain → resume), and a brief run
+# of the checkpoint-decoder fuzzer (crash-safety is a tier-1 property).
+ci: vet build race race-parallel smoke smoke-serve fuzz-ckpt
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +34,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-parallel runs every parallel-engine test (three-way parity,
+# event-stream identity, halt/resume, fault-campaign parity, the shard
+# pool) under the race detector. `race` above already covers these at
+# default shard counts; this target is the dedicated gate for the
+# intra-run engine's synchronization, kept separate so a data race in
+# the shard machinery is named by the target that failed.
+race-parallel:
+	$(GO) test -race -run 'Parallel|Pool|Overlay|FoldFrom|ThreeWay|Engine' \
+		./internal/experiments ./internal/runner ./internal/sim \
+		./internal/dram ./internal/stats ./internal/serve
 
 # smoke checks the two CLI contracts end to end: olsim exits non-zero
 # exactly when verification fails, and olbench's parallel sweep renders
@@ -45,8 +63,12 @@ smoke:
 	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -dense >$$tmp/dense.md 2>$$tmp/dense.log; \
 	diff $$tmp/seq.md $$tmp/dense.md >/dev/null || { \
 		echo "smoke: FAIL: dense-engine output differs from skip-ahead"; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -engine parallel -shards 4 \
+		>$$tmp/pareng.md 2>$$tmp/pareng.log; \
+	diff $$tmp/seq.md $$tmp/pareng.md >/dev/null || { \
+		echo "smoke: FAIL: parallel-engine output differs from skip-ahead"; exit 1; }; \
 	cat $$tmp/seq.log $$tmp/par.log; \
-	echo "smoke: OK (parallel and dense-engine output byte-identical)"
+	echo "smoke: OK (worker-pool, dense-engine and parallel-engine output byte-identical)"
 	@$(GO) build -o /tmp/ol-smoke-olfault ./cmd/olfault
 	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
 	/tmp/ol-smoke-olfault -seed 1 -campaign default >$$tmp/a.md || { \
@@ -146,6 +168,9 @@ fuzz-ckpt:
 # times vary between regenerations.
 results:
 	$(GO) run ./cmd/olbench -exp all -manifest > results_all.md
+	@if [ -f $(BENCH_OUT).json ]; then \
+		$(GO) run ./cmd/benchjson -scaling $(BENCH_OUT).json >> results_all.md; \
+		echo "results: appended shard-scaling curve from $(BENCH_OUT).json"; fi
 	@echo "results: wrote results_all.md"
 
 # speedup times the full experiment sweep sequentially and in parallel.
@@ -170,11 +195,15 @@ bench:
 
 # bench-compare diffs $(BENCH_OUT).json against the newest other
 # BENCH_*.json in the repository — the previous point on the trajectory.
+# The $(BENCH_GATE) benchmarks are hard floors: a regression beyond the
+# per-gate tolerance fails the target. The tolerance is generous (75%)
+# because trajectory points are recorded on different machines — see
+# the BENCH_GATE comment at the top of this file.
 bench-compare:
 	@prev=$$(ls -1t BENCH_*.json 2>/dev/null | grep -vx '$(BENCH_OUT).json' | head -1); \
 	if [ -z "$$prev" ]; then \
 		echo "bench-compare: no prior BENCH_*.json trajectory point"; exit 0; fi; \
-	$(GO) run ./cmd/benchjson -compare $$prev $(BENCH_OUT).json
+	$(GO) run ./cmd/benchjson -compare -gate '$(BENCH_GATE)' $$prev $(BENCH_OUT).json
 
 # profile captures CPU and heap profiles of the heaviest steady
 # benchmark (whole-machine fence run); inspect with `go tool pprof`.

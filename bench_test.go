@@ -2,6 +2,7 @@ package orderlight
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -55,6 +56,21 @@ func runExperimentDense(b *testing.B, id string) {
 	}
 }
 
+// runExperimentParallel is runExperiment on the intra-run parallel
+// engine. Each Parallel benchmark pairs with its plain counterpart the
+// way the Dense ones do; cmd/benchjson derives the parallel-vs-skip
+// speedup from the pair. shards <= 0 uses min(GOMAXPROCS, channels).
+func runExperimentParallel(b *testing.B, id string, shards int) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperimentContext(context.Background(), id, cfg,
+			WithScale(benchScale), WithParallelEngine(), WithParallelShards(shards)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1Config regenerates the configuration table (Table 1).
 func BenchmarkTable1Config(b *testing.B) { runExperiment(b, "table1", -1, 0, "") }
 
@@ -71,11 +87,19 @@ func BenchmarkFig5FenceOverhead(b *testing.B) {
 // engine (skip-ahead disabled).
 func BenchmarkFig5FenceOverheadDense(b *testing.B) { runExperimentDense(b, "fig5") }
 
+// BenchmarkFig5FenceOverheadParallel is Figure 5 on the intra-run
+// parallel engine (per-channel goroutine shards, byte-identical output).
+func BenchmarkFig5FenceOverheadParallel(b *testing.B) { runExperimentParallel(b, "fig5", 0) }
+
 // BenchmarkFig10aStreamBandwidth regenerates Figure 10a and reports the
 // Add kernel's OrderLight command bandwidth at 1/8 RB.
 func BenchmarkFig10aStreamBandwidth(b *testing.B) {
 	runExperiment(b, "fig10a", 17, 3, "addOL-GC/s@1/8RB")
 }
+
+// BenchmarkFig10aStreamBandwidthParallel is Figure 10a on the intra-run
+// parallel engine.
+func BenchmarkFig10aStreamBandwidthParallel(b *testing.B) { runExperimentParallel(b, "fig10a", 0) }
 
 // BenchmarkFig10bStreamTime regenerates Figure 10b and reports the Add
 // kernel's OrderLight speedup over the GPU at 1/8 RB.
@@ -98,6 +122,24 @@ func BenchmarkFig12Applications(b *testing.B) {
 // BenchmarkFig12ApplicationsDense is Figure 12 on the dense reference
 // engine.
 func BenchmarkFig12ApplicationsDense(b *testing.B) { runExperimentDense(b, "fig12") }
+
+// BenchmarkFig12ApplicationsParallel is Figure 12 on the intra-run
+// parallel engine.
+func BenchmarkFig12ApplicationsParallel(b *testing.B) { runExperimentParallel(b, "fig12", 0) }
+
+// BenchmarkFig12ShardSweep sweeps the parallel engine's shard count on
+// the Figure 12 regeneration — the GOMAXPROCS-sensitivity curve.
+// Results are byte-identical at every point; only wall time moves, and
+// on a single-CPU machine the curve is flat-to-worse, which is the
+// honest number (shards beyond the core count only add barrier
+// overhead). cmd/benchjson -scaling renders the curve for results_all.md.
+func BenchmarkFig12ShardSweep(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			runExperimentParallel(b, "fig12", shards)
+		})
+	}
+}
 
 // BenchmarkFig13BMFSweep regenerates Figure 13 and reports the BMF-4
 // OrderLight-over-fence ratio at 1/16 RB.
@@ -221,6 +263,31 @@ func BenchmarkMachineAddFenceDense(b *testing.B) {
 	cfg.Run.Primitive = PrimitiveFence
 	for i := 0; i < b.N; i++ {
 		if _, err := RunKernelContext(context.Background(), cfg, "add", 16<<10, WithDenseEngine()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineAddOrderLightParallel is the OrderLight machine run
+// on the intra-run parallel engine.
+func BenchmarkMachineAddOrderLightParallel(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Run.Primitive = PrimitiveOrderLight
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernelContext(context.Background(), cfg, "add", 32<<10, WithParallelEngine()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineAddFenceParallel is the fence machine run on the
+// intra-run parallel engine. Fence mode fires far more clock edges, so
+// this pair is where the per-tick barrier cost shows.
+func BenchmarkMachineAddFenceParallel(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Run.Primitive = PrimitiveFence
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernelContext(context.Background(), cfg, "add", 16<<10, WithParallelEngine()); err != nil {
 			b.Fatal(err)
 		}
 	}

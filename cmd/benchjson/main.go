@@ -1,15 +1,20 @@
 // Command benchjson records and compares the repository's benchmark
-// trajectory. It has two modes:
+// trajectory. It has three modes:
 //
 //	go test -bench . -benchmem . | benchjson -label BENCH_PR2 > BENCH_PR2.json
-//	benchjson -compare BENCH_PR1.json BENCH_PR2.json
+//	benchjson -compare [-gate NAME[:TOLPCT],...] BENCH_PR1.json BENCH_PR2.json
+//	benchjson -scaling BENCH_PR7.json
 //
 // The first parses standard `go test -bench` output (including custom
 // ReportMetric columns) into a stable JSON record and derives the
-// skip-ahead engine speedups from every Foo / FooDense benchmark pair.
-// The second diffs two such records, flagging time and allocation
-// regressions. The raw -bench text should be kept next to the JSON so
-// external tools (e.g. benchstat) can consume it directly.
+// engine speedups from every Foo / FooDense and Foo / FooParallel
+// benchmark pair. The second diffs two such records, flagging time and
+// allocation regressions; -gate makes named regressions fatal (exit 1)
+// beyond a tolerance (default 25%, for cross-machine trajectory
+// points). The third renders the parallel-engine shard-scaling curve
+// (the .../shards=N sub-benchmarks) as a markdown section for
+// results_all.md. The raw -bench text should be kept next to the JSON
+// so external tools (e.g. benchstat) can consume it directly.
 package main
 
 import (
@@ -45,31 +50,66 @@ type Speedup struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// ParallelSpeedup is a derived parallel-vs-skip engine comparison:
+// benchmark Foo ran on the sequential skip-ahead engine, FooParallel on
+// the intra-run per-channel-sharded one, on identical workloads with
+// byte-identical results.
+type ParallelSpeedup struct {
+	Benchmark  string  `json:"benchmark"`
+	SkipNs     float64 `json:"skip_ns_per_op"`
+	ParallelNs float64 `json:"parallel_ns_per_op"`
+	// Speedup is skip-time / parallel-time: above 1 the shards pay off,
+	// below 1 the barriers cost more than the parallelism returns (the
+	// expected shape on a single-CPU machine).
+	Speedup float64 `json:"speedup"`
+}
+
 // Record is one point on the benchmark trajectory.
 type Record struct {
-	Label        string      `json:"label,omitempty"`
-	GoVersion    string      `json:"go_version"`
-	GOOS         string      `json:"goos"`
-	GOARCH       string      `json:"goarch"`
-	Benchmarks   []Benchmark `json:"benchmarks"`
-	DenseVsSkip  []Speedup   `json:"dense_vs_skip,omitempty"`
-	FailedParses []string    `json:"failed_parses,omitempty"`
+	Label          string            `json:"label,omitempty"`
+	GoVersion      string            `json:"go_version"`
+	GOOS           string            `json:"goos"`
+	GOARCH         string            `json:"goarch"`
+	Benchmarks     []Benchmark       `json:"benchmarks"`
+	DenseVsSkip    []Speedup         `json:"dense_vs_skip,omitempty"`
+	ParallelVsSkip []ParallelSpeedup `json:"parallel_vs_skip,omitempty"`
+	FailedParses   []string          `json:"failed_parses,omitempty"`
 }
 
 func main() {
 	label := flag.String("label", "", "label to embed in the JSON record")
 	compare := flag.Bool("compare", false, "compare two JSON records (old new) instead of parsing bench output")
+	gate := flag.String("gate", "", "comma-separated NAME[:TOLPCT] benchmarks whose ns/op regression beyond TOLPCT (default 25) fails -compare")
+	scaling := flag.Bool("scaling", false, "render the shard-scaling curve of one JSON record as markdown")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-gate NAME[:TOLPCT],...] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		gates, err := parseGates(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), gates); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *scaling {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -scaling RECORD.json")
+			os.Exit(2)
+		}
+		rec, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		renderScaling(os.Stdout, rec)
 		return
 	}
 
@@ -125,6 +165,7 @@ func parse(r io.Reader) (*Record, error) {
 		return nil, fmt.Errorf("no benchmark result lines found")
 	}
 	rec.DenseVsSkip = deriveSpeedups(rec.Benchmarks)
+	rec.ParallelVsSkip = deriveParallelSpeedups(rec.Benchmarks)
 	return rec, nil
 }
 
@@ -195,6 +236,111 @@ func deriveSpeedups(bs []Benchmark) []Speedup {
 	return out
 }
 
+// deriveParallelSpeedups pairs every FooParallel benchmark with its Foo
+// counterpart and reports skip-time / parallel-time.
+func deriveParallelSpeedups(bs []Benchmark) []ParallelSpeedup {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var out []ParallelSpeedup
+	for _, b := range bs {
+		base, ok := strings.CutSuffix(b.Name, "Parallel")
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		skip, ok := byName[base]
+		if !ok {
+			continue
+		}
+		out = append(out, ParallelSpeedup{
+			Benchmark:  base,
+			SkipNs:     skip.NsPerOp,
+			ParallelNs: b.NsPerOp,
+			Speedup:    skip.NsPerOp / b.NsPerOp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}
+
+// gateSpec is one -gate entry: a benchmark whose ns/op regression
+// beyond tolPct fails the comparison.
+type gateSpec struct {
+	name   string
+	tolPct float64
+}
+
+func parseGates(s string) ([]gateSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []gateSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		g := gateSpec{name: part, tolPct: 25}
+		if n, tol, ok := strings.Cut(part, ":"); ok {
+			v, err := strconv.ParseFloat(tol, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad gate tolerance %q (want NAME[:TOLPCT])", part)
+			}
+			g.name, g.tolPct = n, v
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// renderScaling prints the record's parallel-engine shard-scaling
+// curve — the .../shards=N sub-benchmarks plus the Foo/FooParallel
+// engine speedups — as a markdown section for results_all.md.
+func renderScaling(w io.Writer, rec *Record) {
+	type point struct {
+		shards int
+		ns     float64
+	}
+	curves := map[string][]point{}
+	var parents []string
+	for _, b := range rec.Benchmarks {
+		parent, sub, ok := strings.Cut(b.Name, "/shards=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(sub)
+		if err != nil {
+			continue
+		}
+		if _, seen := curves[parent]; !seen {
+			parents = append(parents, parent)
+		}
+		curves[parent] = append(curves[parent], point{n, b.NsPerOp})
+	}
+	if len(parents) == 0 && len(rec.ParallelVsSkip) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n## Parallel-engine scaling (%s, %s/%s, %s)\n\n",
+		name(rec, "bench record"), rec.GOOS, rec.GOARCH, rec.GoVersion)
+	fmt.Fprintf(w, "Output is byte-identical at every shard count; only wall time moves.\n")
+	for _, parent := range parents {
+		pts := curves[parent]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].shards < pts[j].shards })
+		fmt.Fprintf(w, "\n### %s\n\n| shards | ms/op | vs 1 shard |\n|---:|---:|---:|\n", parent)
+		base := pts[0].ns
+		for _, p := range pts {
+			fmt.Fprintf(w, "| %d | %.0f | %.2fx |\n", p.shards, p.ns/1e6, base/p.ns)
+		}
+	}
+	if len(rec.ParallelVsSkip) > 0 {
+		fmt.Fprintf(w, "\n### Parallel engine vs sequential skip-ahead\n\n| benchmark | skip ms/op | parallel ms/op | speedup |\n|---|---:|---:|---:|\n")
+		for _, s := range rec.ParallelVsSkip {
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2fx |\n", s.Benchmark, s.SkipNs/1e6, s.ParallelNs/1e6, s.Speedup)
+		}
+	}
+}
+
 func load(path string) (*Record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -209,7 +355,9 @@ func load(path string) (*Record, error) {
 
 // compareFiles renders a trajectory diff between two records: per
 // benchmark, time and allocation deltas, with regressions flagged.
-func compareFiles(w io.Writer, oldPath, newPath string) error {
+// Gated benchmarks whose time regressed beyond their tolerance make the
+// comparison itself fail.
+func compareFiles(w io.Writer, oldPath, newPath string, gates []gateSpec) error {
 	oldRec, err := load(oldPath)
 	if err != nil {
 		return err
@@ -256,6 +404,56 @@ func compareFiles(w io.Writer, oldPath, newPath string) error {
 		for _, s := range newRec.DenseVsSkip {
 			fmt.Fprintf(w, "%-42s %.2fx\n", s.Benchmark, s.Speedup)
 		}
+	}
+	if len(newRec.ParallelVsSkip) > 0 {
+		fmt.Fprintf(w, "\nparallel engine vs skip-ahead (new record):\n")
+		for _, s := range newRec.ParallelVsSkip {
+			fmt.Fprintf(w, "%-42s %.2fx\n", s.Benchmark, s.Speedup)
+		}
+	}
+	return checkGates(w, oldRec, newRec, gates)
+}
+
+// checkGates fails the comparison when a gated benchmark's ns/op
+// regressed beyond its tolerance. A gate naming a benchmark absent from
+// either record fails too — a silently vanished gate is itself a
+// regression.
+func checkGates(w io.Writer, oldRec, newRec *Record, gates []gateSpec) error {
+	if len(gates) == 0 {
+		return nil
+	}
+	byName := func(bs []Benchmark) map[string]Benchmark {
+		m := make(map[string]Benchmark, len(bs))
+		for _, b := range bs {
+			m[b.Name] = b
+		}
+		return m
+	}
+	oldBy, newBy := byName(oldRec.Benchmarks), byName(newRec.Benchmarks)
+	var failed []string
+	fmt.Fprintln(w)
+	for _, g := range gates {
+		ob, okOld := oldBy[g.name]
+		nb, okNew := newBy[g.name]
+		switch {
+		case !okOld || !okNew:
+			failed = append(failed, g.name)
+			fmt.Fprintf(w, "gate %-40s FAIL: missing from %s record\n", g.name,
+				map[bool]string{true: "new", false: "old"}[okOld])
+		case ob.NsPerOp <= 0:
+			fmt.Fprintf(w, "gate %-40s skip: old record has no timing\n", g.name)
+		default:
+			d := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+			if d > g.tolPct {
+				failed = append(failed, g.name)
+				fmt.Fprintf(w, "gate %-40s FAIL: %+.1f%% (tolerance %+.0f%%)\n", g.name, d, g.tolPct)
+			} else {
+				fmt.Fprintf(w, "gate %-40s ok: %+.1f%% (tolerance %+.0f%%)\n", g.name, d, g.tolPct)
+			}
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
 }

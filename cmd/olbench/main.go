@@ -11,6 +11,7 @@
 //	olbench -exp all -format csv       # everything, CSV
 //	olbench -exp all -progress         # live cell counter on stderr
 //	olbench -exp all -parallel 1       # sequential reference run
+//	olbench -exp fig12 -engine parallel # sharded intra-run engine, identical output
 //	olbench -exp fig12 -size 262144    # bigger per-channel footprint
 //	olbench -exp all -manifest         # attach provenance manifests
 //	olbench -exp all -debug-addr :6060 # pprof + expvar while it runs
@@ -57,7 +58,6 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 		progress = flag.Bool("progress", false, "report completed cells on stderr")
 		cache    = flag.Bool("cache", true, "share built kernel images between identical cells")
-		dense    = flag.Bool("dense", false, "use the naive dense tick engine (parity/debugging reference)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 
 		manifest  = flag.Bool("manifest", false, "attach provenance manifests to every table (adds wall-clock times, so output is no longer byte-stable)")
@@ -70,6 +70,7 @@ func main() {
 		cellTime = flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog; a cell running longer fails as a timeout (0 disables)")
 	)
 	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
+	eng := cliflags.RegisterEngine(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -114,9 +115,7 @@ func main() {
 		orderlight.WithParallelism(*parallel),
 		orderlight.WithKernelCache(*cache),
 	}
-	if *dense {
-		opts = append(opts, orderlight.WithDenseEngine())
-	}
+	opts = append(opts, eng.Options()...)
 	if *manifest {
 		opts = append(opts, orderlight.WithManifest())
 	}
@@ -155,7 +154,9 @@ func main() {
 		}
 		tables, err = remote(ctx, *server, *tenant, *exp, cfg, orderlight.RunOpts{
 			Parallelism:     *parallel,
-			Dense:           *dense,
+			Dense:           eng.Dense,
+			Engine:          eng.Name,
+			Shards:          eng.Shards,
 			NoKernelCache:   !*cache,
 			BytesPerChannel: *size,
 			Manifest:        *manifest,

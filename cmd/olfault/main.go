@@ -4,7 +4,8 @@
 // In campaign mode (the default) it executes the kernel × fault-class
 // × seed grid of the "fault-campaign" experiment and prints the verdict
 // matrix. Output is deterministic: the same seed yields byte-identical
-// matrices across runs and across the dense and skip-ahead engines.
+// matrices across runs and across the dense, skip-ahead and parallel
+// engines.
 // olfault exits 0 only when the campaign sees zero escapes AND the
 // pinned Figure 5 reproduction (drop/fence on add at full rate) is
 // detected; any escape — a wrong answer the simulator's own
@@ -38,7 +39,6 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base fault seed; the campaign sweeps seed and seed+1")
 		bytes    = flag.Int64("bytes", 0, "per-channel footprint override (0 = campaign default)")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
-		dense    = flag.Bool("dense", false, "run on the naive dense tick engine (parity reference)")
 
 		name  = flag.String("kernel", "", "single-run mode: Table 2 kernel name")
 		class = flag.String("class", "", "single-run mode: fault class (drop|weaken|reorder|delay)")
@@ -47,6 +47,7 @@ func main() {
 		prim  = flag.String("primitive", "orderlight", "single-run mode: ordering primitive under attack (fence|orderlight|seqno)")
 	)
 	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
+	eng := cliflags.RegisterEngine(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -58,9 +59,7 @@ func main() {
 	if *parallel > 0 {
 		opts = append(opts, orderlight.WithParallelism(*parallel))
 	}
-	if *dense {
-		opts = append(opts, orderlight.WithDenseEngine())
-	}
+	opts = append(opts, eng.Options()...)
 	if *bytes > 0 {
 		opts = append(opts, orderlight.WithScale(orderlight.Scale{BytesPerChannel: *bytes}))
 	}

@@ -12,6 +12,7 @@
 //	olsim -kernel add -primitive orderlight -ts 1/8
 //	olsim -kernel kmeans -primitive fence -bytes 262144
 //	olsim -kernel add -primitive none -verify=false  # incorrect-run demo
+//	olsim -kernel add -engine parallel               # sharded engine, identical output
 //	olsim -kernel add -trace-out run.json            # Perfetto trace
 //	olsim -kernel add -sample-every 1000 -sample-out run.csv
 //	olsim -kernel add -checkpoint-dir ck -stop-after 50000  # halt with a checkpoint (exit 3)
@@ -48,7 +49,6 @@ func main() {
 		hostKind = flag.String("host", "gpu", "host front end: gpu (SIMT warps) or cpu (OoO cores, §9)")
 		spread   = flag.Bool("spread", false, "spread tiles across memory-groups")
 		routes   = flag.Int("routes", 1, "adaptive interconnect routes per channel (§9 NoC divergence)")
-		dense    = flag.Bool("dense", false, "use the naive dense tick engine (parity/debugging reference)")
 		list     = flag.Bool("list", false, "list kernels and exit")
 
 		traceOut    = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of the run to this file")
@@ -59,6 +59,7 @@ func main() {
 		stopAfter = flag.Int64("stop-after", 0, "halt deterministically at this core cycle after writing a checkpoint, exit 3 (crash-resume testing)")
 	)
 	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
+	eng := cliflags.RegisterEngine(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -107,10 +108,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	var opts []orderlight.Option
-	if *dense {
-		opts = append(opts, orderlight.WithDenseEngine())
-	}
+	opts := eng.Options()
 	var sink *orderlight.PerfettoSink
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -168,7 +166,7 @@ func main() {
 			BMF:             cfg.PIM.BMF,
 			BytesPerChannel: *bytes,
 			ConfigHash:      orderlight.ConfigHash(cfg),
-			Engine:          engineName(*dense),
+			Engine:          eng.EngineName(),
 			WallMS:          float64(wall.Nanoseconds()) / 1e6,
 			GoVersion:       runtime.Version(),
 		}
@@ -179,13 +177,6 @@ func main() {
 			*name, cfg.Run.Primitive)
 		os.Exit(1)
 	}
-}
-
-func engineName(dense bool) string {
-	if dense {
-		return "dense"
-	}
-	return "skip"
 }
 
 // writeSamples renders the sampled time-series: JSON when the path ends

@@ -56,3 +56,56 @@ func (c *Checkpoint) Options() []orderlight.Option {
 func (c *Checkpoint) Active() bool {
 	return c.Dir != "" || c.Every != 0 || c.Resume
 }
+
+// Engine receives the shared engine-selection flags. Like Checkpoint,
+// it does no validation of its own: unknown -engine names travel into
+// the option bag verbatim so the library's single validation gate
+// rejects them with the same message everywhere.
+type Engine struct {
+	// Name is -engine: "", "skip", "dense" or "parallel".
+	Name string
+	// Dense is -dense, the pre-existing shorthand for -engine=dense.
+	Dense bool
+	// Shards is -shards, the parallel engine's shard-count cap.
+	Shards int
+}
+
+// RegisterEngine installs -engine, -dense and -shards on fs.
+func RegisterEngine(fs *flag.FlagSet) *Engine {
+	e := &Engine{}
+	fs.StringVar(&e.Name, "engine", "",
+		"simulation engine: skip (default), dense (naive parity reference) or parallel (per-channel goroutine sharding); results are byte-identical")
+	fs.BoolVar(&e.Dense, "dense", false,
+		"shorthand for -engine=dense")
+	fs.IntVar(&e.Shards, "shards", 0,
+		"parallel engine shard count (0 = min(GOMAXPROCS, channels); needs -engine=parallel)")
+	return e
+}
+
+// Options converts the parsed flags into facade options.
+func (e *Engine) Options() []orderlight.Option {
+	var opts []orderlight.Option
+	if e.Dense {
+		opts = append(opts, orderlight.WithDenseEngine())
+	}
+	if e.Name != "" {
+		opts = append(opts, orderlight.WithEngine(e.Name))
+	}
+	if e.Shards != 0 {
+		opts = append(opts, orderlight.WithParallelShards(e.Shards))
+	}
+	return opts
+}
+
+// EngineName returns the engine the flags select, for labeling output:
+// "dense", "parallel", or "skip" (also for unknown names, which never
+// reach a run — validation rejects them first).
+func (e *Engine) EngineName() string {
+	switch {
+	case e.Dense || e.Name == "dense":
+		return "dense"
+	case e.Name == "parallel":
+		return "parallel"
+	}
+	return "skip"
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/fault"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+	"orderlight/internal/obs"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/runner"
+)
+
+// TestRunAllParityParallelVsSkip is the acceptance gate for the
+// intra-run parallel engine: every experiment table of the full sweep
+// must render byte-identically whether cells run on the sequential
+// skip-ahead engine or sharded across per-channel goroutines.
+func TestRunAllParityParallelVsSkip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep x2")
+	}
+	cfg := tinyConfig()
+	sc := Scale{BytesPerChannel: 8 * 1024}
+	ctx := context.Background()
+
+	skip, err := RunAllEngine(ctx, runner.New(runner.Options{}), cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllEngine(ctx, runner.New(runner.Options{ParallelEngine: true, ParallelShards: 4}), cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skip) != len(par) {
+		t.Fatalf("skip engine produced %d tables, parallel %d", len(skip), len(par))
+	}
+	for i, s := range skip {
+		if sMD, pMD := s.Markdown(), par[i].Markdown(); sMD != pMD {
+			t.Errorf("table %s differs between engines:\n--- skip ---\n%s\n--- parallel ---\n%s", s.ID, sMD, pMD)
+		}
+	}
+}
+
+// randomParityCells samples the configuration space the way
+// TestRandomizedDenseSkipParity does, plus active fault plans on a
+// quarter of the cells — the parallel engine shares the fault
+// hook-points with the sequential ones, so injected decisions and
+// verdicts must not move either.
+func randomParityCells(t *testing.T, seed int64, n int) []runner.Cell {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := kernel.Names()
+	prims := []config.Primitive{
+		config.PrimitiveNone, config.PrimitiveFence,
+		config.PrimitiveOrderLight, config.PrimitiveSeqno,
+	}
+	classes := []fault.Class{
+		fault.ClassDropOrdering, fault.ClassWeakenDrain,
+		fault.ClassIllegalReorder, fault.ClassDelayVisibility,
+	}
+	cells := make([]runner.Cell, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := tinyConfig()
+		name := names[rng.Intn(len(names))]
+		cfg.Run.Primitive = prims[rng.Intn(len(prims))]
+		cfg = cfg.WithTSFraction(TSFractions[rng.Intn(len(TSFractions))])
+		cfg.Memory.RefreshEnabled = rng.Intn(2) == 0
+		cfg.GPU.IcntRoutes = 1 + rng.Intn(2)
+		if rng.Intn(4) == 0 {
+			cfg.Host.Kind = config.HostCPU
+		}
+		spec, err := kernel.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := runner.Cell{
+			Key:   fmt.Sprintf("par%02d/%s/%v/ts=%dB", i, name, cfg.Run.Primitive, cfg.PIM.TSBytes),
+			Cfg:   cfg,
+			Spec:  spec,
+			Bytes: int64(1+rng.Intn(8)) * 1024,
+		}
+		if cfg.Host.Kind == config.HostGPU && rng.Intn(3) == 0 {
+			c.Traffic = gpu.HostTraffic{
+				PerChannel:        4 + rng.Intn(12),
+				EveryN:            50 + rng.Intn(200),
+				Group:             rng.Intn(4),
+				Rows:              1 + rng.Intn(4),
+				CoarseArbitration: rng.Intn(2) == 0,
+			}
+		}
+		if rng.Intn(4) == 0 {
+			c.Fault = fault.Spec{
+				Class: classes[rng.Intn(len(classes))],
+				Seed:  rng.Uint64(),
+				Rate:  0.25 + rng.Float64()*0.75,
+			}
+		}
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// TestRandomizedThreeWayParity fuzzes engine parity across all three
+// engines at once: for every sampled cell — random kernels, primitives,
+// TS sizes, refresh, NoC routes, host front ends, host traffic, and
+// active fault plans — dense, skip-ahead and parallel must agree on
+// every statistic (cycle counts included), the host-latency
+// measurements, the fault verdict, and the complete post-run memory
+// image.
+func TestRandomizedThreeWayParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized simulation sweep x3")
+	}
+	cells := randomParityCells(t, 0x3e147a11e1, 24)
+
+	ctx := context.Background()
+	skipRes, err := runner.New(runner.Options{DisableKernelCache: true}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		opts runner.Options
+	}{
+		{"dense", runner.Options{DenseEngine: true, DisableKernelCache: true}},
+		{"parallel", runner.Options{ParallelEngine: true, ParallelShards: 3, DisableKernelCache: true}},
+		// Shard-count independence: one shard must already be
+		// byte-identical, so any count is.
+		{"parallel-1shard", runner.Options{ParallelEngine: true, ParallelShards: 1, DisableKernelCache: true}},
+	}
+	for _, e := range engines {
+		res, err := runner.New(e.opts).Run(ctx, cells)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		for i := range cells {
+			s, o := skipRes[i], res[i]
+			if !reflect.DeepEqual(s.Run, o.Run) {
+				t.Errorf("%s: stats diverge skip vs %s:\nskip: %+v\n%s: %+v",
+					cells[i].Key, e.name, s.Run, e.name, o.Run)
+				continue
+			}
+			if s.HostLatency != o.HostLatency || s.HostServed != o.HostServed {
+				t.Errorf("%s: host-load measurements diverge: skip (%.3f, %d) vs %s (%.3f, %d)",
+					cells[i].Key, s.HostLatency, s.HostServed, e.name, o.HostLatency, o.HostServed)
+			}
+			if (s.Fault == nil) != (o.Fault == nil) {
+				t.Errorf("%s: fault verdict presence diverges skip vs %s", cells[i].Key, e.name)
+			} else if s.Fault != nil && *s.Fault != *o.Fault {
+				t.Errorf("%s: fault verdicts diverge: skip %+v vs %s %+v",
+					cells[i].Key, *s.Fault, e.name, *o.Fault)
+			}
+			if !s.Kernel.Store.Equal(o.Kernel.Store) {
+				t.Errorf("%s: final memory images differ at %v", cells[i].Key,
+					s.Kernel.Store.Diff(o.Kernel.Store, 4))
+			}
+		}
+	}
+}
+
+// TestParallelEventStreamParity pins the strongest form of the
+// determinism claim: the parallel engine replays staged per-channel
+// effects in channel order, so its emitted event stream — including
+// clock-track skip spans, which the dense engine legitimately lacks —
+// is identical to the sequential skip-ahead engine's, event for event.
+func TestParallelEventStreamParity(t *testing.T) {
+	cells := randomParityCells(t, 0x5eeded, 6)
+	ctx := context.Background()
+	for i := range cells {
+		var skipSink, parSink obs.CollectSink
+		one := []runner.Cell{cells[i]}
+		if _, err := runner.New(runner.Options{TraceSink: &skipSink, DisableKernelCache: true}).Run(ctx, one); err != nil {
+			t.Fatal(err)
+		}
+		opts := runner.Options{
+			ParallelEngine: true, ParallelShards: 1 + i%4,
+			TraceSink: &parSink, DisableKernelCache: true,
+		}
+		if _, err := runner.New(opts).Run(ctx, one); err != nil {
+			t.Fatal(err)
+		}
+		se, pe := skipSink.Events(), parSink.Events()
+		if len(se) != len(pe) {
+			t.Errorf("%s: event counts diverge: skip %d vs parallel %d", cells[i].Key, len(se), len(pe))
+			continue
+		}
+		for j := range se {
+			if se[j] != pe[j] {
+				t.Errorf("%s: event %d diverges:\nskip:     %+v\nparallel: %+v", cells[i].Key, j, se[j], pe[j])
+				break
+			}
+		}
+		if skipSink.Dropped() != parSink.Dropped() {
+			t.Errorf("%s: drop counts diverge: skip %d vs parallel %d",
+				cells[i].Key, skipSink.Dropped(), parSink.Dropped())
+		}
+	}
+}
+
+// TestParallelHaltResumeParity kills a parallel-engine run at a
+// checkpoint and resumes it: the continuation must be byte-identical to
+// an uninterrupted run on either engine, and the checkpoint metadata
+// must refuse a cross-engine resume.
+func TestParallelHaltResumeParity(t *testing.T) {
+	ctx := context.Background()
+	spec, err := kernel.ByName("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Run.Primitive = config.PrimitiveOrderLight
+	cells := []runner.Cell{{Key: "parresume/add/orderlight", Cfg: cfg, Spec: spec, Bytes: 8 << 10}}
+
+	ref, err := runner.New(runner.Options{}).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	par := runner.Options{ParallelEngine: true, ParallelShards: 2}
+	halt := par
+	halt.CheckpointDir, halt.HaltAfterCycles = dir, 200
+	if _, err := runner.New(halt).Run(ctx, cells); !errors.Is(err, olerrors.ErrHalted) {
+		t.Fatalf("halted parallel sweep error = %v, want ErrHalted", err)
+	}
+
+	// The checkpoint records engine "parallel"; a skip-engine resume must
+	// be refused rather than silently continued.
+	if _, err := runner.New(runner.Options{CheckpointDir: dir, Resume: true}).Run(ctx, cells); !errors.Is(err, olerrors.ErrCheckpointMismatch) {
+		t.Fatalf("cross-engine resume error = %v, want ErrCheckpointMismatch", err)
+	}
+
+	resume := par
+	resume.CheckpointDir, resume.Resume = dir, true
+	res, err := runner.New(resume).Run(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Run.String() != ref[0].Run.String() {
+		t.Fatalf("resumed parallel cell differs from uninterrupted skip run:\n%s\nvs\n%s", res[0].Run, ref[0].Run)
+	}
+	if !res[0].Run.Correct {
+		t.Fatal("resumed parallel cell verified incorrect")
+	}
+}
+
+// TestFaultCampaignParityParallelVsSkip runs the full fault-injection
+// campaign on both engines: verdict matrix and summary must match.
+func TestFaultCampaignParityParallelVsSkip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign x2")
+	}
+	cfg := tinyConfig()
+	sc := Scale{BytesPerChannel: 8 * 1024}
+	ctx := context.Background()
+
+	st, ssum, err := FaultCampaignEngine(ctx, runner.New(runner.Options{}), cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, psum, err := FaultCampaignEngine(ctx, runner.New(runner.Options{ParallelEngine: true, ParallelShards: 4}), cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMD, pMD := st.Markdown(), pt.Markdown(); sMD != pMD {
+		t.Errorf("campaign verdict matrices differ:\n--- skip ---\n%s\n--- parallel ---\n%s", sMD, pMD)
+	}
+	if !reflect.DeepEqual(ssum, psum) {
+		t.Errorf("campaign summaries differ: skip %+v vs parallel %+v", ssum, psum)
+	}
+}

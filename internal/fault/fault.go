@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 )
 
 // Class enumerates the ordering-violation families the injector can
@@ -187,13 +188,15 @@ func (p Point) String() string {
 // at tracker programming, arbitration and PIM write-back. Decision
 // methods are pure and nil-safe — a nil *Plan always answers "no
 // fault" — so component hot paths need no plan-presence branches.
-// Recording methods count injections as they actually happen; a Plan
-// belongs to exactly one machine run (the machine is single-threaded).
+// Recording methods count injections as they actually happen. A Plan
+// belongs to exactly one machine run; counters are atomic so the
+// parallel engine's channel shards can record concurrently. Decisions
+// themselves are stateless seed hashes, so plans stay engine-neutral.
 type Plan struct {
 	spec      Spec
 	threshold uint64
 	delay     int64
-	counts    [pointCount]int64
+	counts    [pointCount]atomic.Int64
 }
 
 // NewPlan materializes a spec into a live plan.
@@ -277,7 +280,7 @@ func (p *Plan) RecordN(pt Point, n int64) {
 	if p == nil || n <= 0 {
 		return
 	}
-	p.counts[pt] += n
+	p.counts[pt].Add(n)
 }
 
 // Injections returns the total number of faults actually injected so
@@ -287,8 +290,8 @@ func (p *Plan) Injections() int64 {
 		return 0
 	}
 	var n int64
-	for _, c := range p.counts {
-		n += c
+	for i := range p.counts {
+		n += p.counts[i].Load()
 	}
 	return n
 }
@@ -299,16 +302,23 @@ type PointCounts [pointCount]int64
 
 // Counts returns the plan's injection counters.
 func (p *Plan) Counts() PointCounts {
+	var out PointCounts
 	if p == nil {
-		return PointCounts{}
+		return out
 	}
-	return PointCounts(p.counts)
+	for i := range p.counts {
+		out[i] = p.counts[i].Load()
+	}
+	return out
 }
 
 // SetCounts replaces the plan's injection counters (checkpoint resume).
 func (p *Plan) SetCounts(c PointCounts) {
-	if p != nil {
-		p.counts = [pointCount]int64(c)
+	if p == nil {
+		return
+	}
+	for i := range p.counts {
+		p.counts[i].Store(c[i])
 	}
 }
 
@@ -320,8 +330,8 @@ func (p *Plan) Report() Report {
 	}
 	r.Class = p.spec.Class
 	r.Seed = p.spec.Seed
-	r.Points = p.counts
-	for _, c := range p.counts {
+	r.Points = [pointCount]int64(p.Counts())
+	for _, c := range r.Points {
 		r.Injections += c
 	}
 	return r

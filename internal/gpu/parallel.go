@@ -1,0 +1,345 @@
+package gpu
+
+import (
+	"runtime"
+
+	"orderlight/internal/dram"
+	"orderlight/internal/isa"
+	"orderlight/internal/obs"
+	"orderlight/internal/sim"
+	"orderlight/internal/stats"
+	"orderlight/internal/trace"
+)
+
+// The parallel engine (DESIGN.md §4h) keeps the skip-ahead event loop
+// untouched and parallelizes the work *inside* each fired clock edge:
+// the machine's channels are grouped into shards, each shard runs its
+// channels' per-tick work on a pool worker, and every cross-shard
+// effect (trace records, sink events, issue callbacks, host-hit
+// completions) is staged in a per-channel op log and replayed on the
+// coordinator in ascending channel order at the same engine instant.
+//
+// Determinism holds because
+//   - channels never read each other's state inside a tick (pipes,
+//     slices, controllers and PIM units are channel-local),
+//   - shared mutable state is either redirected per channel for the
+//     run (stats to a private Run, PIM stores to a copy-on-write
+//     overlay) or reached only through the replayed op logs (the ack
+//     pipe, host-latency accounting, the event sink, the tracer),
+//   - replay order is a pure function of the channel index, never of
+//     goroutine scheduling — so any shard count, including 1, produces
+//     byte-identical events, stats and memory images.
+//
+// The barrier is every fired edge; skip-ahead already elides idle
+// edges, so the fences land exactly at the quiescence protocol's sync
+// points and no new fallback conditions exist (host traffic, CGA,
+// refresh and OoO hosts all ride the sequential coordinator phase).
+
+// parOp kinds. A single variant type keeps one log per channel so the
+// intra-channel interleaving of records, device events and issue
+// callbacks replays exactly as sequential execution produced it.
+const (
+	opRecord  = iota // a Machine.record stage crossing
+	opEvent          // a controller sink event
+	opIssue          // a controller OnIssue callback
+	opHostHit        // an L2 host-hit completion
+	opDrop           // a sink Drop count
+)
+
+// parOp is one staged cross-shard effect.
+type parOp struct {
+	kind  uint8
+	stage trace.Stage
+	r     isa.Request
+	ev    obs.Event
+	n     int64
+}
+
+// parSink stages a controller's sink traffic into its channel's op log.
+type parSink struct{ log *[]parOp }
+
+func (s *parSink) Emit(ev obs.Event) { *s.log = append(*s.log, parOp{kind: opEvent, ev: ev}) }
+func (s *parSink) Drop(n int64)      { *s.log = append(*s.log, parOp{kind: opDrop, n: n}) }
+
+// parState is the parallel engine's run state.
+type parState struct {
+	installed bool
+	shards    int       // configured shard count (resolved, >= 1)
+	pool      *sim.Pool // fork-join pool, created at install
+	groups    [][]int   // shard -> contiguous channel group
+	coreTasks []func()  // one per shard, for coreTick regions
+	memTasks  []func()  // one per shard, for memTick regions
+	memCycle  int64     // cycle argument for the current memTick region
+	observed  bool      // tracer or sink armed: stage record ops too
+	chStats   []*stats.Run
+	overlays  []*dram.Overlay
+	log1      [][]parOp // coreTick pass 1: icnt->slice records, host hits
+	log2      [][]parOp // coreTick pass 2: slice->l2dram records
+	logM      [][]parOp // memTick: MC-accept records, sink events, issues
+}
+
+// SetParallel arms the intra-tick parallel engine with the given shard
+// count; shards <= 0 picks min(GOMAXPROCS, channels). Must be called
+// before Run. The shard count changes wall-clock time only — results
+// are byte-identical for every value, which is what the shard-
+// sensitivity benchmark demonstrates.
+func (m *Machine) SetParallel(shards int) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if n := len(m.mcs); shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	m.par = &parState{shards: shards}
+}
+
+// Parallel reports whether the parallel engine is armed.
+func (m *Machine) Parallel() bool { return m.par != nil }
+
+// ParallelShards returns the resolved shard count (0 when not armed).
+func (m *Machine) ParallelShards() int {
+	if m.par == nil {
+		return 0
+	}
+	return m.par.shards
+}
+
+// parInstall swaps the machine onto its sharded plumbing. It runs at
+// the top of Run, after every Set* hook has been armed: controllers
+// count into private stats, PIM units execute against per-channel
+// overlays, and controller/slice callbacks stage into the op logs.
+func (m *Machine) parInstall() {
+	p := m.par
+	n := len(m.mcs)
+	p.observed = m.tracer != nil || m.sink != nil
+	p.pool = sim.NewPool(p.shards)
+	p.chStats = make([]*stats.Run, n)
+	p.overlays = make([]*dram.Overlay, n)
+	p.log1 = make([][]parOp, n)
+	p.log2 = make([][]parOp, n)
+	p.logM = make([][]parOp, n)
+	for ch := 0; ch < n; ch++ {
+		ch := ch
+		p.chStats[ch] = stats.New(m.cfg.BytesPerCommand())
+		m.mcs[ch].SetStats(p.chStats[ch])
+		p.overlays[ch] = dram.NewOverlay(m.store)
+		m.mcs[ch].Unit().SetMemory(p.overlays[ch])
+		m.mcs[ch].OnIssue = func(r isa.Request) {
+			p.logM[ch] = append(p.logM[ch], parOp{kind: opIssue, r: r})
+		}
+		if m.sink != nil {
+			m.mcs[ch].Sink = &parSink{log: &p.logM[ch]}
+		}
+		m.slices[ch].OnHostHit = func(r isa.Request) {
+			p.log1[ch] = append(p.log1[ch], parOp{kind: opHostHit, r: r})
+		}
+	}
+	// Contiguous channel groups, remainder spread over the low shards.
+	p.groups = make([][]int, 0, p.shards)
+	per, rem := n/p.shards, n%p.shards
+	next := 0
+	for s := 0; s < p.shards; s++ {
+		size := per
+		if s < rem {
+			size++
+		}
+		g := make([]int, 0, size)
+		for i := 0; i < size; i++ {
+			g = append(g, next)
+			next++
+		}
+		p.groups = append(p.groups, g)
+	}
+	for _, g := range p.groups {
+		g := g
+		p.coreTasks = append(p.coreTasks, func() {
+			for _, ch := range g {
+				m.coreShard(ch)
+			}
+		})
+		p.memTasks = append(p.memTasks, func() {
+			for _, ch := range g {
+				m.memShard(ch, p.memCycle)
+			}
+		})
+	}
+	p.installed = true
+}
+
+// parUninstall folds outstanding shard state and points the machine
+// back at its sequential plumbing, so post-run inspection (tests
+// calling ticks directly, Verify, state capture) sees the same machine
+// a sequential run would leave behind.
+func (m *Machine) parUninstall() {
+	p := m.par
+	m.foldPar()
+	p.installed = false
+	for ch := range m.mcs {
+		m.mcs[ch].SetStats(m.st)
+		m.mcs[ch].Unit().SetMemory(m.store)
+		m.mcs[ch].OnIssue = m.onIssue
+		m.mcs[ch].Sink = m.sink
+		m.slices[ch].OnHostHit = func(r isa.Request) { m.completeHost(r) }
+	}
+	p.pool.Close()
+	p.pool = nil
+}
+
+// foldStats folds every channel's private counters into the machine's
+// Run and zeroes them. Counters are plain sums, so folding at any
+// barrier reproduces the sequential totals exactly; the fold is
+// idempotent (a folded channel contributes zero).
+func (m *Machine) foldStats() {
+	if m.par == nil || !m.par.installed {
+		return
+	}
+	for _, st := range m.par.chStats {
+		m.st.FoldFrom(st)
+	}
+}
+
+// foldPar makes all globally-visible state current: channel counters
+// fold into the machine's Run and overlay deltas write back into the
+// master store. Channels write disjoint address sets, so the store
+// fold is order-independent. Called lazily at the points that read
+// global state: sampler deadlines, state capture, verification, and
+// the end of Run.
+func (m *Machine) foldPar() {
+	if m.par == nil || !m.par.installed {
+		return
+	}
+	m.foldStats()
+	for _, ov := range m.par.overlays {
+		ov.Fold()
+	}
+}
+
+// replayLog replays one channel's staged ops in logged order and
+// resets the log. Replay happens at the same engine instant the ops
+// were staged at, so every timestamp and side effect matches the
+// sequential engine's.
+func (m *Machine) replayLog(log *[]parOp) {
+	for i := range *log {
+		op := &(*log)[i]
+		switch op.kind {
+		case opRecord:
+			m.record(op.stage, op.r)
+		case opEvent:
+			m.sink.Emit(op.ev)
+		case opIssue:
+			m.onIssue(op.r)
+		case opHostHit:
+			m.completeHost(op.r)
+		case opDrop:
+			m.sink.Drop(op.n)
+		}
+	}
+	*log = (*log)[:0]
+}
+
+// coreShard is one channel's share of a core tick: the two transfer
+// stages of the sequential coreTick, with their stage records staged
+// for ordered replay. Loop structure note: sequential coreTick runs
+// the icnt->slice stage for every channel, then slice->l2dram for
+// every channel; the two stages of one channel do not interact within
+// a tick across channels, so running them back-to-back per channel is
+// state-equivalent — only the record order must be repaired, which is
+// why the two passes stage into separate logs.
+func (m *Machine) coreShard(ch int) {
+	now := m.eng.Now()
+	p := m.par
+	if r, ok := m.icnt[ch].Peek(now); ok && m.slices[ch].CanAccept(r) {
+		m.icnt[ch].Pop(now)
+		m.slices[ch].Accept(r)
+		if p.observed {
+			p.log1[ch] = append(p.log1[ch], parOp{kind: opRecord, stage: trace.StageL2, r: r})
+		}
+	}
+	if m.l2dram[ch].CanPush() {
+		if r, ok := m.slices[ch].Pop(); ok {
+			m.l2dram[ch].Push(now, r)
+			if p.observed {
+				p.log2[ch] = append(p.log2[ch], parOp{kind: opRecord, stage: trace.StageToDRAM, r: r})
+			}
+		}
+	}
+}
+
+// memShard is one channel's share of a memory tick: pipe hand-off into
+// the controller plus the controller's own cycle, with every sink
+// event and issue callback staged in the channel's log.
+func (m *Machine) memShard(ch int, cycle int64) {
+	now := m.eng.Now()
+	mc := m.mcs[ch]
+	if r, ok := m.l2dram[ch].Peek(now); ok && mc.CanAccept(r) {
+		m.l2dram[ch].Pop(now)
+		mc.Accept(r)
+		if m.par.observed {
+			m.par.logM[ch] = append(m.par.logM[ch], parOp{kind: opRecord, stage: trace.StageMC, r: r})
+		}
+	}
+	mc.Tick(cycle)
+}
+
+// coreTickPar is the parallel engine's core tick: the sequential
+// coordinator phases (sampling, host injection, ack drain, host issue)
+// bracket a sharded transfer region whose staged effects replay in
+// channel order.
+func (m *Machine) coreTickPar() {
+	now := m.eng.Now()
+	p := m.par
+	if m.sampler != nil {
+		if m.sampler.NextCycle() <= now.CoreCycles() {
+			// The sampler reads the machine's Run; make it current first.
+			m.foldStats()
+		}
+		m.sampler.ObserveCycle(now)
+	}
+	m.injectHost()
+	for {
+		w, ok := m.acks.Pop(now)
+		if !ok {
+			break
+		}
+		m.ft.Acked(w)
+	}
+	if p.pool.Workers() < 2 {
+		for ch := range m.mcs {
+			m.coreShard(ch)
+		}
+	} else {
+		p.pool.Run(p.coreTasks)
+	}
+	// Two replay passes mirror the sequential tick's two channel loops.
+	for ch := range p.log1 {
+		m.replayLog(&p.log1[ch])
+	}
+	for ch := range p.log2 {
+		m.replayLog(&p.log2[ch])
+	}
+	for _, h := range m.hosts {
+		h.Tick(now)
+	}
+}
+
+// memTickPar is the parallel engine's memory tick: a sharded
+// controller region followed by channel-ordered replay of the staged
+// device events, records, and issue callbacks (which push the ack pipe
+// in exactly the order the sequential engine would have).
+func (m *Machine) memTickPar(cycle int64) {
+	p := m.par
+	if p.pool.Workers() < 2 {
+		for ch := range m.mcs {
+			m.memShard(ch, cycle)
+		}
+	} else {
+		p.memCycle = cycle
+		p.pool.Run(p.memTasks)
+	}
+	for ch := range p.logM {
+		m.replayLog(&p.logM[ch])
+	}
+}

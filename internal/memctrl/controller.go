@@ -123,6 +123,12 @@ func New(channel int, cfg config.Config, geom dram.Geometry, store *dram.Store, 
 // Unit exposes the channel's PIM unit (for result verification).
 func (c *Controller) Unit() *pim.Unit { return c.unit }
 
+// SetStats redirects the controller's statistics counters to st. The
+// parallel engine points each channel at a private stats.Run so shards
+// can count concurrently, then folds the privates into the machine's
+// run; counters are plain sums, so folding is exact.
+func (c *Controller) SetStats(st *stats.Run) { c.st = st }
+
 // Tracker exposes the ordering tracker (for tests).
 func (c *Controller) Tracker() *core.Tracker { return c.tracker }
 
@@ -316,7 +322,9 @@ func (c *Controller) refresh(cycle int64) bool {
 		if c.timing.CanIssue(dram.CmdPRE, b, open, cycle) {
 			c.timing.Issue(dram.CmdPRE, b, open, cycle)
 			c.st.PreCmds++
-			c.emit("mc", "PRE", cycle, 0, fmt.Sprintf("bank %d (refresh drain)", b))
+			if c.Sink != nil {
+				c.emit("mc", "PRE", cycle, 0, fmt.Sprintf("bank %d (refresh drain)", b))
+			}
 		}
 		return true
 	}
@@ -432,7 +440,9 @@ func (c *Controller) schedule(memCycle int64) {
 			if c.timing.CanIssue(dram.CmdPRE, e.r.Bank, open, memCycle) {
 				c.timing.Issue(dram.CmdPRE, e.r.Bank, open, memCycle)
 				c.st.PreCmds++
-				c.emit("mc", "PRE", memCycle, 0, fmt.Sprintf("bank %d row %d", e.r.Bank, open))
+				if c.Sink != nil {
+					c.emit("mc", "PRE", memCycle, 0, fmt.Sprintf("bank %d row %d", e.r.Bank, open))
+				}
 				return
 			}
 		default:
@@ -440,7 +450,9 @@ func (c *Controller) schedule(memCycle int64) {
 				c.timing.Issue(dram.CmdACT, e.r.Bank, e.r.Row, memCycle)
 				c.st.ActCmds++
 				e.didACT = true
-				c.emit("mc", "ACT", memCycle, 0, fmt.Sprintf("bank %d row %d", e.r.Bank, e.r.Row))
+				if c.Sink != nil {
+					c.emit("mc", "ACT", memCycle, 0, fmt.Sprintf("bank %d row %d", e.r.Bank, e.r.Row))
+				}
 				return
 			}
 		}
@@ -495,9 +507,11 @@ func (c *Controller) issueColumn(i int, memCycle int64) {
 		} else {
 			c.st.RowHits++
 		}
-		c.emit("mc", name, memCycle, 0,
-			fmt.Sprintf("#%d bank %d row %d", e.r.ID, e.r.Bank, e.r.Row))
-	} else {
+		if c.Sink != nil {
+			c.emit("mc", name, memCycle, 0,
+				fmt.Sprintf("#%d bank %d row %d", e.r.ID, e.r.Bank, e.r.Row))
+		}
+	} else if c.Sink != nil {
 		c.emit("mc", "exec", memCycle, 0, fmt.Sprintf("#%d", e.r.ID))
 	}
 	if c.Fault != nil && !c.tracker.CanIssue(e.r.Group, e.epoch) {
@@ -515,8 +529,10 @@ func (c *Controller) issueColumn(i int, memCycle int64) {
 		} else if err := c.unit.Exec(e.r); err != nil {
 			panic(fmt.Sprintf("memctrl: PIM execution failed: %v", err))
 		}
-		c.emit("pim", fmt.Sprintf("%v", e.r.Kind), memCycle, 0,
-			fmt.Sprintf("#%d g%d slot %d", e.r.ID, e.r.Group, e.r.TSlot))
+		if c.Sink != nil {
+			c.emit("pim", fmt.Sprintf("%v", e.r.Kind), memCycle, 0,
+				fmt.Sprintf("#%d g%d slot %d", e.r.ID, e.r.Group, e.r.TSlot))
+		}
 	}
 	c.st.CountCmd(e.r.Kind)
 	c.tracker.Issued(e.r.Group, e.epoch)

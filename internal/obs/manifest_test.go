@@ -45,7 +45,7 @@ func TestManifestJSONRoundTrip(t *testing.T) {
 		BytesPerChannel: 128 << 10,
 		HostBaseline:    false,
 		ConfigHash:      ConfigHash(config.Default()),
-		Engine:          EngineName(false),
+		Engine:          EngineName(false, false),
 		WallMS:          12.5,
 		GoVersion:       "go1.24.0",
 	}
@@ -59,8 +59,19 @@ func TestManifestJSONRoundTrip(t *testing.T) {
 }
 
 func TestEngineName(t *testing.T) {
-	if EngineName(true) != "dense" || EngineName(false) != "skip" {
-		t.Errorf("EngineName: got (%s, %s), want (dense, skip)", EngineName(true), EngineName(false))
+	cases := []struct {
+		dense, parallel bool
+		want            string
+	}{
+		{false, false, "skip"},
+		{true, false, "dense"},
+		{false, true, "parallel"},
+		{true, true, "dense"}, // dense wins; the runner rejects the combination upstream
+	}
+	for _, c := range cases {
+		if got := EngineName(c.dense, c.parallel); got != c.want {
+			t.Errorf("EngineName(%v, %v) = %s, want %s", c.dense, c.parallel, got, c.want)
+		}
 	}
 }
 

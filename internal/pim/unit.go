@@ -13,7 +13,7 @@ type Unit struct {
 	channel int
 	lanes   int
 	slots   [][]int32
-	store   *dram.Store
+	store   dram.Memory
 
 	// deferred holds commands whose functional execution has been
 	// pushed into the future (fault injection: delayed write-back
@@ -33,8 +33,9 @@ type deferredCmd struct {
 }
 
 // NewUnit creates a PIM unit with nslots temporary-storage slots over
-// the given backing store.
-func NewUnit(channel, nslots int, store *dram.Store) *Unit {
+// the given backing memory (a *dram.Store, or a *dram.Overlay when the
+// parallel engine shards the machine by channel).
+func NewUnit(channel, nslots int, store dram.Memory) *Unit {
 	u := &Unit{
 		channel:  channel,
 		lanes:    store.Lanes(),
@@ -50,6 +51,17 @@ func NewUnit(channel, nslots int, store *dram.Store) *Unit {
 
 // Slots returns the temporary-storage capacity in slots.
 func (u *Unit) Slots() int { return len(u.slots) }
+
+// SetMemory swaps the unit's backing memory. The parallel engine uses
+// it to point the unit at a per-channel overlay for the duration of a
+// run and back at the master store afterwards; the lane width must
+// match the one the unit was built with.
+func (u *Unit) SetMemory(m dram.Memory) {
+	if m.Lanes() != u.lanes {
+		panic("pim: SetMemory with mismatched lane count")
+	}
+	u.store = m
+}
 
 // Slot returns a copy of a TS slot's contents, for tests.
 func (u *Unit) Slot(i int) []int32 {

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"orderlight/internal/olerrors"
+)
+
+// TestValidateEngine pins engine-field validation on the job wire
+// format: unknown engine names are rejected at admission (never mapped
+// to a default engine), conflicting selections are rejected, and the
+// shard override demands the parallel engine.
+func TestValidateEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		opts RunOpts
+		want string // "" accepts; otherwise a required substring of the error
+	}{
+		{"default", RunOpts{}, ""},
+		{"skip", RunOpts{Engine: "skip"}, ""},
+		{"dense", RunOpts{Engine: "dense"}, ""},
+		{"parallel", RunOpts{Engine: "parallel"}, ""},
+		{"parallel with shards", RunOpts{Engine: "parallel", Shards: 4}, ""},
+		{"dense flag", RunOpts{Dense: true}, ""},
+		{"dense flag with dense engine", RunOpts{Dense: true, Engine: "dense"}, ""},
+		{"unknown engine", RunOpts{Engine: "turbo"}, `unknown engine "turbo"`},
+		{"misspelled engine", RunOpts{Engine: "Skip"}, `unknown engine "Skip"`},
+		{"dense flag vs skip engine", RunOpts{Dense: true, Engine: "skip"}, "conflicts with engine"},
+		{"dense flag vs parallel engine", RunOpts{Dense: true, Engine: "parallel"}, "conflicts with engine"},
+		{"negative shards", RunOpts{Engine: "parallel", Shards: -1}, "negative"},
+		{"shards without parallel", RunOpts{Shards: 4}, "needs the parallel engine"},
+		{"shards on dense", RunOpts{Engine: "dense", Shards: 4}, "needs the parallel engine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := JobRequest{Kind: KindKernel, Kernel: "add", Opts: tc.opts}
+			err := req.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want accept", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted, want error containing %q", tc.want)
+			}
+			if !errors.Is(err, olerrors.ErrInvalidSpec) {
+				t.Errorf("error %v is not classified as ErrInvalidSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -63,7 +63,9 @@ func Execute(ctx context.Context, req *JobRequest) (*JobResult, error) {
 		Parallelism:        o.Parallelism,
 		Progress:           o.Progress,
 		DisableKernelCache: o.NoKernelCache,
-		DenseEngine:        o.Dense,
+		DenseEngine:        o.Dense || o.Engine == "dense",
+		ParallelEngine:     o.Engine == "parallel",
+		ParallelShards:     o.Shards,
 		TraceSink:          o.Sink,
 		Sampler:            o.Sampler,
 		Manifest:           o.Manifest,

@@ -158,7 +158,16 @@ type RunOpts struct {
 	// worker per CPU.
 	Parallelism int `json:"parallelism,omitempty"`
 	// Dense runs on the naive dense tick engine (parity reference).
+	// Kept for wire compatibility; it is shorthand for Engine "dense".
 	Dense bool `json:"dense,omitempty"`
+	// Engine selects the simulation engine by name: "skip" (default),
+	// "dense", or "parallel" (intra-run per-channel sharding; results
+	// are byte-identical across all three). Unknown values are rejected
+	// at admission.
+	Engine string `json:"engine,omitempty"`
+	// Shards caps the parallel engine's shard count; <= 0 picks
+	// min(GOMAXPROCS, channels). Only meaningful with Engine "parallel".
+	Shards int `json:"shards,omitempty"`
 	// NoKernelCache disables sharing built kernel images across cells.
 	NoKernelCache bool `json:"no_kernel_cache,omitempty"`
 	// BytesPerChannel overrides the experiment data footprint (the
@@ -209,6 +218,20 @@ func (o *RunOpts) Validate() error {
 		return fmt.Errorf("serve: %w: halt-after cycle %d is negative", olerrors.ErrInvalidSpec, o.HaltAfter)
 	case o.BytesPerChannel < 0:
 		return fmt.Errorf("serve: %w: bytes per channel %d is negative", olerrors.ErrInvalidSpec, o.BytesPerChannel)
+	}
+	switch o.Engine {
+	case "", "skip", "dense", "parallel":
+	default:
+		return fmt.Errorf("serve: %w: unknown engine %q (want skip|dense|parallel)", olerrors.ErrInvalidSpec, o.Engine)
+	}
+	if o.Dense && (o.Engine == "skip" || o.Engine == "parallel") {
+		return fmt.Errorf("serve: %w: WithDenseEngine (dense) conflicts with engine %q; pick one engine", olerrors.ErrInvalidSpec, o.Engine)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("serve: %w: shard count %d is negative", olerrors.ErrInvalidSpec, o.Shards)
+	}
+	if o.Shards != 0 && o.Engine != "parallel" {
+		return fmt.Errorf("serve: %w: WithParallelShards (shards) needs the parallel engine (WithParallelEngine / engine \"parallel\")", olerrors.ErrInvalidSpec)
 	}
 	if o.Fault.Active() {
 		if err := o.Fault.Validate(); err != nil {

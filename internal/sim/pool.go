@@ -1,0 +1,93 @@
+package sim
+
+// Pool is a persistent fork-join worker pool for the parallel engine's
+// intra-tick shard regions. It exists because a fired clock edge is a
+// very small unit of work: spawning goroutines per tick would dominate
+// the tick itself, so the pool keeps its workers parked on a channel
+// receive and reuses them for every barrier.
+//
+// Run is a strict barrier: it hands each task to a worker (running the
+// last one inline on the caller), waits for all of them, and only then
+// returns. The channel handoffs give the caller a happens-before edge
+// over everything the tasks wrote, so no other synchronization is
+// needed around shard state.
+//
+// A Pool with fewer than two workers runs every task inline on the
+// calling goroutine, in order — the degenerate sequential mode used
+// when GOMAXPROCS (or the configured shard count) is 1.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	fin     chan struct{}
+	quit    chan struct{}
+}
+
+// NewPool creates a pool with n workers. n < 2 yields an inline pool
+// that runs tasks on the caller and owns no goroutines.
+func NewPool(n int) *Pool {
+	p := &Pool{workers: n}
+	if n < 2 {
+		return p
+	}
+	p.tasks = make(chan func(), n)
+	p.fin = make(chan struct{}, n)
+	p.quit = make(chan struct{})
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+			p.fin <- struct{}{}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Workers returns the pool's worker count (minimum 1).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 2 {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes every task and returns once all have finished. Tasks
+// must not call Run on the same pool, and at most Workers() tasks may
+// be passed per call. A nil or inline pool runs the tasks sequentially
+// on the caller.
+func (p *Pool) Run(tasks []func()) {
+	if p == nil || p.workers < 2 || len(tasks) < 2 {
+		for _, fn := range tasks {
+			fn()
+		}
+		return
+	}
+	if len(tasks) > p.workers {
+		panic("sim: pool Run with more tasks than workers")
+	}
+	// Ship all but the last task to workers; run the last inline so the
+	// caller's core contributes instead of blocking immediately.
+	for _, fn := range tasks[:len(tasks)-1] {
+		p.tasks <- fn
+	}
+	tasks[len(tasks)-1]()
+	for range tasks[:len(tasks)-1] {
+		<-p.fin
+	}
+}
+
+// Close stops the workers. The pool must be idle; Run must not be
+// called again. Closing a nil or inline pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.workers < 2 {
+		return
+	}
+	close(p.quit)
+}

@@ -363,6 +363,32 @@ func WithDenseEngine() Option {
 	return func(o *RunOpts) { o.Dense = true }
 }
 
+// WithParallelEngine runs the simulation on the intra-run parallel
+// engine: skip-ahead clocking with each fired edge's per-channel work
+// (memory controllers, bank FSMs, PIM units, L2 transfer stages)
+// sharded across goroutines and merged at a deterministic barrier.
+// Stats, events, cycle counts and memory images are byte-identical to
+// the other engines for any shard count; only wall-clock time changes.
+// Mutually exclusive with WithDenseEngine.
+func WithParallelEngine() Option {
+	return func(o *RunOpts) { o.Engine = "parallel" }
+}
+
+// WithEngine selects the simulation engine by name: "skip" (the
+// default), "dense" or "parallel". It is the string-typed form the
+// CLIs' -engine flag funnels through; unknown names are rejected by
+// option validation, never silently mapped to a default.
+func WithEngine(name string) Option {
+	return func(o *RunOpts) { o.Engine = name }
+}
+
+// WithParallelShards caps the parallel engine's shard count; n <= 0
+// picks min(GOMAXPROCS, channels). Implies nothing by itself — combine
+// with WithParallelEngine. Results are byte-identical for every value.
+func WithParallelShards(n int) Option {
+	return func(o *RunOpts) { o.Shards = n }
+}
+
 // WithScale overrides the data footprint experiments simulate (the
 // zero Scale means the default 256 KiB per channel).
 func WithScale(sc Scale) Option {
