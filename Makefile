@@ -2,7 +2,7 @@ GO ?= go
 SMOKE_EXP ?= fig5
 SMOKE_SIZE ?= 32768
 BENCHTIME ?= 2x
-BENCH_OUT ?= BENCH_PR7
+BENCH_OUT ?= BENCH_PR8
 # Gate tolerance must absorb cross-machine skew: BENCH_PR2 and
 # BENCH_PR7 were recorded on different boxes and *every* benchmark —
 # including pure-CPU microbenches with no engine involvement — shifted
@@ -13,15 +13,17 @@ COVER_FLOOR ?= 80.0
 FUZZTIME ?= 10s
 CKPT_FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race race-parallel smoke smoke-serve cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results clean
+.PHONY: ci vet build test race race-parallel smoke smoke-serve smoke-fabric cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results check-results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
 # detector (including the serve handler tests), the parallel-engine
 # suite under the race detector with shards forced past the core count,
 # a parallel-vs-sequential smoke of the CLIs, a daemon lifecycle smoke
-# (start → healthz → submit → SIGTERM drain → resume), and a brief run
-# of the checkpoint-decoder fuzzer (crash-safety is a tier-1 property).
-ci: vet build race race-parallel smoke smoke-serve fuzz-ckpt
+# (start → healthz → submit → SIGTERM drain → resume), a distributed
+# sweep-fabric smoke (coordinator + two workers + mid-run SIGKILL), and
+# a brief run of the checkpoint-decoder fuzzer (crash-safety is a
+# tier-1 property).
+ci: vet build race race-parallel smoke smoke-serve smoke-fabric fuzz-ckpt
 
 vet:
 	$(GO) vet ./...
@@ -137,6 +139,47 @@ smoke-serve:
 	kill -TERM $$pid2; wait $$pid2 || true; pid2=; \
 	echo "smoke-serve: OK (SIGTERM drained mid-sweep; restarted daemon resumed fig12 byte-identically)"
 
+# smoke-fabric checks the distributed sweep fabric end to end: an
+# olserve coordinator (-fabric, 1-cell leases, short lease TTL) farms a
+# fig12 sweep out to olserve -worker processes; the first worker is
+# SIGKILLed mid-run, a second worker joins, and the first restarts on
+# its own checkpoint directory (its journal replays finished cells).
+# The assembled output must be byte-identical to a local olbench run —
+# across a worker crash, a lease expiry and a mixed worker pool.
+smoke-fabric:
+	@$(GO) build -o /tmp/ol-smoke-olserve ./cmd/olserve
+	@$(GO) build -o /tmp/ol-smoke-olbench ./cmd/olbench
+	@tmp=$$(mktemp -d); pid=; w1=; w2=; w1b=; \
+	trap 'kill -9 $$pid $$w1 $$w2 $$w1b 2>/dev/null; rm -rf $$tmp' EXIT; \
+	/tmp/ol-smoke-olserve -addr localhost:0 -addr-file $$tmp/addr \
+		-fabric -lease-timeout 2s -chunk 1 -workers 2 2>$$tmp/serve.log & pid=$$!; \
+	i=0; while [ ! -s $$tmp/addr ] && [ $$i -lt 100 ]; do sleep 0.05; i=$$((i+1)); done; \
+	base="http://$$(cat $$tmp/addr)"; \
+	/tmp/ol-smoke-olserve -healthcheck $$base >/dev/null || { \
+		echo "smoke-fabric: FAIL: coordinator never became healthy"; cat $$tmp/serve.log; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp fig12 -size $(SMOKE_SIZE) -server $$base -fabric \
+		>$$tmp/fabric.md 2>$$tmp/olbench.log & cpid=$$!; \
+	/tmp/ol-smoke-olserve -worker $$base -worker-name w1 \
+		-worker-checkpoint-dir $$tmp/w1 2>$$tmp/w1.log & w1=$$!; \
+	i=0; until [ -s $$tmp/w1/journal.jsonl ]; do \
+		if [ $$i -ge 400 ]; then \
+			echo "smoke-fabric: FAIL: worker 1 journaled no cells"; \
+			cat $$tmp/serve.log $$tmp/w1.log; exit 1; fi; \
+		sleep 0.05; i=$$((i+1)); done; \
+	kill -9 $$w1; wait $$w1 2>/dev/null; w1=; \
+	/tmp/ol-smoke-olserve -worker $$base -worker-name w2 \
+		-worker-checkpoint-dir $$tmp/w2 2>$$tmp/w2.log & w2=$$!; \
+	/tmp/ol-smoke-olserve -worker $$base -worker-name w1b \
+		-worker-checkpoint-dir $$tmp/w1 2>$$tmp/w1b.log & w1b=$$!; \
+	wait $$cpid || { \
+		echo "smoke-fabric: FAIL: fabric sweep failed"; \
+		cat $$tmp/serve.log $$tmp/olbench.log; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp fig12 -size $(SMOKE_SIZE) >$$tmp/local.md 2>/dev/null; \
+	diff $$tmp/local.md $$tmp/fabric.md >/dev/null || { \
+		echo "smoke-fabric: FAIL: fabric output differs from local run"; exit 1; }; \
+	kill $$w2 $$w1b 2>/dev/null; kill -TERM $$pid; wait $$pid || true; pid=; w2=; w1b=; \
+	echo "smoke-fabric: OK (fig12 over 2 workers + mid-run SIGKILL byte-identical to local)"
+
 # cover enforces a statement-coverage floor over the internal packages.
 # The floor sits well under the current ~87% so legitimate refactors
 # don't trip it, but a dropped test file does.
@@ -155,6 +198,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzKernelSpec$$' -fuzztime $(FUZZTIME) ./internal/kernel
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/runner
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/ckpt
+	$(GO) test -run '^$$' -fuzz '^FuzzResultCacheDecode$$' -fuzztime $(FUZZTIME) ./internal/rcache
 
 # fuzz-ckpt is the short ci-gate slice of the checkpoint fuzzer: a few
 # seconds is enough to replay the committed corpus plus a burst of
@@ -164,14 +208,22 @@ fuzz-ckpt:
 
 # results regenerates results_all.md — every experiment's tables plus a
 # collapsed per-cell run-manifest block (config hash, seed, engine,
-# wall time). The tables are deterministic; only the manifests' wall
-# times vary between regenerations.
+# footprint). The rendered manifests carry only deterministic fields,
+# so the whole artifact is byte-identical across regenerations and
+# check-results can diff it against the committed copy.
 results:
 	$(GO) run ./cmd/olbench -exp all -manifest > results_all.md
 	@if [ -f $(BENCH_OUT).json ]; then \
 		$(GO) run ./cmd/benchjson -scaling $(BENCH_OUT).json >> results_all.md; \
 		echo "results: appended shard-scaling curve from $(BENCH_OUT).json"; fi
 	@echo "results: wrote results_all.md"
+
+# check-results fails when the committed results_all.md has drifted
+# from what `make results` would regenerate — i.e. when a change moved
+# the tables but the artifact was not refreshed. Run by CI.
+check-results: results
+	@git diff --exit-code -- results_all.md || { \
+		echo "check-results: FAIL: results_all.md is stale; run 'make results' and commit it"; exit 1; }
 
 # speedup times the full experiment sweep sequentially and in parallel.
 # Informational: the ratio tracks the core count (expect ~Nx on N CPUs,

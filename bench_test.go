@@ -91,6 +91,29 @@ func BenchmarkFig5FenceOverheadDense(b *testing.B) { runExperimentDense(b, "fig5
 // parallel engine (per-channel goroutine shards, byte-identical output).
 func BenchmarkFig5FenceOverheadParallel(b *testing.B) { runExperimentParallel(b, "fig5", 0) }
 
+// BenchmarkFig5CacheWarm regenerates Figure 5 against a warm
+// content-addressed result cache: after one priming run, every cell is
+// served from the cache, so this is the memoization floor — key
+// hashing, blob decode and table assembly, zero cells simulated.
+// Compare with BenchmarkFig5FenceOverhead for the cache's payoff.
+func BenchmarkFig5CacheWarm(b *testing.B) {
+	cfg := benchConfig()
+	dir := b.TempDir()
+	prime := func() (*Table, error) {
+		return RunExperimentContext(context.Background(), "fig5", cfg,
+			WithScale(benchScale), WithResultCache(dir))
+	}
+	if _, err := prime(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prime(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig10aStreamBandwidth regenerates Figure 10a and reports the
 // Add kernel's OrderLight command bandwidth at 1/8 RB.
 func BenchmarkFig10aStreamBandwidth(b *testing.B) {

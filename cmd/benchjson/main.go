@@ -66,10 +66,15 @@ type ParallelSpeedup struct {
 
 // Record is one point on the benchmark trajectory.
 type Record struct {
-	Label          string            `json:"label,omitempty"`
-	GoVersion      string            `json:"go_version"`
-	GOOS           string            `json:"goos"`
-	GOARCH         string            `json:"goarch"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// MaxProcs is the GOMAXPROCS suffix the test runner appended to the
+	// benchmark names — the CPU budget the point was recorded under.
+	// Scaling curves from a 1-CPU box answer a different question than
+	// multi-core ones, so the renderer calls the difference out.
+	MaxProcs       int               `json:"maxprocs,omitempty"`
 	Benchmarks     []Benchmark       `json:"benchmarks"`
 	DenseVsSkip    []Speedup         `json:"dense_vs_skip,omitempty"`
 	ParallelVsSkip []ParallelSpeedup `json:"parallel_vs_skip,omitempty"`
@@ -143,7 +148,9 @@ func main() {
 //
 // i.e. a name, an iteration count, then (value, unit) pairs.
 func parse(r io.Reader) (*Record, error) {
-	rec := &Record{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	// The test runner appends -GOMAXPROCS to benchmark names only when
+	// it is above one, so "no suffix anywhere" itself means a 1-CPU run.
+	rec := &Record{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, MaxProcs: 1}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -156,6 +163,9 @@ func parse(r io.Reader) (*Record, error) {
 			rec.FailedParses = append(rec.FailedParses, line)
 			continue
 		}
+		if mp := maxProcsSuffix(strings.Fields(line)[0]); mp > 0 {
+			rec.MaxProcs = mp
+		}
 		rec.Benchmarks = append(rec.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
@@ -167,6 +177,20 @@ func parse(r io.Reader) (*Record, error) {
 	rec.DenseVsSkip = deriveSpeedups(rec.Benchmarks)
 	rec.ParallelVsSkip = deriveParallelSpeedups(rec.Benchmarks)
 	return rec, nil
+}
+
+// maxProcsSuffix extracts the -GOMAXPROCS suffix from a benchmark
+// name, 0 when there is none.
+func maxProcsSuffix(name string) int {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 func parseLine(line string) (Benchmark, bool) {
@@ -324,6 +348,9 @@ func renderScaling(w io.Writer, rec *Record) {
 	fmt.Fprintf(w, "\n## Parallel-engine scaling (%s, %s/%s, %s)\n\n",
 		name(rec, "bench record"), rec.GOOS, rec.GOARCH, rec.GoVersion)
 	fmt.Fprintf(w, "Output is byte-identical at every shard count; only wall time moves.\n")
+	if rec.MaxProcs == 1 {
+		fmt.Fprintf(w, "\nRecorded on a 1-CPU container (GOMAXPROCS=1): every shard shares one\ncore, so speedups at or below 1x are the expected shape — the curve\nchecks barrier overhead here, not parallelism.\n")
+	}
 	for _, parent := range parents {
 		pts := curves[parent]
 		sort.Slice(pts, func(i, j int) bool { return pts[i].shards < pts[j].shards })

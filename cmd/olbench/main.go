@@ -19,6 +19,8 @@
 //	olbench -exp all -checkpoint-dir ck -resume  # skip journal-completed cells
 //	olbench -exp all -retries 2 -cell-timeout 5m # retry/watchdog flaky cells
 //	olbench -exp fig5 -server http://localhost:8080  # run on an olserve daemon
+//	olbench -exp all -cache-dir rc     # memoize cells; an identical rerun simulates nothing
+//	olbench -exp fig12 -server URL -fabric  # distribute cells over olserve -worker processes
 //	olbench -list                      # list experiment IDs
 package main
 
@@ -65,12 +67,14 @@ func main() {
 
 		server = flag.String("server", "", "submit the experiment to an olserve daemon at this base URL instead of simulating in process (output is byte-identical)")
 		tenant = flag.String("tenant", "", "tenant name for the daemon's admission quotas (-server mode)")
+		fabric = flag.Bool("fabric", false, "run the job on the daemon's distributed sweep fabric (needs -server and olserve -worker processes; output stays byte-identical)")
 
 		retries  = flag.Int("retries", 0, "retry transiently failing cells (panic, deadline, timeout) up to N times with backoff")
 		cellTime = flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog; a cell running longer fails as a timeout (0 disables)")
 	)
 	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
 	eng := cliflags.RegisterEngine(flag.CommandLine)
+	rcache := cliflags.RegisterCache(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -120,6 +124,7 @@ func main() {
 		opts = append(opts, orderlight.WithManifest())
 	}
 	opts = append(opts, ckpt.Options()...)
+	opts = append(opts, rcache.Options()...)
 	if *retries > 0 {
 		opts = append(opts, orderlight.WithCellRetries(*retries))
 	}
@@ -144,6 +149,10 @@ func main() {
 		}))
 	}
 
+	if *fabric && *server == "" {
+		fatal(fmt.Errorf("-fabric distributes cells over a daemon's workers; it needs -server"))
+	}
+
 	start := time.Now()
 	var tables []*orderlight.Table
 	var err error
@@ -151,6 +160,9 @@ func main() {
 	case *server != "":
 		if ckpt.Active() {
 			fatal(fmt.Errorf("-checkpoint-dir/-checkpoint-every/-resume are local paths; the daemon manages its own checkpoints (-checkpoint-root)"))
+		}
+		if rcache.Active() {
+			fatal(fmt.Errorf("-cache-dir is a local path; the daemon manages its own cache (olserve -cache-dir)"))
 		}
 		tables, err = remote(ctx, *server, *tenant, *exp, cfg, orderlight.RunOpts{
 			Parallelism:     *parallel,
@@ -162,6 +174,7 @@ func main() {
 			Manifest:        *manifest,
 			Retries:         *retries,
 			CellTimeout:     *cellTime,
+			Fabric:          *fabric,
 		}, &cells)
 	case *exp == "all":
 		tables, err = orderlight.RunAllExperimentsContext(ctx, cfg, opts...)

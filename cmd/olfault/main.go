@@ -48,6 +48,7 @@ func main() {
 	)
 	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
 	eng := cliflags.RegisterEngine(flag.CommandLine)
+	rcache := cliflags.RegisterCache(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -64,6 +65,9 @@ func main() {
 		opts = append(opts, orderlight.WithScale(orderlight.Scale{BytesPerChannel: *bytes}))
 	}
 	opts = append(opts, ckpt.Options()...)
+	// Accepted for CLI symmetry, but fault-injected cells are never
+	// served from the cache — the oracle must genuinely re-attack.
+	opts = append(opts, rcache.Options()...)
 
 	if *name != "" || *class != "" {
 		p, err := orderlight.ParsePrimitive(*prim)

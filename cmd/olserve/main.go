@@ -9,6 +9,8 @@
 //	GET    /v1/jobs/{id}/result job result (409 until terminal)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events lifecycle stream (server-sent events)
+//	POST   /v1/work/lease       fabric workers lease a cell range (-fabric)
+//	POST   /v1/work/complete    fabric workers report lease outcomes (-fabric)
 //	GET    /healthz             liveness + queue load
 //	GET    /v1/version          protocol + toolchain versions
 //
@@ -16,12 +18,23 @@
 // cancel, running jobs are preempted at their next cell boundary with
 // their progress journaled. With -checkpoint-root, resubmitting the
 // identical request to a restarted daemon resumes from the journal
-// instead of starting over.
+// instead of starting over. With -cache-dir, completed cells and whole
+// jobs memoize in a content-addressed result cache shared across
+// tenants, so identical resubmissions are served without simulating.
+//
+// With -fabric, jobs submitted with RunOpts.Fabric (olbench -fabric)
+// are not simulated by the daemon itself: their cells go onto a lease
+// board that `olserve -worker` processes drain. The coordinator
+// reassembles outcomes in declaration order, so fabric output is
+// byte-identical to a local run even across worker crashes.
 //
 // Usage:
 //
 //	olserve -addr localhost:8080 -checkpoint-root /var/tmp/olserve
 //	olserve -addr localhost:0 -addr-file daemon.addr   # scripted port pick
+//	olserve -addr localhost:8080 -cache-dir /var/tmp/olcache  # memoize results
+//	olserve -addr localhost:8080 -fabric               # coordinator for -worker processes
+//	olserve -worker http://localhost:8080 -worker-checkpoint-dir w1  # fabric worker
 //	olserve -healthcheck http://localhost:8080          # probe; exit 0 when healthy
 package main
 
@@ -52,6 +65,18 @@ func main() {
 		ckptRoot     = flag.String("checkpoint-root", "", "give every job a checkpoint directory under this root keyed by request hash, so preempted jobs resume on resubmission")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for running jobs to reach a cell boundary")
 
+		cacheDir = flag.String("cache-dir", "", "memoize completed cells and whole jobs in this content-addressed result cache, shared across tenants")
+
+		fabric       = flag.Bool("fabric", false, "coordinate Fabric jobs: lease their cells to olserve -worker processes instead of simulating locally")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "fabric lease TTL; an uncompleted lease re-issues after this long (0 = default 30s)")
+		chunk        = flag.Int("chunk", 0, "cells per fabric lease (0 = default 4)")
+
+		worker         = flag.String("worker", "", "worker mode: join the fabric coordinated by the olserve daemon at this base URL (no daemon is started)")
+		workerName     = flag.String("worker-name", "", "worker mode: name reported with each lease (default host:pid)")
+		workerCkptDir  = flag.String("worker-checkpoint-dir", "", "worker mode: journal leased cells in this directory so a restarted worker replays finished cells")
+		workerPoll     = flag.Duration("worker-poll", 0, "worker mode: how long to wait before re-polling an empty lease board (0 = default 250ms)")
+		workerParallel = flag.Int("worker-parallel", 0, "worker mode: per-lease worker pool size override (0 = the job's own setting)")
+
 		healthcheck   = flag.String("healthcheck", "", "client mode: poll BASE/healthz until healthy, exit 0/1 (no daemon is started)")
 		healthTimeout = flag.Duration("healthcheck-timeout", 10*time.Second, "how long -healthcheck polls before giving up")
 	)
@@ -59,6 +84,9 @@ func main() {
 
 	if *healthcheck != "" {
 		os.Exit(probe(*healthcheck, *healthTimeout))
+	}
+	if *worker != "" {
+		os.Exit(runWorker(*worker, *workerName, *workerCkptDir, *workerPoll, *workerParallel))
 	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -69,6 +97,10 @@ func main() {
 		PerTenant:      *perTenant,
 		Workers:        *workers,
 		CheckpointRoot: *ckptRoot,
+		CacheDir:       *cacheDir,
+		Fabric:         *fabric,
+		LeaseTTL:       *leaseTimeout,
+		FabricChunk:    *chunk,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -106,6 +138,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "olserve: shutdown:", err)
 	}
 	fmt.Fprintln(os.Stderr, "olserve: drained")
+}
+
+// runWorker joins a fabric coordinator as a worker until SIGTERM or
+// SIGINT. A worker killed outright (SIGKILL mid-lease) is safe: its
+// lease expires on the coordinator and re-issues, and on restart the
+// journal in -worker-checkpoint-dir replays the cells it had finished.
+func runWorker(base, name, ckptDir string, poll time.Duration, parallel int) int {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := orderlight.NewServiceClient(base, &http.Client{})
+	fmt.Fprintf(os.Stderr, "olserve: worker %s joining fabric at %s\n", name, base)
+	err := orderlight.RunFabricWorker(ctx, client, orderlight.FabricWorkerOptions{
+		Name:          name,
+		Poll:          poll,
+		CheckpointDir: ckptDir,
+		Parallelism:   parallel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "olserve: worker %s: %s\n", name, fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "olserve: worker:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "olserve: worker %s stopped\n", name)
+	return 0
 }
 
 // probe polls the daemon's health endpoint until it answers or the

@@ -17,6 +17,7 @@
 //	olsim -kernel add -sample-every 1000 -sample-out run.csv
 //	olsim -kernel add -checkpoint-dir ck -stop-after 50000  # halt with a checkpoint (exit 3)
 //	olsim -kernel add -checkpoint-dir ck -resume            # continue, byte-identical
+//	olsim -kernel add -cache-dir rc                  # memoize; identical reruns skip simulation
 //	olsim -list                                      # list kernels
 package main
 
@@ -60,6 +61,7 @@ func main() {
 	)
 	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
 	eng := cliflags.RegisterEngine(flag.CommandLine)
+	rcache := cliflags.RegisterCache(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -125,6 +127,7 @@ func main() {
 		opts = append(opts, orderlight.WithSampler(sampler))
 	}
 	opts = append(opts, ckpt.Options()...)
+	opts = append(opts, rcache.Options()...)
 	if *stopAfter > 0 {
 		opts = append(opts, orderlight.WithHaltAfter(*stopAfter))
 	}

@@ -57,6 +57,31 @@ func (c *Checkpoint) Active() bool {
 	return c.Dir != "" || c.Every != 0 || c.Resume
 }
 
+// Cache receives the shared result-cache flag.
+type Cache struct {
+	// Dir is -cache-dir.
+	Dir string
+}
+
+// RegisterCache installs -cache-dir on fs.
+func RegisterCache(fs *flag.FlagSet) *Cache {
+	c := &Cache{}
+	fs.StringVar(&c.Dir, "cache-dir", "",
+		"memoize completed cells in this content-addressed result cache; identical cells in later runs are served without simulating")
+	return c
+}
+
+// Options converts the parsed flag into facade options.
+func (c *Cache) Options() []orderlight.Option {
+	if c.Dir == "" {
+		return nil
+	}
+	return []orderlight.Option{orderlight.WithResultCache(c.Dir)}
+}
+
+// Active reports whether the cache flag was set.
+func (c *Cache) Active() bool { return c.Dir != "" }
+
 // Engine receives the shared engine-selection flags. Like Checkpoint,
 // it does no validation of its own: unknown -engine names travel into
 // the option bag verbatim so the library's single validation gate

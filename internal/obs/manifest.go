@@ -15,19 +15,21 @@ import (
 // -manifest flag of olbench) so results_all.md carries its own
 // reproduction recipe.
 type Manifest struct {
-	Cell            string  `json:"cell"`              // cell key, e.g. "fig5/add/fence/ts=1/8"
-	Kernel          string  `json:"kernel"`            // Table 2 workload (spec name)
-	Primitive       string  `json:"primitive"`         // ordering discipline
-	Seed            uint64  `json:"seed"`              // deterministic seed
-	Channels        int     `json:"channels"`          // memory channels
-	TSBytes         int     `json:"ts_bytes"`          // temporary storage per PIM unit
-	BMF             int     `json:"bmf"`               // bandwidth multiplication factor
-	BytesPerChannel int64   `json:"bytes_per_channel"` // data footprint
-	HostBaseline    bool    `json:"host_baseline"`     // host-streaming cell, not a PIM kernel
-	ConfigHash      string  `json:"config_hash"`       // ConfigHash of the full config
-	Engine          string  `json:"engine"`            // "skip", "dense" or "parallel"
-	WallMS          float64 `json:"wall_ms"`           // host wall-clock time of the cell
-	GoVersion       string  `json:"go_version"`        // runtime.Version()
+	Cell            string  `json:"cell"`                // cell key, e.g. "fig5/add/fence/ts=1/8"
+	Kernel          string  `json:"kernel"`              // Table 2 workload (spec name)
+	Primitive       string  `json:"primitive"`           // ordering discipline
+	Seed            uint64  `json:"seed"`                // deterministic seed
+	Channels        int     `json:"channels"`            // memory channels
+	TSBytes         int     `json:"ts_bytes"`            // temporary storage per PIM unit
+	BMF             int     `json:"bmf"`                 // bandwidth multiplication factor
+	BytesPerChannel int64   `json:"bytes_per_channel"`   // data footprint
+	HostBaseline    bool    `json:"host_baseline"`       // host-streaming cell, not a PIM kernel
+	ConfigHash      string  `json:"config_hash"`         // ConfigHash of the full config
+	Engine          string  `json:"engine"`              // "skip", "dense" or "parallel"
+	WallMS          float64 `json:"wall_ms"`             // host wall-clock time of the cell
+	GoVersion       string  `json:"go_version"`          // runtime.Version()
+	CacheKey        string  `json:"cache_key,omitempty"` // result-cache content address, when a cache was armed
+	CacheHit        bool    `json:"cache_hit,omitempty"` // result served from the cache (WallMS is then zero)
 }
 
 // ConfigHash returns a short deterministic digest of the complete
@@ -69,8 +71,13 @@ func (m Manifest) JSON() string {
 	return string(b)
 }
 
-// String renders the manifest as one compact human-readable line.
+// String renders the manifest as one compact human-readable line. It
+// deliberately includes only the deterministic reproduction fields —
+// no wall time, go version, or cache provenance — so rendered results
+// (results_all.md) are byte-identical across machines, reruns, and
+// cold-vs-warm cache states; CI regenerates them and diffs. The JSON
+// form carries the full record.
 func (m Manifest) String() string {
-	return fmt.Sprintf("%s: kernel=%s primitive=%s seed=%d cfg=%s engine=%s bytes=%d wall=%.1fms %s",
-		m.Cell, m.Kernel, m.Primitive, m.Seed, m.ConfigHash, m.Engine, m.BytesPerChannel, m.WallMS, m.GoVersion)
+	return fmt.Sprintf("%s: kernel=%s primitive=%s seed=%d cfg=%s engine=%s bytes=%d",
+		m.Cell, m.Kernel, m.Primitive, m.Seed, m.ConfigHash, m.Engine, m.BytesPerChannel)
 }

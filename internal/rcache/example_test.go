@@ -1,0 +1,46 @@
+package rcache_test
+
+import (
+	"fmt"
+	"os"
+
+	"orderlight/internal/rcache"
+)
+
+// A cache miss falls through to the caller's compute path; the Put
+// makes the next identical lookup a hit. This is exactly the runner's
+// per-cell flow: key by everything the result depends on, look up
+// before simulating, insert after.
+func Example() {
+	dir, err := os.MkdirTemp("", "rcache-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	cache, err := rcache.Open(dir, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	key := "cell|cfg=77bf45bd7a9542cc|kernel=add|bytes=131072|engine=skip"
+
+	if _, ok := cache.Get(key); !ok {
+		fmt.Println("miss: simulating")
+		result := []byte("cycles=10489 fences=12") // stand-in for the gob-encoded stats.Run
+		if err := cache.Put(key, result); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	if data, ok := cache.Get(key); ok {
+		fmt.Printf("hit: %s\n", data)
+	}
+	s := cache.Stats()
+	fmt.Printf("hits=%d misses=%d stores=%d\n", s.Hits, s.Misses, s.Stores)
+	// Output:
+	// miss: simulating
+	// hit: cycles=10489 fences=12
+	// hits=1 misses=1 stores=1
+}

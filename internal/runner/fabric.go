@@ -1,0 +1,310 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"orderlight/internal/fault"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/stats"
+)
+
+// This file is the coordinator side of the distributed sweep fabric: a
+// Board hands out contiguous cell ranges of posted jobs to preemptible
+// workers under expiring leases, collects per-cell outcomes, and
+// reassembles them in declaration order — so a distributed run is
+// byte-identical to a local one. The HTTP surface lives in
+// internal/serve (/v1/work/lease, /v1/work/complete); the Board is
+// transport-agnostic.
+
+// CellOutcome is one cell's wire-serializable result: the same fields
+// the progress journal records (ckpt.JournalEntry), which are exactly
+// what declaration-order reassembly needs. Kernels and manifests are
+// rebuilt coordinator-side.
+type CellOutcome struct {
+	Index       int            `json:"index"` // position in the job's declared cell list
+	Key         string         `json:"key"`
+	Run         *stats.Run     `json:"run,omitempty"`
+	HostLatency float64        `json:"host_latency,omitempty"`
+	HostServed  int64          `json:"host_served,omitempty"`
+	Fault       *fault.Verdict `json:"fault,omitempty"`
+	Err         string         `json:"error,omitempty"` // non-empty fails the whole job, like a local sweep
+}
+
+// Lease is one granted work range. Request is the posting job's
+// serialized request, opaque to the Board: workers re-derive the
+// identical cell list from it (cell enumeration is deterministic), so
+// cells themselves never cross the wire.
+type Lease struct {
+	Job     string `json:"job"`
+	ID      string `json:"lease"`
+	Lo      int    `json:"lo"` // first cell index, inclusive
+	Hi      int    `json:"hi"` // last cell index, exclusive
+	Total   int    `json:"total"`
+	Request []byte `json:"request"`
+}
+
+// DefaultLeaseTTL and DefaultChunk are the Board defaults: leases
+// short enough that a killed worker's range is re-issued promptly,
+// chunks small enough that a sweep spreads across a few workers.
+const (
+	DefaultLeaseTTL = 30 * time.Second
+	DefaultChunk    = 4
+)
+
+type leaseState struct {
+	lo, hi   int
+	deadline time.Time
+}
+
+type boardJob struct {
+	request  []byte
+	total    int
+	pending  [][2]int // unleased [lo,hi) ranges, ascending
+	leases   map[string]leaseState
+	outcomes []*CellOutcome
+	done     int
+	errMsg   string
+	finished bool
+	doneCh   chan struct{}
+	progress func(done, total int)
+}
+
+// Board is the coordinator's work ledger. All methods are safe for
+// concurrent use. Expired leases are reclaimed lazily on the next
+// Lease call — workers poll, so reclamation needs no timer goroutine.
+type Board struct {
+	mu    sync.Mutex
+	ttl   time.Duration
+	chunk int
+	seq   int
+	jobs  map[string]*boardJob
+	order []string // FIFO job dispatch order
+	now   func() time.Time
+}
+
+// NewBoard creates a board. ttl <= 0 uses DefaultLeaseTTL, chunk <= 0
+// uses DefaultChunk.
+func NewBoard(ttl time.Duration, chunk int) *Board {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	return &Board{ttl: ttl, chunk: chunk, jobs: make(map[string]*boardJob), now: time.Now}
+}
+
+// Post registers a job of total cells with the board. request is the
+// opaque serialized job the workers rebuild cells from; progress, when
+// non-nil, is called under no board lock ordering guarantees after
+// each newly completed cell.
+func (b *Board) Post(jobID string, request []byte, total int, progress func(done, total int)) error {
+	if total <= 0 {
+		return fmt.Errorf("runner: %w: fabric job %q has no cells", olerrors.ErrInvalidSpec, jobID)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.jobs[jobID]; ok {
+		return fmt.Errorf("runner: fabric job %q already posted", jobID)
+	}
+	j := &boardJob{
+		request:  request,
+		total:    total,
+		leases:   make(map[string]leaseState),
+		outcomes: make([]*CellOutcome, total),
+		doneCh:   make(chan struct{}),
+		progress: progress,
+	}
+	for lo := 0; lo < total; lo += b.chunk {
+		hi := lo + b.chunk
+		if hi > total {
+			hi = total
+		}
+		j.pending = append(j.pending, [2]int{lo, hi})
+	}
+	b.jobs[jobID] = j
+	b.order = append(b.order, jobID)
+	return nil
+}
+
+// reclaimLocked returns expired leases' ranges to their jobs' pending
+// lists. Caller holds b.mu.
+func (b *Board) reclaimLocked(now time.Time) {
+	for _, j := range b.jobs {
+		if j.finished {
+			continue
+		}
+		for id, ls := range j.leases {
+			if now.After(ls.deadline) {
+				delete(j.leases, id)
+				j.pending = append(j.pending, [2]int{ls.lo, ls.hi})
+			}
+		}
+	}
+}
+
+// Lease grants the next pending range to a worker, or returns nil when
+// no work is available right now (the worker should poll again — a
+// range may reappear when a lease expires).
+func (b *Board) Lease(worker string) *Lease {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.reclaimLocked(now)
+	for _, id := range b.order {
+		j := b.jobs[id]
+		if j == nil || j.finished || len(j.pending) == 0 {
+			continue
+		}
+		span := j.pending[0]
+		j.pending = j.pending[1:]
+		b.seq++
+		leaseID := fmt.Sprintf("l%06d", b.seq)
+		j.leases[leaseID] = leaseState{lo: span[0], hi: span[1], deadline: now.Add(b.ttl)}
+		return &Lease{Job: id, ID: leaseID, Lo: span[0], Hi: span[1], Total: j.total, Request: j.request}
+	}
+	return nil
+}
+
+// Complete records a lease's outcomes. Late completions of expired
+// (and possibly re-issued) leases are accepted: results are
+// deterministic, so duplicate indices carry identical payloads and
+// only the first fill counts. An outcome with a non-empty Err fails
+// the whole job, mirroring a local sweep's first-error semantics.
+func (b *Board) Complete(jobID, leaseID string, outcomes []CellOutcome) error {
+	b.mu.Lock()
+	j := b.jobs[jobID]
+	if j == nil {
+		b.mu.Unlock()
+		return fmt.Errorf("runner: fabric job %q unknown (completed or forgotten)", jobID)
+	}
+	delete(j.leases, leaseID)
+	if j.finished {
+		b.mu.Unlock()
+		return nil
+	}
+	for i := range outcomes {
+		o := outcomes[i]
+		if o.Err != "" {
+			j.errMsg = fmt.Sprintf("cell %d (%s): %s", o.Index, o.Key, o.Err)
+			j.finished = true
+			close(j.doneCh)
+			b.mu.Unlock()
+			return nil
+		}
+		if o.Index < 0 || o.Index >= j.total {
+			b.mu.Unlock()
+			return fmt.Errorf("runner: fabric job %q: outcome index %d out of range [0,%d)", jobID, o.Index, j.total)
+		}
+		if j.outcomes[o.Index] != nil {
+			continue // duplicate from a re-issued lease
+		}
+		j.outcomes[o.Index] = &o
+		j.done++
+	}
+	progress, done, total := j.progress, j.done, j.total
+	if j.done == j.total {
+		j.finished = true
+		close(j.doneCh)
+	}
+	b.mu.Unlock()
+	if progress != nil {
+		progress(done, total)
+	}
+	return nil
+}
+
+// Wait blocks until the job finishes (all cells complete, or a worker
+// reported a cell failure) or ctx is done, then removes the job from
+// the board and returns the outcomes in declaration order.
+func (b *Board) Wait(ctx context.Context, jobID string) ([]CellOutcome, error) {
+	b.mu.Lock()
+	j := b.jobs[jobID]
+	b.mu.Unlock()
+	if j == nil {
+		return nil, fmt.Errorf("runner: fabric job %q unknown", jobID)
+	}
+	select {
+	case <-ctx.Done():
+		b.Forget(jobID)
+		return nil, fmt.Errorf("runner: %w: %v", olerrors.ErrCanceled, ctx.Err())
+	case <-j.doneCh:
+	}
+	b.Forget(jobID)
+	if j.errMsg != "" {
+		return nil, fmt.Errorf("runner: fabric job %q failed: %s", jobID, j.errMsg)
+	}
+	out := make([]CellOutcome, j.total)
+	for i, o := range j.outcomes {
+		out[i] = *o
+	}
+	return out, nil
+}
+
+// Forget drops a job (canceled or collected); outstanding leases for
+// it complete as no-ops.
+func (b *Board) Forget(jobID string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.jobs[jobID]; !ok {
+		return
+	}
+	delete(b.jobs, jobID)
+	for i, id := range b.order {
+		if id == jobID {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// ExecuteLease runs cells[lo:hi] on this engine and maps the results
+// onto wire outcomes. A sweep error becomes a single Err outcome for
+// the chunk — the coordinator fails the job with it, mirroring local
+// first-error semantics. The engine's own checkpoint/journal options
+// apply, so a preempted worker restarted on the same -checkpoint-dir
+// replays its finished cells instead of re-simulating them.
+func (e *Engine) ExecuteLease(ctx context.Context, cells []Cell, lo, hi int) []CellOutcome {
+	if lo < 0 || hi > len(cells) || lo >= hi {
+		return []CellOutcome{{Index: lo, Err: fmt.Sprintf("lease range [%d,%d) outside cell list of %d", lo, hi, len(cells))}}
+	}
+	res, err := e.Run(ctx, cells[lo:hi])
+	if err != nil {
+		return []CellOutcome{{Index: lo, Key: cells[lo].Key, Err: err.Error()}}
+	}
+	out := make([]CellOutcome, hi-lo)
+	for i, r := range res {
+		out[i] = CellOutcome{
+			Index: lo + i, Key: cells[lo+i].Key,
+			Run: r.Run, HostLatency: r.HostLatency, HostServed: r.HostServed,
+			Fault: r.Fault,
+		}
+	}
+	return out
+}
+
+// ResultFromOutcome reconstructs a full Result from a wire outcome,
+// rebuilding the kernel image locally exactly like journal replay —
+// assemblers read generation metadata off the kernel, and rebuilding
+// is deterministic.
+func (e *Engine) ResultFromOutcome(c *Cell, o CellOutcome) (Result, error) {
+	if o.Err != "" {
+		return Result{}, fmt.Errorf("cell %d (%s): %s", o.Index, o.Key, o.Err)
+	}
+	k, err := e.buildKernel(c)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Run: o.Run, Kernel: k,
+		HostLatency: o.HostLatency, HostServed: o.HostServed,
+		Fault: o.Fault,
+	}
+	if e.manifest {
+		res.Manifest = e.newManifest(c, 0)
+	}
+	return res, nil
+}

@@ -1,0 +1,221 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"orderlight/internal/config"
+	"orderlight/internal/kernel"
+	"orderlight/internal/olerrors"
+	"orderlight/internal/stats"
+)
+
+// fabricCells builds a small deterministic cell list for board tests.
+func fabricCells(t *testing.T, n int) []Cell {
+	t.Helper()
+	cfg := config.Default()
+	cells := make([]Cell, n)
+	for i := range cells {
+		sp, err := kernel.ByName("add")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells[i] = Cell{Key: "fab/" + string(rune('a'+i)), Cfg: cfg, Spec: sp, Bytes: 4 << 10}
+	}
+	return cells
+}
+
+func TestBoardLeaseCompleteWait(t *testing.T) {
+	b := NewBoard(time.Minute, 2)
+	if err := b.Post("j1", []byte("req"), 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	var leases []*Lease
+	for {
+		l := b.Lease("w")
+		if l == nil {
+			break
+		}
+		if string(l.Request) != "req" {
+			t.Fatalf("lease request = %q", l.Request)
+		}
+		leases = append(leases, l)
+	}
+	if len(leases) != 3 { // chunks [0,2) [2,4) [4,5)
+		t.Fatalf("got %d leases, want 3", len(leases))
+	}
+	done := make(chan struct{})
+	var got []CellOutcome
+	var werr error
+	go func() {
+		defer close(done)
+		got, werr = b.Wait(context.Background(), "j1")
+	}()
+	for _, l := range leases {
+		outs := make([]CellOutcome, 0, l.Hi-l.Lo)
+		for i := l.Lo; i < l.Hi; i++ {
+			outs = append(outs, CellOutcome{Index: i, Key: "k", Run: stats.New(512)})
+		}
+		if err := b.Complete(l.Job, l.ID, outs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d outcomes", len(got))
+	}
+	for i, o := range got {
+		if o.Index != i {
+			t.Fatalf("outcome %d has index %d — not declaration order", i, o.Index)
+		}
+	}
+}
+
+// An expired lease's range is re-issued, and the late completion of
+// the original lease is accepted without double-counting.
+func TestBoardLeaseExpiryAndDuplicates(t *testing.T) {
+	b := NewBoard(time.Minute, 4)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	if err := b.Post("j", nil, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	l1 := b.Lease("w1")
+	if l1 == nil || l1.Lo != 0 || l1.Hi != 4 {
+		t.Fatalf("lease = %+v", l1)
+	}
+	if l := b.Lease("w2"); l != nil {
+		t.Fatalf("second lease granted while first outstanding: %+v", l)
+	}
+	now = now.Add(2 * time.Minute) // l1 expires
+	l2 := b.Lease("w2")
+	if l2 == nil || l2.Lo != 0 || l2.Hi != 4 {
+		t.Fatalf("re-issued lease = %+v", l2)
+	}
+	outs := make([]CellOutcome, 4)
+	for i := range outs {
+		outs[i] = CellOutcome{Index: i, Run: stats.New(512)}
+	}
+	// The dead-but-alive w1 completes late, then w2 duplicates.
+	if err := b.Complete("j", l1.ID, outs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Complete("j", l2.ID, outs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Wait(context.Background(), "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d outcomes", len(got))
+	}
+}
+
+func TestBoardWorkerErrorFailsJob(t *testing.T) {
+	b := NewBoard(time.Minute, 8)
+	if err := b.Post("j", nil, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	l := b.Lease("w")
+	if err := b.Complete("j", l.ID, []CellOutcome{{Index: 1, Key: "bad/cell", Err: "simulated blowup"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Wait(context.Background(), "j")
+	if err == nil || !strings.Contains(err.Error(), "simulated blowup") || !strings.Contains(err.Error(), "bad/cell") {
+		t.Fatalf("Wait error = %v", err)
+	}
+	if b.Lease("w") != nil {
+		t.Fatal("failed job still leasing")
+	}
+}
+
+func TestBoardWaitCancel(t *testing.T) {
+	b := NewBoard(time.Minute, 1)
+	if err := b.Post("j", nil, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Wait(ctx, "j"); !errors.Is(err, olerrors.ErrCanceled) {
+		t.Fatalf("Wait = %v, want ErrCanceled", err)
+	}
+	// The job is forgotten; a straggler Complete errors but does not panic.
+	if err := b.Complete("j", "l000001", nil); err == nil {
+		t.Fatal("Complete on forgotten job succeeded")
+	}
+}
+
+func TestBoardProgress(t *testing.T) {
+	b := NewBoard(time.Minute, 1)
+	var mu sync.Mutex
+	var ticks []int
+	if err := b.Post("j", nil, 3, func(done, total int) {
+		mu.Lock()
+		ticks = append(ticks, done)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		l := b.Lease("w")
+		if l == nil {
+			break
+		}
+		if err := b.Complete("j", l.ID, []CellOutcome{{Index: l.Lo, Run: stats.New(512)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Wait(context.Background(), "j"); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 || ticks[2] != 3 {
+		t.Fatalf("progress ticks = %v", ticks)
+	}
+}
+
+// ExecuteLease + ResultFromOutcome round-trip: a leased chunk executed
+// on a worker engine reassembles into results identical to a local run.
+func TestExecuteLeaseRoundTrip(t *testing.T) {
+	cells := fabricCells(t, 3)
+	local := New(Options{})
+	want, err := local.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerEng := New(Options{})
+	coord := New(Options{})
+	var results []Result
+	for lo := 0; lo < len(cells); lo++ { // chunk size 1: worst case
+		outs := workerEng.ExecuteLease(context.Background(), cells, lo, lo+1)
+		if len(outs) != 1 || outs[0].Err != "" {
+			t.Fatalf("outcomes = %+v", outs)
+		}
+		r, err := coord.ResultFromOutcome(&cells[lo], outs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	for i := range want {
+		if want[i].Run.String() != results[i].Run.String() {
+			t.Fatalf("cell %d stats differ:\n%s\nvs\n%s", i, want[i].Run, results[i].Run)
+		}
+	}
+}
+
+func TestExecuteLeaseBadRange(t *testing.T) {
+	cells := fabricCells(t, 2)
+	eng := New(Options{})
+	outs := eng.ExecuteLease(context.Background(), cells, 1, 5)
+	if len(outs) != 1 || outs[0].Err == "" {
+		t.Fatalf("outcomes = %+v", outs)
+	}
+}

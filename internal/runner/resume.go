@@ -129,9 +129,35 @@ func (e *Engine) backoff(ctx context.Context, hash string, attempt int) error {
 // an exponential backoff.
 func (e *Engine) runCellRetry(ctx context.Context, c *Cell, journal *ckpt.Journal) (Result, error) {
 	hash := cellHash(c)
+	cached := e.cacheArmed() && cacheableCell(c)
+	if cached {
+		if res, ok, err := e.lookupCache(c); err != nil {
+			return Result{}, err
+		} else if ok {
+			if journal != nil {
+				// Journal the served cell like any completed one, so a
+				// later resume of this sweep replays it even without the
+				// cache directory.
+				ent := ckpt.JournalEntry{
+					Key: c.Key, Hash: hash, Run: res.Run,
+					HostLatency: res.HostLatency, HostServed: res.HostServed,
+				}
+				if jerr := journal.Append(ent); jerr != nil {
+					return Result{}, jerr
+				}
+			}
+			return res, nil
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		res, err := e.runCellGuarded(ctx, c, hash)
 		if err == nil {
+			if cached {
+				e.storeCache(c, res)
+			}
+			if res.Manifest != nil && cached {
+				res.Manifest.CacheKey = e.cellCacheKey(c)
+			}
 			if journal != nil {
 				ent := ckpt.JournalEntry{
 					Key: c.Key, Hash: hash, Run: res.Run,

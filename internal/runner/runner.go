@@ -21,6 +21,7 @@ import (
 	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
 	"orderlight/internal/pim"
+	"orderlight/internal/rcache"
 	"orderlight/internal/stats"
 )
 
@@ -165,6 +166,15 @@ type Options struct {
 	// olerrors.ErrHalted. It is the reproducible "kill" behind
 	// crash-resume testing. Single-cell only, like TraceSink.
 	HaltAfterCycles int64
+
+	// ResultCache, when set, memoizes completed cell results in a
+	// content-addressed store: each unfaulted cell is looked up before
+	// execution and inserted after its verification verdict is recorded.
+	// A warm rerun of an identical sweep simulates zero cells and
+	// produces byte-identical output. Ignored for cells/engines the
+	// cache cannot serve faithfully (fault injection, trace sinks,
+	// samplers, deterministic halts).
+	ResultCache *rcache.Cache
 }
 
 // Engine executes cell lists. An Engine is safe for concurrent use and
@@ -187,8 +197,11 @@ type Engine struct {
 	retries   int
 	cellTO    time.Duration
 	haltAfter int64
+	rcache    *rcache.Cache
 	retryBase time.Duration // backoff base; test seam, 0 means 10ms
 	grace     time.Duration // watchdog abandon grace; test seam
+
+	simulated atomic.Int64 // cells actually executed (not replayed or cache-served)
 
 	mu   sync.Mutex // serializes progress callbacks
 	done int
@@ -211,6 +224,7 @@ func New(opts Options) *Engine {
 		retries:   opts.CellRetries,
 		cellTO:    opts.CellTimeout,
 		haltAfter: opts.HaltAfterCycles,
+		rcache:    opts.ResultCache,
 	}
 	if !opts.DisableKernelCache {
 		e.cache = newKernelCache()
@@ -498,6 +512,7 @@ func (e *Engine) runCell(c *Cell, hash string, stop *atomic.Bool) (res Result, e
 			}
 		}
 	}
+	e.simulated.Add(1)
 	start := time.Now()
 	st, err := m.Run()
 	wall := time.Since(start)

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"orderlight/internal/olerrors"
+	"orderlight/internal/runner"
 )
 
 // Client speaks the /v1 JSON protocol to a remote daemon. It
@@ -69,6 +70,9 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		return decodeError(resp)
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return nil // out, if any, keeps its zero value
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -152,6 +156,25 @@ func (c *Client) Watch(ctx context.Context, id JobID) (<-chan WatchEvent, error)
 		}
 	}()
 	return ch, nil
+}
+
+// LeaseWork implements WorkProvider over HTTP: poll the daemon's
+// fabric coordinator for a cell range. (nil, nil) means no work is
+// pending right now — poll again after a short sleep.
+func (c *Client) LeaseWork(ctx context.Context, worker string) (*runner.Lease, error) {
+	var l runner.Lease
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/work/lease", WorkLeaseRequest{Worker: worker}, &l); err != nil {
+		return nil, err
+	}
+	if l.Job == "" {
+		return nil, nil // 204: nothing leased
+	}
+	return &l, nil
+}
+
+// CompleteWork implements WorkProvider over HTTP.
+func (c *Client) CompleteWork(ctx context.Context, comp WorkCompletion) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/work/complete", &comp, nil)
 }
 
 // Healthz fetches the daemon's health snapshot. It doubles as the

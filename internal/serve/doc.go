@@ -12,6 +12,34 @@
 // what keeps a figure regenerated over HTTP byte-identical to one
 // regenerated in process.
 //
+// # Result cache
+//
+// A Local built with LocalConfig.CacheDir opens one rcache.Cache and
+// shares it across every job and tenant, at two granularities. Each
+// cell a job simulates is memoized individually (internal/runner
+// consults the cache before executing a cell), so a resubmission that
+// overlaps an earlier sweep skips the overlapping cells. Whole jobs
+// additionally memoize under a key derived from the scrubbed request:
+// a byte-identical resubmission — even from a different tenant — is
+// answered without touching the engine at all. Jobs whose outputs are
+// not pure functions of the request (manifests, trace sinks, fault
+// campaigns) are never memoized; Health reports hit/miss counters.
+//
+// # Sweep fabric
+//
+// A Local built with LocalConfig.Fabric accepts jobs that set
+// RunOpts.Fabric and distributes their cells instead of simulating
+// them: the cells go onto a runner.Board as chunked leases, and
+// RunWorker loops — typically `olserve -worker` processes pointed at
+// the daemon, speaking the /v1/work/lease and /v1/work/complete
+// endpoints — drain the board. Workers re-derive the cell grid from
+// the serialized request (cell enumeration is deterministic, so cells
+// never cross the wire), simulate locally, and report outcomes; the
+// coordinator reassembles them in declaration order, which keeps
+// fabric output byte-identical to a local run. A worker killed
+// mid-lease is harmless: the lease expires and re-issues, and the
+// worker's own cell journal replays anything it had finished.
+//
 // The Manager-interface + injectable-fake idiom follows Navarch's
 // pkg/gpu: the Service interface is small enough to fake completely,
 // so the HTTP layer and its clients are tested without ever spinning

@@ -1,0 +1,81 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"orderlight/internal/config"
+	"orderlight/internal/serve"
+)
+
+// Example submits one kernel job to an olserve daemon through the HTTP
+// client and waits for its result. The httptest server stands in for a
+// real daemon; the request/response path is the production one.
+func Example() {
+	svc := serve.NewLocal(serve.LocalConfig{})
+	defer svc.Close()
+	srv := httptest.NewServer(serve.NewHandler(svc))
+	defer srv.Close()
+
+	client := serve.NewClient(srv.URL, srv.Client())
+	cfg := config.Default()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+
+	ctx := context.Background()
+	id, err := client.Submit(ctx, serve.JobRequest{
+		Kind: serve.KindKernel, Kernel: "add", Bytes: 8 << 10, Config: &cfg,
+	})
+	if err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	res, err := serve.Await(ctx, client, id, nil)
+	if err != nil {
+		fmt.Println("await:", err)
+		return
+	}
+	fmt.Println("verified:", res.Run.Correct)
+	// Output:
+	// verified: true
+}
+
+// Example (resultCache) gives the daemon a content-addressed result
+// cache: a byte-identical resubmission — here from a different tenant
+// — is answered from the cache without re-simulating.
+func Example_resultCache() {
+	dir, err := os.MkdirTemp("", "olcache")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	svc := serve.NewLocal(serve.LocalConfig{CacheDir: dir})
+	defer svc.Close()
+
+	cfg := config.Default()
+	cfg.Memory.Channels = 4
+	cfg.GPU.PIMSMs = 2
+	req := serve.JobRequest{Kind: serve.KindKernel, Kernel: "add", Bytes: 8 << 10, Config: &cfg}
+
+	ctx := context.Background()
+	for _, tenant := range []string{"alice", "bob"} {
+		r := req
+		r.Tenant = tenant
+		id, err := svc.Submit(ctx, r)
+		if err != nil {
+			fmt.Println("submit:", err)
+			return
+		}
+		if _, err := serve.Await(ctx, svc, id, nil); err != nil {
+			fmt.Println("await:", err)
+			return
+		}
+	}
+	fmt.Println("bob served from cache:", svc.Health().CacheHits > 0)
+	// Output:
+	// bob served from cache: true
+}

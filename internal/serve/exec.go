@@ -7,6 +7,7 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
 	"orderlight/internal/kernel"
+	"orderlight/internal/rcache"
 	"orderlight/internal/runner"
 )
 
@@ -59,6 +60,13 @@ func Execute(ctx context.Context, req *JobRequest) (*JobResult, error) {
 		cfg = *req.Config
 	}
 	o := &req.Opts
+	cache := o.Cache
+	if cache == nil && o.CacheDir != "" {
+		var err error
+		if cache, err = rcache.Open(o.CacheDir, 0); err != nil {
+			return nil, fmt.Errorf("serve: open result cache: %w", err)
+		}
+	}
 	eng := runner.New(runner.Options{
 		Parallelism:        o.Parallelism,
 		Progress:           o.Progress,
@@ -75,6 +83,7 @@ func Execute(ctx context.Context, req *JobRequest) (*JobResult, error) {
 		CellRetries:        o.Retries,
 		CellTimeout:        o.CellTimeout,
 		HaltAfterCycles:    o.HaltAfter,
+		ResultCache:        cache,
 	})
 	sc := experiments.Scale{BytesPerChannel: o.BytesPerChannel}
 

@@ -11,6 +11,7 @@ import (
 	"orderlight/internal/kernel"
 	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
+	"orderlight/internal/rcache"
 	"orderlight/internal/stats"
 )
 
@@ -192,11 +193,26 @@ type RunOpts struct {
 	// StreamTrace relays the machine's event feed to Watch subscribers
 	// as "trace" events (single-cell jobs only).
 	StreamTrace bool `json:"stream_trace,omitempty"`
+	// CacheDir points the run at an on-disk content-addressed result
+	// cache: completed unfaulted cells are memoized and identical cells
+	// in later runs are served without simulating (the facade's
+	// WithResultCache / the CLIs' -cache-dir). Cached and recomputed
+	// results are byte-identical.
+	CacheDir string `json:"cache_dir,omitempty"`
+	// Fabric runs a multi-cell job on the distributed sweep fabric: the
+	// daemon coordinates, preemptible workers (olserve -worker) lease
+	// cell ranges over /v1/work, and declaration-order reassembly keeps
+	// the output byte-identical to a local run. Daemon-side only — the
+	// serving Local must have fabric enabled.
+	Fabric bool `json:"fabric,omitempty"`
 
 	// In-process-only fields; see the facade options of the same names.
 	Progress func(done, total int) `json:"-"`
 	Sink     obs.Sink              `json:"-"`
 	Sampler  *stats.Sampler        `json:"-"`
+	// Cache is an already-open result cache (the daemon attaches its
+	// shared one); takes precedence over CacheDir.
+	Cache *rcache.Cache `json:"-"`
 }
 
 // Validate reports structurally invalid option combinations. This is
@@ -316,6 +332,16 @@ func (r *JobRequest) Validate() error {
 			return fmt.Errorf("serve: %w: WithHaltAfter attaches to exactly one run; %s jobs fan out many cells", olerrors.ErrInvalidSpec, r.Kind)
 		case r.Opts.Fault.Active():
 			return fmt.Errorf("serve: %w: WithFaultPlan applies to exactly one run; use RunFaultedKernelContext or a fault-campaign job", olerrors.ErrInvalidSpec)
+		}
+	}
+	if r.Opts.Fabric {
+		switch {
+		case !r.MultiCell():
+			return fmt.Errorf("serve: %w: fabric distributes cell grids; %s jobs run one cell — submit it directly", olerrors.ErrInvalidSpec, r.Kind)
+		case r.Opts.Manifest:
+			return fmt.Errorf("serve: %w: manifests record per-cell wall times the coordinator cannot observe; drop manifest or fabric", olerrors.ErrInvalidSpec)
+		case r.Opts.CheckpointDir != "" || r.Opts.Resume:
+			return fmt.Errorf("serve: %w: fabric durability lives on the workers (olserve -worker -checkpoint-dir); drop the job-level checkpoint options", olerrors.ErrInvalidSpec)
 		}
 	}
 	return nil

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/gob"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -11,8 +13,13 @@ import (
 	"sync"
 	"time"
 
+	"orderlight/internal/experiments"
+	"orderlight/internal/fault"
 	"orderlight/internal/obs"
 	"orderlight/internal/olerrors"
+	"orderlight/internal/rcache"
+	"orderlight/internal/runner"
+	"orderlight/internal/stats"
 )
 
 // LocalConfig tunes the production Service implementation.
@@ -35,6 +42,30 @@ type LocalConfig struct {
 	// a daemon crash) then continues from its journal when the
 	// identical request is resubmitted — checkpoint-backed preemption.
 	CheckpointRoot string
+
+	// CacheDir, when set, opens a shared content-addressed result
+	// cache (internal/rcache): per-cell results are memoized inside
+	// every job, and whole memoizable jobs are answered without
+	// running — across tenants, since identical requests produce
+	// byte-identical results regardless of who submitted them. An
+	// unopenable directory fails every Submit rather than silently
+	// running uncached.
+	CacheDir string
+
+	// Fabric enables the distributed sweep coordinator: multi-cell
+	// jobs submitted with the fabric option are posted on a work board
+	// and executed by olserve -worker processes leasing cell ranges
+	// over /v1/work. Without it, fabric submissions are rejected at
+	// admission.
+	Fabric bool
+
+	// LeaseTTL is how long a fabric worker holds an uncompleted lease
+	// before its range is re-issued; <= 0 means runner.DefaultLeaseTTL.
+	LeaseTTL time.Duration
+
+	// FabricChunk is how many cells one lease spans; <= 0 means
+	// runner.DefaultChunk.
+	FabricChunk int
 }
 
 // job is the service-side record of one submission.
@@ -71,6 +102,15 @@ type Local struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// cache is the shared result cache (nil without CacheDir);
+	// cacheErr records an open failure, surfaced on every Submit.
+	cache    *rcache.Cache
+	cacheErr error
+
+	// board is the fabric coordinator's work ledger (nil without
+	// cfg.Fabric).
+	board *runner.Board
+
 	mu       sync.Mutex
 	seq      int
 	jobs     map[JobID]*job
@@ -95,6 +135,15 @@ func NewLocal(cfg LocalConfig) *Local {
 		jobs:       make(map[JobID]*job),
 		queue:      make(chan *job, cfg.QueueDepth),
 	}
+	if cfg.CacheDir != "" {
+		s.cache, s.cacheErr = rcache.Open(cfg.CacheDir, 0)
+		if s.cacheErr != nil {
+			s.cacheErr = fmt.Errorf("serve: %w: result cache %q: %v", olerrors.ErrInvalidSpec, cfg.CacheDir, s.cacheErr)
+		}
+	}
+	if cfg.Fabric {
+		s.board = runner.NewBoard(cfg.LeaseTTL, cfg.FabricChunk)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -111,6 +160,12 @@ func (s *Local) Submit(ctx context.Context, req JobRequest) (JobID, error) {
 	if err := req.Validate(); err != nil {
 		return "", err
 	}
+	if s.cacheErr != nil {
+		return "", s.cacheErr
+	}
+	if req.Opts.Fabric && s.board == nil {
+		return "", fmt.Errorf("serve: %w: this service has no fabric coordinator (start olserve with -fabric)", olerrors.ErrInvalidSpec)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -120,7 +175,9 @@ func (s *Local) Submit(ctx context.Context, req JobRequest) (JobID, error) {
 		return "", fmt.Errorf("serve: %w: tenant %q already has %d job(s) in flight",
 			ErrQuotaExceeded, tenantName(req.Tenant), s.cfg.PerTenant)
 	}
-	if s.cfg.CheckpointRoot != "" && req.Opts.CheckpointDir == "" {
+	if s.cfg.CheckpointRoot != "" && req.Opts.CheckpointDir == "" && !req.Opts.Fabric {
+		// (Fabric jobs excluded: their durability lives in the workers'
+		// journals, and fabric+checkpoint is an invalid combination.)
 		// Key the directory by request content, not job ID: the same
 		// request resubmitted after preemption (or a daemon restart)
 		// lands on the same journal and resumes instead of restarting.
@@ -234,11 +291,177 @@ func (s *Local) runJob(j *job) {
 		}
 	}
 
-	res, err := Execute(ctx, &req)
+	// Whole-job memoization: identical memoizable requests — across
+	// tenants, since results depend only on the request — are answered
+	// straight from the result cache without running.
+	memoKey := ""
+	if s.cache != nil && jobMemoizable(&req) {
+		memoKey = jobCacheKey(&req)
+		if res, ok := s.memoGet(memoKey); ok {
+			s.mu.Lock()
+			s.finishLocked(j, res, nil)
+			s.mu.Unlock()
+			return
+		}
+	}
+	// Per-cell memoization: jobs without their own cache settings run
+	// against the daemon's shared cache.
+	if s.cache != nil && req.Opts.Cache == nil && req.Opts.CacheDir == "" {
+		req.Opts.Cache = s.cache
+	}
+
+	var res *JobResult
+	var err error
+	if req.Opts.Fabric {
+		res, err = s.executeFabric(ctx, j.id, &req)
+	} else {
+		res, err = Execute(ctx, &req)
+	}
+	if err == nil && memoKey != "" {
+		s.memoPut(memoKey, res)
+	}
 
 	s.mu.Lock()
 	s.finishLocked(j, res, err)
 	s.mu.Unlock()
+}
+
+// executeFabric runs one multi-cell job on the sweep fabric: post the
+// serialized request on the board, wait for workers to complete every
+// cell range, rebuild full results in declaration order, and assemble
+// exactly as the local path would — byte-identical output.
+func (s *Local) executeFabric(ctx context.Context, id JobID, req *JobRequest) (*JobResult, error) {
+	plan, err := planFabric(req)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode fabric request: %w", err)
+	}
+	if err := s.board.Post(string(id), wire, len(plan.cells), req.Opts.Progress); err != nil {
+		return nil, err
+	}
+	outs, err := s.board.Wait(ctx, string(id))
+	if err != nil {
+		return nil, err
+	}
+	eng := runner.New(runner.Options{DisableKernelCache: req.Opts.NoKernelCache})
+	res := make([]runner.Result, len(outs))
+	for i := range outs {
+		r, err := eng.ResultFromOutcome(&plan.cells[i], outs[i])
+		if err != nil {
+			return nil, err
+		}
+		res[i] = r
+	}
+	return plan.assemble(res)
+}
+
+// LeaseWork implements WorkProvider for fabric-enabled services.
+func (s *Local) LeaseWork(_ context.Context, worker string) (*runner.Lease, error) {
+	if s.board == nil {
+		return nil, fmt.Errorf("serve: %w: this service has no fabric coordinator", olerrors.ErrInvalidSpec)
+	}
+	return s.board.Lease(worker), nil
+}
+
+// CompleteWork implements WorkProvider. Completions for jobs the
+// board no longer tracks (canceled, collected) report ErrUnknownJob;
+// workers treat that as routine and keep polling.
+func (s *Local) CompleteWork(_ context.Context, comp WorkCompletion) error {
+	if s.board == nil {
+		return fmt.Errorf("serve: %w: this service has no fabric coordinator", olerrors.ErrInvalidSpec)
+	}
+	if err := s.board.Complete(comp.Job, comp.Lease, comp.Outcomes); err != nil {
+		return fmt.Errorf("serve: %w: %v", ErrUnknownJob, err)
+	}
+	return nil
+}
+
+// jobMemoizable excludes jobs whose results the cache must not serve:
+// manifest runs (they exist to record fresh provenance), streaming and
+// sampling runs (the side channel is the point), halted runs, and
+// anything fault-injected — the campaign's oracle must genuinely
+// re-attack the simulator, so fault-campaign jobs and sweeps (which
+// embed the campaign experiment) always run.
+func jobMemoizable(req *JobRequest) bool {
+	o := &req.Opts
+	return !o.Manifest && !o.StreamTrace && o.Sink == nil && o.Sampler == nil &&
+		o.HaltAfter == 0 && !o.Fault.Active() &&
+		req.Kind != KindFaultCampaign && req.Kind != KindSweep
+}
+
+// jobCacheKey is the whole-job cache key: the canonical JSON of the
+// request with everything scrubbed that cannot change the result —
+// tenant, scheduling (parallelism, shards, retries, timeouts),
+// durability (checkpoints), transport (fabric) and cache plumbing
+// itself. The engine name stays in the key, mirroring the per-cell
+// discipline documented in internal/rcache.
+func jobCacheKey(req *JobRequest) string {
+	r := *req
+	r.Tenant = ""
+	o := r.Opts
+	o.Parallelism, o.Shards = 0, 0
+	o.CheckpointDir, o.CheckpointEvery, o.Resume = "", 0, false
+	o.Retries, o.CellTimeout = 0, 0
+	o.CacheDir, o.Fabric = "", false
+	o.Progress, o.Sink, o.Sampler, o.Cache = nil, nil, nil, nil
+	r.Opts = o
+	b, err := json.Marshal(&r)
+	if err != nil {
+		return ""
+	}
+	return "job|v1|" + string(b)
+}
+
+// jobMemo is the gob payload of a memoized job: JobResult field by
+// field, minus the kernel image — an in-process convenience, far too
+// big to store, and not gob-encodable anyway (its backing store keeps
+// its fields unexported).
+type jobMemo struct {
+	Run         *stats.Run
+	HostLatency float64
+	HostServed  int64
+	Verdict     *fault.Verdict
+	Manifest    *obs.Manifest
+	Tables      []*experiments.Table
+	Summary     *experiments.FaultSummary
+}
+
+func (s *Local) memoGet(key string) (*JobResult, bool) {
+	if key == "" {
+		return nil, false
+	}
+	blob, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var m jobMemo
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&m); err != nil {
+		return nil, false // undecodable = miss; the rerun heals the slot
+	}
+	return &JobResult{
+		Run: m.Run, HostLatency: m.HostLatency, HostServed: m.HostServed,
+		Verdict: m.Verdict, Manifest: m.Manifest,
+		Tables: m.Tables, Summary: m.Summary,
+	}, true
+}
+
+func (s *Local) memoPut(key string, res *JobResult) {
+	if key == "" || res == nil {
+		return
+	}
+	m := jobMemo{
+		Run: res.Run, HostLatency: res.HostLatency, HostServed: res.HostServed,
+		Verdict: res.Verdict, Manifest: res.Manifest,
+		Tables: res.Tables, Summary: res.Summary,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return // the cache is an accelerator, not a correctness dependency
+	}
+	s.cache.Put(key, buf.Bytes())
 }
 
 // finishLocked moves a job to its terminal state, notifies watchers
@@ -413,15 +636,26 @@ type HealthInfo struct {
 	Running    int    `json:"running"`
 	Workers    int    `json:"workers"`
 	QueueDepth int    `json:"queue_depth"`
+	// Fabric reports whether this daemon coordinates a sweep fabric
+	// (accepts fabric jobs and serves /v1/work leases).
+	Fabric bool `json:"fabric,omitempty"`
+	// CacheHits/CacheMisses are the shared result cache's counters;
+	// both zero when the daemon runs uncached.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 }
 
 // Health reports the service's current load.
 func (s *Local) Health() HealthInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h := HealthInfo{Status: "ok", Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth}
+	h := HealthInfo{Status: "ok", Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth, Fabric: s.board != nil}
 	if s.draining {
 		h.Status = "draining"
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		h.CacheHits, h.CacheMisses = cs.Hits, cs.Misses
 	}
 	for _, j := range s.jobs {
 		switch j.state {

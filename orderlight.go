@@ -475,6 +475,17 @@ func WithHaltAfter(cycles int64) Option {
 	return func(o *RunOpts) { o.HaltAfter = cycles }
 }
 
+// WithResultCache memoizes completed cells in a content-addressed
+// on-disk store: a later run (same process or not) that needs an
+// identical cell — same config hash, kernel, footprint and engine —
+// is served from the cache without simulating, byte-identical to a
+// recompute. Fault-injected cells are never cached (the oracle must
+// re-run), and a damaged cache entry falls back to recomputation.
+// An empty dir keeps the cache in memory only.
+func WithResultCache(dir string) Option {
+	return func(o *RunOpts) { o.CacheDir = dir }
+}
+
 // inProcess is the lazily started Service behind the Run* facade: a
 // local job service with a deep queue and one job worker per CPU. The
 // facade entry points are thin adapters over it — the same Submit,
