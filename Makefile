@@ -2,7 +2,7 @@ GO ?= go
 SMOKE_EXP ?= fig5
 SMOKE_SIZE ?= 32768
 BENCHTIME ?= 2x
-BENCH_OUT ?= BENCH_PR8
+BENCH_OUT ?= BENCH_PR9
 # Gate tolerance must absorb cross-machine skew: BENCH_PR2 and
 # BENCH_PR7 were recorded on different boxes and *every* benchmark —
 # including pure-CPU microbenches with no engine involvement — shifted
@@ -13,7 +13,7 @@ COVER_FLOOR ?= 80.0
 FUZZTIME ?= 10s
 CKPT_FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race race-parallel smoke smoke-serve smoke-fabric cover fuzz-smoke fuzz-ckpt speedup bench bench-compare profile results check-results clean
+.PHONY: ci vet build test race race-parallel smoke smoke-serve smoke-fabric cover fuzz-smoke fuzz-ckpt calibrate check-twin speedup bench bench-compare profile results check-results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
 # detector (including the serve handler tests), the parallel-engine
@@ -22,8 +22,8 @@ CKPT_FUZZTIME ?= 5s
 # (start → healthz → submit → SIGTERM drain → resume), a distributed
 # sweep-fabric smoke (coordinator + two workers + mid-run SIGKILL), and
 # a brief run of the checkpoint-decoder fuzzer (crash-safety is a
-# tier-1 property).
-ci: vet build race race-parallel smoke smoke-serve smoke-fabric fuzz-ckpt
+# tier-1 property), and the twin-engine envelope gate (check-twin).
+ci: vet build race race-parallel smoke smoke-serve smoke-fabric fuzz-ckpt check-twin
 
 vet:
 	$(GO) vet ./...
@@ -199,12 +199,35 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/runner
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/ckpt
 	$(GO) test -run '^$$' -fuzz '^FuzzResultCacheDecode$$' -fuzztime $(FUZZTIME) ./internal/rcache
+	$(GO) test -run '^$$' -fuzz '^FuzzCalibrationDecode$$' -fuzztime $(FUZZTIME) ./internal/twin
 
 # fuzz-ckpt is the short ci-gate slice of the checkpoint fuzzer: a few
 # seconds is enough to replay the committed corpus plus a burst of
 # mutations on every ci run.
 fuzz-ckpt:
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(CKPT_FUZZTIME) ./internal/ckpt
+
+# calibrate regenerates the committed twin calibration artifact from
+# pinned seeds: cycle-engine anchor runs over every Table 2 kernel,
+# primitive and temporary-storage fraction, a least-squares fit, and a
+# cross-check pass that records each family's error envelope. The
+# artifact carries no timestamps and sorts its entries canonically, so
+# regeneration is byte-identical and CI can diff it like results_all.md.
+calibrate:
+	$(GO) run ./cmd/olwhatif -calibrate -out calibration.olcal
+
+# check-twin is the twin-engine envelope gate: it requires the
+# committed calibration artifact, then replays seeded random cells per
+# kernel family — sizes the calibration pass never measured — on both
+# the twin and the skip-ahead cycle engine. It fails when any answer
+# leaves the artifact's recorded error bound, when the median cycle
+# error tops 10%, when the analytical answers are not >=100x faster in
+# aggregate, or when an escalated out-of-confidence cell is not
+# byte-identical to a direct cycle-engine run.
+check-twin:
+	@test -f calibration.olcal || { \
+		echo "check-twin: FAIL: calibration.olcal missing; run 'make calibrate' and commit it"; exit 1; }
+	$(GO) test -run '^TestTwinCheck' -count=1 .
 
 # results regenerates results_all.md — every experiment's tables plus a
 # collapsed per-cell run-manifest block (config hash, seed, engine,
@@ -213,6 +236,9 @@ fuzz-ckpt:
 # check-results can diff it against the committed copy.
 results:
 	$(GO) run ./cmd/olbench -exp all -manifest > results_all.md
+	@if [ -f calibration.olcal ]; then \
+		$(GO) run ./cmd/olwhatif -report -calibration calibration.olcal >> results_all.md; \
+		echo "results: appended twin error-bound table from calibration.olcal"; fi
 	@if [ -f $(BENCH_OUT).json ]; then \
 		$(GO) run ./cmd/benchjson -scaling $(BENCH_OUT).json >> results_all.md; \
 		echo "results: appended shard-scaling curve from $(BENCH_OUT).json"; fi

@@ -3,6 +3,7 @@ package orderlight
 import (
 	"context"
 	"fmt"
+	"os"
 	"strconv"
 	"testing"
 
@@ -71,6 +72,27 @@ func runExperimentParallel(b *testing.B, id string, shards int) {
 	}
 }
 
+// runExperimentTwin is runExperiment on the calibrated analytical twin.
+// Each Twin benchmark pairs with its plain counterpart; cmd/benchjson
+// derives the twin-vs-skip speedup from the pair, which is the µs-per-
+// cell trajectory the benchmark record tracks. Unlike the Dense and
+// Parallel pairs the outputs are approximate, not byte-identical — the
+// speedup is what the recorded error bounds buy. Skips when the
+// committed calibration artifact is absent (make calibrate).
+func runExperimentTwin(b *testing.B, id string) {
+	b.Helper()
+	if _, err := os.Stat("calibration.olcal"); err != nil {
+		b.Skip("calibration.olcal not present; run `make calibrate`")
+	}
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperimentContext(context.Background(), id, cfg,
+			WithScale(benchScale), WithTwin("calibration.olcal")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1Config regenerates the configuration table (Table 1).
 func BenchmarkTable1Config(b *testing.B) { runExperiment(b, "table1", -1, 0, "") }
 
@@ -90,6 +112,11 @@ func BenchmarkFig5FenceOverheadDense(b *testing.B) { runExperimentDense(b, "fig5
 // BenchmarkFig5FenceOverheadParallel is Figure 5 on the intra-run
 // parallel engine (per-channel goroutine shards, byte-identical output).
 func BenchmarkFig5FenceOverheadParallel(b *testing.B) { runExperimentParallel(b, "fig5", 0) }
+
+// BenchmarkFig5FenceOverheadTwin is Figure 5 answered by the calibrated
+// analytical twin — no cycles simulated, approximate within recorded
+// error bounds.
+func BenchmarkFig5FenceOverheadTwin(b *testing.B) { runExperimentTwin(b, "fig5") }
 
 // BenchmarkFig5CacheWarm regenerates Figure 5 against a warm
 // content-addressed result cache: after one priming run, every cell is
@@ -149,6 +176,10 @@ func BenchmarkFig12ApplicationsDense(b *testing.B) { runExperimentDense(b, "fig1
 // BenchmarkFig12ApplicationsParallel is Figure 12 on the intra-run
 // parallel engine.
 func BenchmarkFig12ApplicationsParallel(b *testing.B) { runExperimentParallel(b, "fig12", 0) }
+
+// BenchmarkFig12ApplicationsTwin is Figure 12 answered by the
+// calibrated analytical twin.
+func BenchmarkFig12ApplicationsTwin(b *testing.B) { runExperimentTwin(b, "fig12") }
 
 // BenchmarkFig12ShardSweep sweeps the parallel engine's shard count on
 // the Figure 12 regeneration — the GOMAXPROCS-sensitivity curve.

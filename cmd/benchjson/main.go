@@ -64,6 +64,21 @@ type ParallelSpeedup struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// TwinSpeedup is a derived twin-vs-skip engine comparison: benchmark
+// Foo ran the cycle-accurate skip-ahead engine, FooTwin answered the
+// identical grid from the calibrated analytical twin. Unlike the other
+// engine pairs the outputs are approximations inside recorded error
+// bounds, not byte-identical results — the speedup is what those bounds
+// buy.
+type TwinSpeedup struct {
+	Benchmark string  `json:"benchmark"`
+	SkipNs    float64 `json:"skip_ns_per_op"`
+	TwinNs    float64 `json:"twin_ns_per_op"`
+	// Speedup is skip-time / twin-time: how many times faster the
+	// analytical answer arrives.
+	Speedup float64 `json:"speedup"`
+}
+
 // Record is one point on the benchmark trajectory.
 type Record struct {
 	Label     string `json:"label,omitempty"`
@@ -78,6 +93,7 @@ type Record struct {
 	Benchmarks     []Benchmark       `json:"benchmarks"`
 	DenseVsSkip    []Speedup         `json:"dense_vs_skip,omitempty"`
 	ParallelVsSkip []ParallelSpeedup `json:"parallel_vs_skip,omitempty"`
+	TwinVsSkip     []TwinSpeedup     `json:"twin_vs_skip,omitempty"`
 	FailedParses   []string          `json:"failed_parses,omitempty"`
 }
 
@@ -176,6 +192,7 @@ func parse(r io.Reader) (*Record, error) {
 	}
 	rec.DenseVsSkip = deriveSpeedups(rec.Benchmarks)
 	rec.ParallelVsSkip = deriveParallelSpeedups(rec.Benchmarks)
+	rec.TwinVsSkip = deriveTwinSpeedups(rec.Benchmarks)
 	return rec, nil
 }
 
@@ -288,6 +305,34 @@ func deriveParallelSpeedups(bs []Benchmark) []ParallelSpeedup {
 	return out
 }
 
+// deriveTwinSpeedups pairs every FooTwin benchmark with its Foo
+// counterpart and reports skip-time / twin-time.
+func deriveTwinSpeedups(bs []Benchmark) []TwinSpeedup {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var out []TwinSpeedup
+	for _, b := range bs {
+		base, ok := strings.CutSuffix(b.Name, "Twin")
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		skip, ok := byName[base]
+		if !ok {
+			continue
+		}
+		out = append(out, TwinSpeedup{
+			Benchmark: base,
+			SkipNs:    skip.NsPerOp,
+			TwinNs:    b.NsPerOp,
+			Speedup:   skip.NsPerOp / b.NsPerOp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}
+
 // gateSpec is one -gate entry: a benchmark whose ns/op regression
 // beyond tolPct fails the comparison.
 type gateSpec struct {
@@ -342,7 +387,7 @@ func renderScaling(w io.Writer, rec *Record) {
 		}
 		curves[parent] = append(curves[parent], point{n, b.NsPerOp})
 	}
-	if len(parents) == 0 && len(rec.ParallelVsSkip) == 0 {
+	if len(parents) == 0 && len(rec.ParallelVsSkip) == 0 && len(rec.TwinVsSkip) == 0 {
 		return
 	}
 	fmt.Fprintf(w, "\n## Parallel-engine scaling (%s, %s/%s, %s)\n\n",
@@ -364,6 +409,13 @@ func renderScaling(w io.Writer, rec *Record) {
 		fmt.Fprintf(w, "\n### Parallel engine vs sequential skip-ahead\n\n| benchmark | skip ms/op | parallel ms/op | speedup |\n|---|---:|---:|---:|\n")
 		for _, s := range rec.ParallelVsSkip {
 			fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2fx |\n", s.Benchmark, s.SkipNs/1e6, s.ParallelNs/1e6, s.Speedup)
+		}
+	}
+	if len(rec.TwinVsSkip) > 0 {
+		fmt.Fprintf(w, "\n### Twin engine vs sequential skip-ahead\n\nTwin answers are analytical approximations inside recorded error\nbounds, not byte-identical results — this speedup is what those\nbounds buy.\n")
+		fmt.Fprintf(w, "\n| benchmark | skip ms/op | twin µs/op | speedup |\n|---|---:|---:|---:|\n")
+		for _, s := range rec.TwinVsSkip {
+			fmt.Fprintf(w, "| %s | %.1f | %.0f | %.0fx |\n", s.Benchmark, s.SkipNs/1e6, s.TwinNs/1e3, s.Speedup)
 		}
 	}
 }
@@ -436,6 +488,12 @@ func compareFiles(w io.Writer, oldPath, newPath string, gates []gateSpec) error 
 		fmt.Fprintf(w, "\nparallel engine vs skip-ahead (new record):\n")
 		for _, s := range newRec.ParallelVsSkip {
 			fmt.Fprintf(w, "%-42s %.2fx\n", s.Benchmark, s.Speedup)
+		}
+	}
+	if len(newRec.TwinVsSkip) > 0 {
+		fmt.Fprintf(w, "\ntwin engine vs skip-ahead (new record):\n")
+		for _, s := range newRec.TwinVsSkip {
+			fmt.Fprintf(w, "%-42s %.0fx\n", s.Benchmark, s.Speedup)
 		}
 	}
 	return checkGates(w, oldRec, newRec, gates)

@@ -67,6 +67,8 @@ func main() {
 
 		cacheDir = flag.String("cache-dir", "", "memoize completed cells and whole jobs in this content-addressed result cache, shared across tenants")
 
+		calibration = flag.String("calibration", "", "load this twin calibration artifact once and share it with every engine=twin job that brings none of its own")
+
 		fabric       = flag.Bool("fabric", false, "coordinate Fabric jobs: lease their cells to olserve -worker processes instead of simulating locally")
 		leaseTimeout = flag.Duration("lease-timeout", 0, "fabric lease TTL; an uncompleted lease re-issues after this long (0 = default 30s)")
 		chunk        = flag.Int("chunk", 0, "cells per fabric lease (0 = default 4)")
@@ -98,6 +100,7 @@ func main() {
 		Workers:        *workers,
 		CheckpointRoot: *ckptRoot,
 		CacheDir:       *cacheDir,
+		Calibration:    *calibration,
 		Fabric:         *fabric,
 		LeaseTTL:       *leaseTimeout,
 		FabricChunk:    *chunk,

@@ -1,0 +1,243 @@
+// Command olwhatif answers what-if queries from the calibrated
+// analytical twin: predicted execution time, stall cycles and exact
+// command counts for an experiment cell, in microseconds of host time
+// instead of the cycle engine's milliseconds-to-seconds. Every answer
+// carries the calibration's recorded error bound and is never a
+// verified result — for ground truth, run the same cell through olsim.
+//
+// The same binary maintains the calibration: -calibrate regenerates
+// the artifact deterministically from pinned seeds (anchor runs on the
+// cycle engine, then a full-grid cross-check that records per-family
+// error bounds), and -report renders the twin-vs-cycle error-bound
+// table that results_all.md embeds.
+//
+// Usage:
+//
+//	olwhatif -kernel add -primitive orderlight -ts 1/8 -bytes 131072
+//	olwhatif -calibrate -out calibration.olcal   # regenerate (cycle-engine runs; minutes)
+//	olwhatif -report                             # markdown error-bound table
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+	"orderlight/internal/stats"
+	"orderlight/internal/twin"
+)
+
+// checkFootprints are the cross-check footprints -calibrate replays on
+// both engines: one off-anchor point low in the calibrated range and
+// the experiment grid's default 256 KiB scale. Fixed so the committed
+// artifact is byte-identical across regenerations.
+var checkFootprints = []int64{48 << 10, 256 << 10}
+
+func main() {
+	var (
+		calPath = flag.String("calibration", "calibration.olcal", "calibration artifact to answer from (regenerate with -calibrate or `make calibrate`)")
+		name    = flag.String("kernel", "add", "Table 2 kernel name")
+		prim    = flag.String("primitive", "orderlight", "ordering primitive: none|fence|orderlight")
+		ts      = flag.String("ts", "1/8", "temporary storage as a row-buffer fraction")
+		bytes   = flag.Int64("bytes", 128<<10, "bytes per channel per data structure")
+
+		calibrate = flag.Bool("calibrate", false, "regenerate the calibration artifact from cycle-engine runs and write it to -out")
+		out       = flag.String("out", "calibration.olcal", "where -calibrate writes the artifact")
+		parallel  = flag.Int("parallel", 0, "calibration worker pool size (0 = one per CPU; results are identical for every value)")
+
+		report = flag.Bool("report", false, "print the calibration's twin-vs-cycle error-bound table as markdown")
+	)
+	flag.Parse()
+
+	switch {
+	case *calibrate:
+		if err := runCalibrate(*out, *parallel); err != nil {
+			fatal(err)
+		}
+	case *report:
+		if err := runReport(*calPath); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := runQuery(*calPath, *name, *prim, *ts, *bytes); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// skipRun is the cycle-engine CellRunner calibration measures against:
+// the default skip-ahead engine, the same machine every experiment
+// cell runs on.
+func skipRun(_ context.Context, cfg config.Config, spec kernel.Spec, bytesPerChannel int64) (*stats.Run, error) {
+	k, err := kernel.Build(cfg, spec, bytesPerChannel)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// runQuery answers one cell from the artifact and prints the
+// prediction with its error bar and the answer's own wall time.
+func runQuery(calPath, name, prim, ts string, bytes int64) error {
+	p, err := twin.LoadPredictor(calPath)
+	if err != nil {
+		return err
+	}
+	cfg := config.Default()
+	pr, err := config.ParsePrimitive(prim)
+	if err != nil {
+		return err
+	}
+	cfg.Run.Primitive = pr
+	tsBytes, err := cfg.TSFraction(ts)
+	if err != nil {
+		return err
+	}
+	cfg.PIM.TSBytes = tsBytes
+	spec, err := kernel.ByName(name)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	pred, err := p.Predict(cfg, spec, bytes)
+	wall := time.Since(start)
+	if err != nil {
+		return err
+	}
+	r := pred.Run
+	fmt.Printf("what-if: %s, primitive %v, TS %dB, %d B/channel  (calibration %s)\n",
+		name, pr, tsBytes, bytes, p.Hash())
+	fmt.Printf("  predicted execution time: %.4f ms  (±%.1f%% recorded bound)\n",
+		r.ExecTime().Milliseconds(), 100*pred.Entry.CyclesBound)
+	fmt.Printf("  tiles %d, PIM commands %d (exact), ordering points %d (exact)\n",
+		pred.Tiles, r.PIMCommands, pred.Counts.Orders)
+	switch pr {
+	case config.PrimitiveFence:
+		fmt.Printf("  predicted fence stall: %d core cycles  (±%.1f%% recorded bound)\n",
+			r.FenceStallCycles, 100*pred.Entry.FenceBound)
+	case config.PrimitiveOrderLight:
+		fmt.Printf("  predicted OrderLight stall: %d core cycles  (±%.1f%% recorded bound)\n",
+			r.OLStallCycles, 100*pred.Entry.OLBound)
+	}
+	fmt.Printf("  answered in %d µs — analytical model, not a verified simulation "+
+		"(ground truth: olsim -kernel %s -primitive %v -ts %s -bytes %d)\n",
+		wall.Microseconds(), name, pr, ts, bytes)
+	return nil
+}
+
+// runCalibrate regenerates the artifact: anchor runs fit the lines,
+// the full-grid cross-check records every family's error bound, and
+// the result is written atomically. Everything derives from pinned
+// seeds and fixed grids, so reruns are byte-identical.
+func runCalibrate(out string, parallel int) error {
+	ctx := context.Background()
+	cfg := config.Default()
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "olwhatif: calibrating %d kernels × %d primitives × %d TS sizes on %d anchors (cycle-engine runs)...\n",
+		len(kernel.All()), len(twin.CalibrationPrimitives), len(twin.CalibrationFractions), len(twin.DefaultAnchors))
+	art, err := twin.Calibrate(ctx, cfg, skipRun, twin.Options{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	cells, err := twin.FullGrid(cfg, checkFootprints)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "olwhatif: cross-checking %d cells against the cycle engine...\n", len(cells))
+	results, err := twin.CrossCheck(ctx, cfg, twin.NewPredictor(art), skipRun, cells, parallel)
+	if err != nil {
+		return err
+	}
+	twin.ApplyBounds(art, results, 0)
+	if err := twin.Save(art, out); err != nil {
+		return err
+	}
+
+	errs := make([]float64, len(results))
+	worst := 0.0
+	for i, r := range results {
+		errs[i] = math.Abs(r.CyclesErr)
+		if errs[i] > worst {
+			worst = errs[i]
+		}
+	}
+	sort.Float64s(errs)
+	median := errs[len(errs)/2]
+	fmt.Fprintf(os.Stderr, "olwhatif: wrote %s (%d entries, hash %s) in %v\n",
+		out, len(art.Entries), art.Hash(), time.Since(start).Round(time.Second))
+	fmt.Fprintf(os.Stderr, "olwhatif: cycle-count error over %d cross-checked cells: median %.2f%%, worst %.2f%%\n",
+		len(results), 100*median, 100*worst)
+	return nil
+}
+
+// runReport renders the calibration's per-family error bounds as a
+// deterministic markdown table — the twin section of results_all.md.
+// Rows aggregate the TS axis (the worst recorded bound across the four
+// fractions) so the table stays readable.
+func runReport(calPath string) error {
+	p, err := twin.LoadPredictor(calPath)
+	if err != nil {
+		return err
+	}
+	art := p.Artifact()
+
+	type row struct {
+		cycles, fence, ol float64
+		cells             int
+	}
+	type key struct{ kernel, prim string }
+	rows := map[key]*row{}
+	var order []key
+	for _, e := range art.Entries {
+		k := key{e.Kernel, e.Primitive}
+		r := rows[k]
+		if r == nil {
+			r = &row{}
+			rows[k] = r
+			order = append(order, k)
+		}
+		r.cells += e.Cells
+		r.cycles = math.Max(r.cycles, e.CyclesBound)
+		r.fence = math.Max(r.fence, e.FenceBound)
+		r.ol = math.Max(r.ol, e.OLBound)
+	}
+
+	fmt.Printf("## Twin engine: recorded error bounds vs the cycle engine\n\n")
+	fmt.Printf("Calibration `%s` (config `%s`, %d entries, anchors %v bytes/channel).\n",
+		art.Hash(), art.ConfigHash, len(art.Entries), art.Anchors)
+	fmt.Printf("Bounds are the recorded per-family envelopes (worst across TS sizes,\n")
+	fmt.Printf("%.1f× safety over the cross-check's worst observed error, %.0f%% floor);\n",
+		twin.DefaultSafety, 100*twin.BoundFloor)
+	fmt.Printf("command and ordering-point counts are exact by construction.\n\n")
+	fmt.Printf("| kernel | primitive | cycles bound | fence-stall bound | OL-stall bound | checked cells |\n")
+	fmt.Printf("|--------|-----------|--------------|-------------------|----------------|---------------|\n")
+	pct := func(b float64) string {
+		if b == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("±%.1f%%", 100*b)
+	}
+	for _, k := range order {
+		r := rows[k]
+		fmt.Printf("| %s | %s | %s | %s | %s | %d |\n",
+			k.kernel, k.prim, pct(r.cycles), pct(r.fence), pct(r.ol), r.cells)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "olwhatif:", err)
+	os.Exit(1)
+}

@@ -87,23 +87,33 @@ func (c *Cache) Active() bool { return c.Dir != "" }
 // the option bag verbatim so the library's single validation gate
 // rejects them with the same message everywhere.
 type Engine struct {
-	// Name is -engine: "", "skip", "dense" or "parallel".
+	// Name is -engine: "", "skip", "dense", "parallel" or "twin".
 	Name string
 	// Dense is -dense, the pre-existing shorthand for -engine=dense.
 	Dense bool
 	// Shards is -shards, the parallel engine's shard-count cap.
 	Shards int
+	// Calibration is -calibration, the twin engine's artifact path.
+	Calibration string
+	// Escalate is -escalate, the twin engine's out-of-confidence
+	// fallback to the cycle engine.
+	Escalate bool
 }
 
-// RegisterEngine installs -engine, -dense and -shards on fs.
+// RegisterEngine installs -engine, -dense, -shards, -calibration and
+// -escalate on fs.
 func RegisterEngine(fs *flag.FlagSet) *Engine {
 	e := &Engine{}
 	fs.StringVar(&e.Name, "engine", "",
-		"simulation engine: skip (default), dense (naive parity reference) or parallel (per-channel goroutine sharding); results are byte-identical")
+		"simulation engine: skip (default), dense (naive parity reference) or parallel (per-channel goroutine sharding) — byte-identical results — or twin (calibrated analytical model; microsecond approximate answers with recorded error bounds)")
 	fs.BoolVar(&e.Dense, "dense", false,
 		"shorthand for -engine=dense")
 	fs.IntVar(&e.Shards, "shards", 0,
 		"parallel engine shard count (0 = min(GOMAXPROCS, channels); needs -engine=parallel)")
+	fs.StringVar(&e.Calibration, "calibration", "",
+		"calibration artifact for the twin engine (needs -engine=twin; regenerate with `make calibrate`)")
+	fs.BoolVar(&e.Escalate, "escalate", false,
+		"re-run cells the twin declines as out-of-confidence on the cycle engine instead of failing (needs -engine=twin)")
 	return e
 }
 
@@ -119,18 +129,26 @@ func (e *Engine) Options() []orderlight.Option {
 	if e.Shards != 0 {
 		opts = append(opts, orderlight.WithParallelShards(e.Shards))
 	}
+	if e.Calibration != "" {
+		opts = append(opts, orderlight.WithCalibration(e.Calibration))
+	}
+	if e.Escalate {
+		opts = append(opts, orderlight.WithTwinEscalate())
+	}
 	return opts
 }
 
 // EngineName returns the engine the flags select, for labeling output:
-// "dense", "parallel", or "skip" (also for unknown names, which never
-// reach a run — validation rejects them first).
+// "dense", "parallel", "twin", or "skip" (also for unknown names,
+// which never reach a run — validation rejects them first).
 func (e *Engine) EngineName() string {
 	switch {
 	case e.Dense || e.Name == "dense":
 		return "dense"
 	case e.Name == "parallel":
 		return "parallel"
+	case e.Name == "twin":
+		return "twin"
 	}
 	return "skip"
 }

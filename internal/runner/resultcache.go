@@ -46,6 +46,20 @@ func (e *Engine) cellCacheKey(c *Cell) string {
 // their point is the injection and the oracle verdict, not the result.
 func cacheableCell(c *Cell) bool { return !c.Fault.Active() }
 
+// encodeCellResult and decodeCellResult are the gob round-trip shared
+// by the cycle-result and twin-result cache paths.
+func encodeCellResult(cr *CellResult) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCellResult(data []byte, cr *CellResult) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(cr)
+}
+
 // cacheArmed reports whether this engine consults the result cache at
 // all. Engines armed with a trace sink, sampler, or deterministic halt
 // never do: a cache hit would skip the side effects those options
@@ -66,7 +80,7 @@ func (e *Engine) lookupCache(c *Cell) (Result, bool, error) {
 		return Result{}, false, nil
 	}
 	var cr CellResult
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cr); err != nil || cr.Run == nil {
+	if err := decodeCellResult(data, &cr); err != nil || cr.Run == nil {
 		// The container was intact but the payload is not a CellResult
 		// (e.g. written by a future build whose gob shape moved on).
 		// Treat as a miss; the recompute overwrites the slot.
@@ -96,13 +110,13 @@ func (e *Engine) lookupCache(c *Cell) (Result, bool, error) {
 // (e.g. a read-only cache directory): the cache is an accelerator, not
 // a correctness dependency, and the computed result is already in hand.
 func (e *Engine) storeCache(c *Cell, res Result) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&CellResult{
+	data, err := encodeCellResult(&CellResult{
 		Run: res.Run, HostLatency: res.HostLatency, HostServed: res.HostServed,
-	}); err != nil {
+	})
+	if err != nil {
 		return
 	}
-	_ = e.rcache.Put(e.cellCacheKey(c), buf.Bytes())
+	_ = e.rcache.Put(e.cellCacheKey(c), data)
 }
 
 // Simulated reports how many cells this engine actually simulated

@@ -14,6 +14,7 @@ import (
 	"orderlight/internal/ckpt"
 	"orderlight/internal/olerrors"
 	"orderlight/internal/sim"
+	"orderlight/internal/twin"
 )
 
 // journalName is the progress journal's file name inside CheckpointDir.
@@ -128,6 +129,19 @@ func (e *Engine) backoff(ctx context.Context, hash string, attempt int) error {
 // scratch (or from its last on-disk checkpoint when resume is on) after
 // an exponential backoff.
 func (e *Engine) runCellRetry(ctx context.Context, c *Cell, journal *ckpt.Journal) (Result, error) {
+	if e.twinEng {
+		res, err := e.runTwinCell(c)
+		if err == nil {
+			return res, nil
+		}
+		if !e.twinEsc || !errors.Is(err, twin.ErrOutOfConfidence) {
+			return Result{}, err
+		}
+		// Escalation: fall through to the skip-ahead cycle engine. The
+		// cell takes the ordinary path below — same cache domain, same
+		// manifest engine name — so its result is byte-identical to a
+		// direct cycle-engine run.
+	}
 	hash := cellHash(c)
 	cached := e.cacheArmed() && cacheableCell(c)
 	if cached {

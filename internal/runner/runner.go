@@ -23,6 +23,7 @@ import (
 	"orderlight/internal/pim"
 	"orderlight/internal/rcache"
 	"orderlight/internal/stats"
+	"orderlight/internal/twin"
 )
 
 // Cell is one independent simulation in an experiment grid.
@@ -175,6 +176,23 @@ type Options struct {
 	// cache cannot serve faithfully (fault injection, trace sinks,
 	// samplers, deterministic halts).
 	ResultCache *rcache.Cache
+
+	// TwinEngine answers every cell from the calibrated analytical twin
+	// instead of simulating: microsecond approximate answers with a
+	// recorded error bound, never functionally verified. Requires Twin.
+	// Mutually exclusive with the cycle engines and with every option
+	// that observes or steers a real simulation (trace sinks, samplers,
+	// halts, checkpoints).
+	TwinEngine bool
+
+	// Twin is the calibration the twin engine answers from.
+	Twin *twin.Predictor
+
+	// TwinEscalate re-runs any cell the twin declines
+	// (twin.ErrOutOfConfidence) on the skip-ahead cycle engine instead
+	// of failing it. The escalated cell is byte-identical to a direct
+	// cycle-engine run. Only meaningful with TwinEngine.
+	TwinEscalate bool
 }
 
 // Engine executes cell lists. An Engine is safe for concurrent use and
@@ -198,6 +216,9 @@ type Engine struct {
 	cellTO    time.Duration
 	haltAfter int64
 	rcache    *rcache.Cache
+	twinEng   bool
+	twin      *twin.Predictor
+	twinEsc   bool
 	retryBase time.Duration // backoff base; test seam, 0 means 10ms
 	grace     time.Duration // watchdog abandon grace; test seam
 
@@ -225,6 +246,9 @@ func New(opts Options) *Engine {
 		cellTO:    opts.CellTimeout,
 		haltAfter: opts.HaltAfterCycles,
 		rcache:    opts.ResultCache,
+		twinEng:   opts.TwinEngine,
+		twin:      opts.Twin,
+		twinEsc:   opts.TwinEscalate,
 	}
 	if !opts.DisableKernelCache {
 		e.cache = newKernelCache()
@@ -253,6 +277,31 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
 		// must drop WithDenseEngine or WithParallelEngine, not guess.
 		return nil, fmt.Errorf("runner: %w: WithDenseEngine and WithParallelEngine pick conflicting engines; choose one of -engine=dense|skip|parallel",
 			olerrors.ErrInvalidSpec)
+	}
+	if e.twinEng {
+		// The twin is an approximation, not a simulation: every option
+		// that observes or steers a real run is meaningless under it and
+		// silently wrong to ignore, so each conflict is named and refused.
+		switch {
+		case e.dense || e.parallel:
+			return nil, fmt.Errorf("runner: %w: TwinEngine conflicts with the dense/parallel cycle engines; choose one of -engine=twin|dense|skip|parallel",
+				olerrors.ErrInvalidSpec)
+		case e.sink != nil:
+			return nil, fmt.Errorf("runner: %w: WithTraceSink needs a real simulation; the twin engine produces no events",
+				olerrors.ErrInvalidSpec)
+		case e.sampler != nil:
+			return nil, fmt.Errorf("runner: %w: WithSampler needs a real simulation; the twin engine produces no time-series",
+				olerrors.ErrInvalidSpec)
+		case e.haltAfter > 0:
+			return nil, fmt.Errorf("runner: %w: WithHaltAfter halts a real simulation; the twin engine has none",
+				olerrors.ErrInvalidSpec)
+		case e.ckptDir != "":
+			return nil, fmt.Errorf("runner: %w: checkpoints journal cycle-engine progress; twin answers must not masquerade as simulated cells",
+				olerrors.ErrInvalidSpec)
+		case e.twin == nil:
+			return nil, fmt.Errorf("runner: %w: TwinEngine needs a calibration (Options.Twin / WithTwin)",
+				olerrors.ErrInvalidSpec)
+		}
 	}
 	if len(cells) > 1 {
 		// Name the offending option: "TraceSink/Sampler" told the caller

@@ -1,0 +1,118 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"orderlight/internal/obs"
+	"orderlight/internal/twin"
+)
+
+// twinCacheKey is the content address of a twin answer. It lives in
+// its own "twin|" key domain — disjoint from the cycle engines'
+// "cell|" domain by construction — and bakes in the calibration hash,
+// so a twin answer can never be served as a cycle result and a
+// recalibration invalidates every stale prediction.
+func (e *Engine) twinCacheKey(c *Cell) string {
+	return fmt.Sprintf("twin|v%d|%s|%#v|%d|%s",
+		cellResultVersion, obs.ConfigHash(c.Cfg), c.Spec, c.Bytes, e.twin.Hash())
+}
+
+// runTwinCell answers one cell from the analytical twin. Anything the
+// model cannot vouch for — host-baseline cells, concurrent traffic,
+// fault injection, or a query the predictor itself declines — returns
+// an error wrapping twin.ErrOutOfConfidence so runCellRetry can
+// escalate to the cycle engine when asked to.
+func (e *Engine) runTwinCell(c *Cell) (Result, error) {
+	switch {
+	case c.Host:
+		return Result{}, fmt.Errorf("runner: %w: host-baseline cell %q has no analytical model", twin.ErrOutOfConfidence, c.Key)
+	case c.Traffic.PerChannel > 0:
+		return Result{}, fmt.Errorf("runner: %w: concurrent host traffic on cell %q is not modeled", twin.ErrOutOfConfidence, c.Key)
+	case c.Fault.Active():
+		return Result{}, fmt.Errorf("runner: %w: fault injection on cell %q needs a real simulation", twin.ErrOutOfConfidence, c.Key)
+	}
+	key := e.twinCacheKey(c)
+	if e.cacheArmed() {
+		if res, ok := e.lookupTwinCache(c, key); ok {
+			return res, nil
+		}
+	}
+	start := time.Now()
+	pred, err := e.twin.Predict(c.Cfg, c.Spec, c.Bytes)
+	if err != nil {
+		return Result{}, fmt.Errorf("cell %q: %w", c.Key, err)
+	}
+	wall := time.Since(start)
+	res := Result{Run: pred.Run, Kernel: pred.Kernel}
+	if e.manifest {
+		res.Manifest = e.twinManifest(c, float64(wall.Nanoseconds())/1e6, pred)
+		if e.cacheArmed() {
+			res.Manifest.CacheKey = key
+		}
+	}
+	if e.cacheArmed() {
+		e.storeTwinCache(c, key, res)
+	}
+	return res, nil
+}
+
+// twinManifest stamps a twin answer's provenance: engine "twin", the
+// calibration content hash, and the recorded relative error bound of
+// the predicted cycle count. Verified is never claimed.
+func (e *Engine) twinManifest(c *Cell, wallMS float64, pred *twin.Prediction) *obs.Manifest {
+	return &obs.Manifest{
+		Cell:            c.Key,
+		Kernel:          c.Spec.Name,
+		Primitive:       c.Cfg.Run.Primitive.String(),
+		Seed:            c.Cfg.Run.Seed,
+		Channels:        c.Cfg.Memory.Channels,
+		TSBytes:         c.Cfg.PIM.TSBytes,
+		BMF:             c.Cfg.PIM.BMF,
+		BytesPerChannel: c.Bytes,
+		ConfigHash:      obs.ConfigHash(c.Cfg),
+		Engine:          "twin",
+		CalibrationHash: e.twin.Hash(),
+		ErrorBound:      pred.Entry.CyclesBound,
+		WallMS:          wallMS,
+		GoVersion:       runtime.Version(),
+	}
+}
+
+// lookupTwinCache serves a twin answer from the result cache's twin
+// key domain. The synthesized kernel accounting is recomputed (it is
+// microseconds of arithmetic) rather than stored.
+func (e *Engine) lookupTwinCache(c *Cell, key string) (Result, bool) {
+	data, ok := e.rcache.Get(key)
+	if !ok {
+		return Result{}, false
+	}
+	pred, err := e.twin.Predict(c.Cfg, c.Spec, c.Bytes)
+	if err != nil {
+		return Result{}, false
+	}
+	var cr CellResult
+	if err := decodeCellResult(data, &cr); err != nil || cr.Run == nil {
+		return Result{}, false
+	}
+	res := Result{Run: cr.Run, Kernel: pred.Kernel}
+	if e.manifest {
+		m := e.twinManifest(c, 0, pred)
+		m.CacheKey = key
+		m.CacheHit = true
+		res.Manifest = m
+	}
+	return res, true
+}
+
+// storeTwinCache inserts a twin answer under its twin-domain key.
+// Like storeCache, failures are swallowed: the cache is an
+// accelerator, never a correctness dependency.
+func (e *Engine) storeTwinCache(c *Cell, key string, res Result) {
+	data, err := encodeCellResult(&CellResult{Run: res.Run})
+	if err != nil {
+		return
+	}
+	_ = e.rcache.Put(key, data)
+}

@@ -7,8 +7,10 @@ import (
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
 	"orderlight/internal/kernel"
+	"orderlight/internal/olerrors"
 	"orderlight/internal/rcache"
 	"orderlight/internal/runner"
+	"orderlight/internal/twin"
 )
 
 // Service is the public face of the simulator-as-a-service: submit a
@@ -67,6 +69,19 @@ func Execute(ctx context.Context, req *JobRequest) (*JobResult, error) {
 			return nil, fmt.Errorf("serve: open result cache: %w", err)
 		}
 	}
+	var pred *twin.Predictor
+	if o.Engine == "twin" {
+		pred = o.TwinPredictor
+		if pred == nil {
+			if o.Calibration == "" {
+				return nil, fmt.Errorf("serve: %w: the twin engine needs a calibration artifact (WithTwin(path) / -calibration; regenerate with `make calibrate`)", olerrors.ErrInvalidSpec)
+			}
+			var err error
+			if pred, err = twin.LoadPredictor(o.Calibration); err != nil {
+				return nil, fmt.Errorf("serve: load calibration %q: %w", o.Calibration, err)
+			}
+		}
+	}
 	eng := runner.New(runner.Options{
 		Parallelism:        o.Parallelism,
 		Progress:           o.Progress,
@@ -74,6 +89,9 @@ func Execute(ctx context.Context, req *JobRequest) (*JobResult, error) {
 		DenseEngine:        o.Dense || o.Engine == "dense",
 		ParallelEngine:     o.Engine == "parallel",
 		ParallelShards:     o.Shards,
+		TwinEngine:         o.Engine == "twin",
+		Twin:               pred,
+		TwinEscalate:       o.Escalate,
 		TraceSink:          o.Sink,
 		Sampler:            o.Sampler,
 		Manifest:           o.Manifest,

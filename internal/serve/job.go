@@ -13,6 +13,7 @@ import (
 	"orderlight/internal/olerrors"
 	"orderlight/internal/rcache"
 	"orderlight/internal/stats"
+	"orderlight/internal/twin"
 )
 
 // JobID identifies one submitted job for the rest of its life. IDs are
@@ -102,6 +103,8 @@ var wireSentinels = []struct {
 	{"checkpoint-mismatch", olerrors.ErrCheckpointMismatch},
 	{"cell-timeout", olerrors.ErrCellTimeout},
 	{"cell-panic", olerrors.ErrCellPanic},
+	{"twin-confidence", twin.ErrOutOfConfidence},
+	{"twin-calibration", twin.ErrCalibration},
 	{"canceled", olerrors.ErrCanceled},
 	{"unknown-kernel", olerrors.ErrUnknownKernel},
 	{"unknown-experiment", olerrors.ErrUnknownExperiment},
@@ -163,12 +166,23 @@ type RunOpts struct {
 	Dense bool `json:"dense,omitempty"`
 	// Engine selects the simulation engine by name: "skip" (default),
 	// "dense", or "parallel" (intra-run per-channel sharding; results
-	// are byte-identical across all three). Unknown values are rejected
-	// at admission.
+	// are byte-identical across all three), or "twin" — the calibrated
+	// analytical model, whose answers are approximations with recorded
+	// error bounds, never byte-compared against the cycle engines.
+	// Unknown values are rejected at admission.
 	Engine string `json:"engine,omitempty"`
 	// Shards caps the parallel engine's shard count; <= 0 picks
 	// min(GOMAXPROCS, channels). Only meaningful with Engine "parallel".
 	Shards int `json:"shards,omitempty"`
+	// Calibration is the twin engine's calibration artifact path (the
+	// facade's WithTwin / the CLIs' -calibration). Only meaningful with
+	// Engine "twin".
+	Calibration string `json:"calibration,omitempty"`
+	// Escalate re-runs cells the twin declines as out-of-confidence on
+	// the skip-ahead cycle engine instead of failing; escalated cells
+	// are byte-identical to a direct cycle-engine run. Only meaningful
+	// with Engine "twin".
+	Escalate bool `json:"escalate,omitempty"`
 	// NoKernelCache disables sharing built kernel images across cells.
 	NoKernelCache bool `json:"no_kernel_cache,omitempty"`
 	// BytesPerChannel overrides the experiment data footprint (the
@@ -213,6 +227,9 @@ type RunOpts struct {
 	// Cache is an already-open result cache (the daemon attaches its
 	// shared one); takes precedence over CacheDir.
 	Cache *rcache.Cache `json:"-"`
+	// TwinPredictor is an already-loaded calibration (the daemon
+	// attaches its shared one); takes precedence over Calibration.
+	TwinPredictor *twin.Predictor `json:"-"`
 }
 
 // Validate reports structurally invalid option combinations. This is
@@ -236,12 +253,39 @@ func (o *RunOpts) Validate() error {
 		return fmt.Errorf("serve: %w: bytes per channel %d is negative", olerrors.ErrInvalidSpec, o.BytesPerChannel)
 	}
 	switch o.Engine {
-	case "", "skip", "dense", "parallel":
+	case "", "skip", "dense", "parallel", "twin":
 	default:
-		return fmt.Errorf("serve: %w: unknown engine %q (want skip|dense|parallel)", olerrors.ErrInvalidSpec, o.Engine)
+		return fmt.Errorf("serve: %w: unknown engine %q (want skip|dense|parallel|twin)", olerrors.ErrInvalidSpec, o.Engine)
 	}
-	if o.Dense && (o.Engine == "skip" || o.Engine == "parallel") {
+	if o.Dense && (o.Engine == "skip" || o.Engine == "parallel" || o.Engine == "twin") {
 		return fmt.Errorf("serve: %w: WithDenseEngine (dense) conflicts with engine %q; pick one engine", olerrors.ErrInvalidSpec, o.Engine)
+	}
+	if o.Engine == "twin" {
+		// The twin answers from a fitted model — it has no machine to
+		// checkpoint, trace, sample, halt, fault or distribute.
+		switch {
+		case o.CheckpointDir != "" || o.Resume:
+			return fmt.Errorf("serve: %w: checkpoints journal cycle-engine progress; the twin engine has none (drop WithCheckpointDir/WithResume)", olerrors.ErrInvalidSpec)
+		case o.HaltAfter > 0:
+			return fmt.Errorf("serve: %w: WithHaltAfter stops a cycle engine mid-run; the twin engine has no cycles to halt", olerrors.ErrInvalidSpec)
+		case o.Sink != nil || o.StreamTrace:
+			return fmt.Errorf("serve: %w: the twin engine simulates nothing and emits no event feed (drop WithTraceSink/stream_trace)", olerrors.ErrInvalidSpec)
+		case o.Sampler != nil:
+			return fmt.Errorf("serve: %w: the twin engine simulates nothing and has no counters to sample (drop WithSampler)", olerrors.ErrInvalidSpec)
+		case o.Fabric:
+			return fmt.Errorf("serve: %w: twin answers are microseconds of local math; the sweep fabric would only add transport (drop fabric)", olerrors.ErrInvalidSpec)
+		case o.Fault.Active():
+			return fmt.Errorf("serve: %w: fault injection attacks a real machine; the twin engine has none (run the fault plan on a cycle engine)", olerrors.ErrInvalidSpec)
+		}
+	} else {
+		switch {
+		case o.Calibration != "":
+			return fmt.Errorf("serve: %w: WithCalibration (calibration) needs the twin engine (WithTwin / engine \"twin\")", olerrors.ErrInvalidSpec)
+		case o.Escalate:
+			return fmt.Errorf("serve: %w: WithTwinEscalate (escalate) needs the twin engine (WithTwin / engine \"twin\")", olerrors.ErrInvalidSpec)
+		case o.TwinPredictor != nil:
+			return fmt.Errorf("serve: %w: a twin predictor needs the twin engine (WithTwin / engine \"twin\")", olerrors.ErrInvalidSpec)
+		}
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("serve: %w: shard count %d is negative", olerrors.ErrInvalidSpec, o.Shards)

@@ -20,6 +20,7 @@ import (
 	"orderlight/internal/rcache"
 	"orderlight/internal/runner"
 	"orderlight/internal/stats"
+	"orderlight/internal/twin"
 )
 
 // LocalConfig tunes the production Service implementation.
@@ -51,6 +52,12 @@ type LocalConfig struct {
 	// unopenable directory fails every Submit rather than silently
 	// running uncached.
 	CacheDir string
+
+	// Calibration, when set, loads a twin calibration artifact once at
+	// startup and shares its predictor with every twin job that does
+	// not carry its own (olserve -calibration). An unloadable artifact
+	// fails twin submissions — cycle-engine jobs are unaffected.
+	Calibration string
 
 	// Fabric enables the distributed sweep coordinator: multi-cell
 	// jobs submitted with the fabric option are posted on a work board
@@ -107,6 +114,12 @@ type Local struct {
 	cache    *rcache.Cache
 	cacheErr error
 
+	// twin is the shared calibration predictor (nil without
+	// Calibration); twinErr records a load failure, surfaced on twin
+	// submissions only.
+	twin    *twin.Predictor
+	twinErr error
+
 	// board is the fabric coordinator's work ledger (nil without
 	// cfg.Fabric).
 	board *runner.Board
@@ -141,6 +154,12 @@ func NewLocal(cfg LocalConfig) *Local {
 			s.cacheErr = fmt.Errorf("serve: %w: result cache %q: %v", olerrors.ErrInvalidSpec, cfg.CacheDir, s.cacheErr)
 		}
 	}
+	if cfg.Calibration != "" {
+		s.twin, s.twinErr = twin.LoadPredictor(cfg.Calibration)
+		if s.twinErr != nil {
+			s.twinErr = fmt.Errorf("serve: %w: calibration %q: %v", olerrors.ErrInvalidSpec, cfg.Calibration, s.twinErr)
+		}
+	}
 	if cfg.Fabric {
 		s.board = runner.NewBoard(cfg.LeaseTTL, cfg.FabricChunk)
 	}
@@ -163,6 +182,9 @@ func (s *Local) Submit(ctx context.Context, req JobRequest) (JobID, error) {
 	if s.cacheErr != nil {
 		return "", s.cacheErr
 	}
+	if s.twinErr != nil && req.Opts.Engine == "twin" {
+		return "", s.twinErr
+	}
 	if req.Opts.Fabric && s.board == nil {
 		return "", fmt.Errorf("serve: %w: this service has no fabric coordinator (start olserve with -fabric)", olerrors.ErrInvalidSpec)
 	}
@@ -175,9 +197,11 @@ func (s *Local) Submit(ctx context.Context, req JobRequest) (JobID, error) {
 		return "", fmt.Errorf("serve: %w: tenant %q already has %d job(s) in flight",
 			ErrQuotaExceeded, tenantName(req.Tenant), s.cfg.PerTenant)
 	}
-	if s.cfg.CheckpointRoot != "" && req.Opts.CheckpointDir == "" && !req.Opts.Fabric {
+	if s.cfg.CheckpointRoot != "" && req.Opts.CheckpointDir == "" && !req.Opts.Fabric && req.Opts.Engine != "twin" {
 		// (Fabric jobs excluded: their durability lives in the workers'
-		// journals, and fabric+checkpoint is an invalid combination.)
+		// journals, and fabric+checkpoint is an invalid combination.
+		// Twin jobs likewise: they have no cycle-engine progress to
+		// journal, and twin+checkpoint is rejected at validation.)
 		// Key the directory by request content, not job ID: the same
 		// request resubmitted after preemption (or a daemon restart)
 		// lands on the same journal and resumes instead of restarting.
@@ -305,9 +329,17 @@ func (s *Local) runJob(j *job) {
 		}
 	}
 	// Per-cell memoization: jobs without their own cache settings run
-	// against the daemon's shared cache.
+	// against the daemon's shared cache. (Safe for twin jobs too — the
+	// runner keys their cells in a distinct "twin|" domain that embeds
+	// the calibration hash, so a twin answer can never be served as a
+	// cycle-engine result or vice versa.)
 	if s.cache != nil && req.Opts.Cache == nil && req.Opts.CacheDir == "" {
 		req.Opts.Cache = s.cache
+	}
+	// Twin jobs without their own calibration run against the daemon's
+	// shared predictor (olserve -calibration).
+	if req.Opts.Engine == "twin" && req.Opts.TwinPredictor == nil && req.Opts.Calibration == "" {
+		req.Opts.TwinPredictor = s.twin
 	}
 
 	var res *JobResult
@@ -384,11 +416,15 @@ func (s *Local) CompleteWork(_ context.Context, comp WorkCompletion) error {
 // sampling runs (the side channel is the point), halted runs, and
 // anything fault-injected — the campaign's oracle must genuinely
 // re-attack the simulator, so fault-campaign jobs and sweeps (which
-// embed the campaign experiment) always run.
+// embed the campaign experiment) always run. Twin jobs are excluded
+// too: their answers are approximations keyed to a calibration file on
+// the server's disk, and a whole-job memo would outlive a recalibration
+// — per-cell twin caching (which embeds the calibration hash in its
+// key) is the only memoization they get.
 func jobMemoizable(req *JobRequest) bool {
 	o := &req.Opts
 	return !o.Manifest && !o.StreamTrace && o.Sink == nil && o.Sampler == nil &&
-		o.HaltAfter == 0 && !o.Fault.Active() &&
+		o.HaltAfter == 0 && !o.Fault.Active() && o.Engine != "twin" &&
 		req.Kind != KindFaultCampaign && req.Kind != KindSweep
 }
 
@@ -406,7 +442,7 @@ func jobCacheKey(req *JobRequest) string {
 	o.CheckpointDir, o.CheckpointEvery, o.Resume = "", 0, false
 	o.Retries, o.CellTimeout = 0, 0
 	o.CacheDir, o.Fabric = "", false
-	o.Progress, o.Sink, o.Sampler, o.Cache = nil, nil, nil, nil
+	o.Progress, o.Sink, o.Sampler, o.Cache, o.TwinPredictor = nil, nil, nil, nil, nil
 	r.Opts = o
 	b, err := json.Marshal(&r)
 	if err != nil {

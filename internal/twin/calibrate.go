@@ -1,0 +1,399 @@
+package twin
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"orderlight/internal/config"
+	"orderlight/internal/kernel"
+	"orderlight/internal/stats"
+)
+
+// CellRunner executes one cell on a cycle-level engine and returns its
+// measured counters. The twin package is a leaf — it cannot import the
+// runner — so calibration and cross-checking take the engine as a
+// callback; cmd/olwhatif and the tests wire the skip engine in.
+type CellRunner func(ctx context.Context, cfg config.Config, spec kernel.Spec, bytesPerChannel int64) (*stats.Run, error)
+
+// DefaultAnchors are the per-channel footprints calibration anchors
+// each fitted line on. They bracket the experiment grid's 256 KiB
+// default scale, so the fit interpolates rather than extrapolates over
+// the domain the artifact declares valid.
+var DefaultAnchors = []int64{16 << 10, 64 << 10, 256 << 10}
+
+// CalibrationFractions are the temporary-storage sizes calibration
+// covers — the same four fractions every figure sweeps.
+var CalibrationFractions = []string{"1/16", "1/8", "1/4", "1/2"}
+
+// CalibrationPrimitives are the ordering disciplines the twin models.
+// Seqno (§8.1) is deliberately absent: its credit-based stalls are not
+// affine in tiles, so queries for it decline with ErrOutOfConfidence.
+var CalibrationPrimitives = []config.Primitive{
+	config.PrimitiveNone, config.PrimitiveFence, config.PrimitiveOrderLight,
+}
+
+// Options tunes a calibration pass. The zero value means "the full
+// default grid": every Table 2 kernel, every calibration primitive and
+// TS fraction, anchored on DefaultAnchors, one worker per CPU.
+type Options struct {
+	Anchors     []int64
+	TSBytes     []int
+	Primitives  []config.Primitive
+	Specs       []kernel.Spec
+	Parallelism int
+}
+
+func (o Options) withDefaults(cfg config.Config) (Options, error) {
+	if len(o.Anchors) == 0 {
+		o.Anchors = DefaultAnchors
+	}
+	if len(o.TSBytes) == 0 {
+		for _, frac := range CalibrationFractions {
+			b, err := cfg.TSFraction(frac)
+			if err != nil {
+				return o, err
+			}
+			o.TSBytes = append(o.TSBytes, b)
+		}
+	}
+	if len(o.Primitives) == 0 {
+		o.Primitives = CalibrationPrimitives
+	}
+	if len(o.Specs) == 0 {
+		o.Specs = kernel.All()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
+}
+
+// cellCfg specializes the base config to one grid cell.
+func cellCfg(cfg config.Config, prim config.Primitive, tsBytes int) config.Config {
+	cfg.Run.Primitive = prim
+	cfg.PIM.TSBytes = tsBytes
+	return cfg
+}
+
+// runPool runs f(0..n-1) on a bounded worker pool, stopping at the
+// first error or context cancellation. Collection is index-keyed by
+// the callers, so scheduling order never leaks into results.
+func runPool(ctx context.Context, n, workers int, f func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				if err := f(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Calibrate fits the twin's constants from cycle-engine anchor runs:
+// for every (kernel, primitive, TS) family it measures each anchor
+// footprint on the supplied engine, converts footprints to tile counts
+// and least-squares fits the affine-in-tiles lines. The result carries
+// zero error bounds — run CrossCheck + ApplyBounds before saving, or
+// every envelope test will (correctly) fail.
+func Calibrate(ctx context.Context, cfg config.Config, run CellRunner, opt Options) (*Artifact, error) {
+	opt, err := opt.withDefaults(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		spec kernel.Spec
+		prim config.Primitive
+		ts   int
+	}
+	var jobs []job
+	for _, spec := range opt.Specs {
+		for _, prim := range opt.Primitives {
+			for _, ts := range opt.TSBytes {
+				jobs = append(jobs, job{spec, prim, ts})
+			}
+		}
+	}
+
+	nA := len(opt.Anchors)
+	runs := make([]*stats.Run, len(jobs)*nA)
+	err = runPool(ctx, len(runs), opt.Parallelism, func(i int) error {
+		j, a := jobs[i/nA], opt.Anchors[i%nA]
+		r, err := run(ctx, cellCfg(cfg, j.prim, j.ts), j.spec, a)
+		if err != nil {
+			return fmt.Errorf("twin: calibrate %s/%v/ts=%dB at %d B: %w", j.spec.Name, j.prim, j.ts, a, err)
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	art := &Artifact{
+		ConfigHash: NormalizedConfigHash(cfg),
+		Channels:   cfg.Memory.Channels,
+		BytesMin:   opt.Anchors[0],
+		BytesMax:   opt.Anchors[0],
+		Anchors:    opt.Anchors,
+		Seed:       cfg.Run.Seed,
+	}
+	for _, a := range opt.Anchors {
+		if a < art.BytesMin {
+			art.BytesMin = a
+		}
+		if a > art.BytesMax {
+			art.BytesMax = a
+		}
+	}
+	for ji, j := range jobs {
+		tiles := make([]int, nA)
+		cyc := make([]float64, nA)
+		fence := make([]float64, nA)
+		ol := make([]float64, nA)
+		correct := false
+		for ai := 0; ai < nA; ai++ {
+			cts, err := CellCounts(cellCfg(cfg, j.prim, j.ts), j.spec, opt.Anchors[ai])
+			if err != nil {
+				return nil, err
+			}
+			r := runs[ji*nA+ai]
+			tiles[ai] = cts.Tiles
+			cyc[ai] = float64(r.ExecTime())
+			fence[ai] = float64(r.FenceStallCycles)
+			ol[ai] = float64(r.OLStallCycles)
+			correct = r.Correct // every anchor agrees; keep the largest
+		}
+		art.Entries = append(art.Entries, Entry{
+			Kernel:     j.spec.Name,
+			Primitive:  j.prim.String(),
+			TSBytes:    j.ts,
+			Cycles:     fitLin(tiles, cyc),
+			FenceStall: fitLin(tiles, fence),
+			OLStall:    fitLin(tiles, ol),
+			Correct:    correct,
+		})
+	}
+	sortEntries(art.Entries)
+	return art, nil
+}
+
+// CheckCell names one cross-check point: a grid cell replayed on both
+// the twin and the cycle engine.
+type CheckCell struct {
+	Kernel    string
+	Primitive config.Primitive
+	TSBytes   int
+	Bytes     int64
+}
+
+// CheckResult records one cross-check outcome: the signed relative
+// error of every predicted quantity ((twin−cycle)/cycle with the
+// envelope's denominator floors).
+type CheckResult struct {
+	CheckCell
+	Tiles      int
+	TwinTicks  int64 // predicted End−Start
+	CycleTicks int64 // measured End−Start
+	CyclesErr  float64
+	FenceErr   float64
+	OLErr      float64
+}
+
+// DefaultGrid lists the fig5 + fig12 experiment cells at the given
+// footprint — the acceptance grid the twin must answer within its
+// recorded bounds. It mirrors the declarations in
+// internal/experiments (which the leaf twin package cannot import).
+func DefaultGrid(cfg config.Config, bytes int64) ([]CheckCell, error) {
+	var cells []CheckCell
+	ts18, err := cfg.TSFraction("1/8")
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, CheckCell{Kernel: "add", Primitive: config.PrimitiveNone, TSBytes: ts18, Bytes: bytes})
+	for _, frac := range CalibrationFractions {
+		ts, err := cfg.TSFraction(frac)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, CheckCell{Kernel: "add", Primitive: config.PrimitiveFence, TSBytes: ts, Bytes: bytes})
+	}
+	for _, s := range kernel.Apps() {
+		for _, frac := range CalibrationFractions {
+			ts, err := cfg.TSFraction(frac)
+			if err != nil {
+				return nil, err
+			}
+			for _, prim := range []config.Primitive{config.PrimitiveFence, config.PrimitiveOrderLight} {
+				cells = append(cells, CheckCell{Kernel: s.Name, Primitive: prim, TSBytes: ts, Bytes: bytes})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FullGrid lists every calibrated (kernel, primitive, TS) family at
+// the given footprints — the grid ApplyBounds wants, so every family
+// an artifact models carries a measured bound.
+func FullGrid(cfg config.Config, footprints []int64) ([]CheckCell, error) {
+	var cells []CheckCell
+	for _, s := range kernel.All() {
+		for _, prim := range CalibrationPrimitives {
+			for _, frac := range CalibrationFractions {
+				ts, err := cfg.TSFraction(frac)
+				if err != nil {
+					return nil, err
+				}
+				for _, b := range footprints {
+					cells = append(cells, CheckCell{Kernel: s.Name, Primitive: prim, TSBytes: ts, Bytes: b})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// CrossCheck replays every cell on both the twin and the cycle engine
+// and records the signed relative error of each predicted quantity.
+func CrossCheck(ctx context.Context, cfg config.Config, p *Predictor, run CellRunner, cells []CheckCell, parallelism int) ([]CheckResult, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	out := make([]CheckResult, len(cells))
+	err := runPool(ctx, len(cells), parallelism, func(i int) error {
+		cell := cells[i]
+		spec, err := kernel.ByName(cell.Kernel)
+		if err != nil {
+			return err
+		}
+		c := cellCfg(cfg, cell.Primitive, cell.TSBytes)
+		pred, err := p.Predict(c, spec, cell.Bytes)
+		if err != nil {
+			return fmt.Errorf("twin: cross-check %s/%v/ts=%dB: %w", cell.Kernel, cell.Primitive, cell.TSBytes, err)
+		}
+		meas, err := run(ctx, c, spec, cell.Bytes)
+		if err != nil {
+			return fmt.Errorf("twin: cross-check %s/%v/ts=%dB: %w", cell.Kernel, cell.Primitive, cell.TSBytes, err)
+		}
+		out[i] = CheckResult{
+			CheckCell:  cell,
+			Tiles:      pred.Tiles,
+			TwinTicks:  int64(pred.Run.ExecTime()),
+			CycleTicks: int64(meas.ExecTime()),
+			CyclesErr:  RelErr(float64(pred.Run.ExecTime()), float64(meas.ExecTime()), CyclesAbsFloor),
+			FenceErr:   RelErr(float64(pred.Run.FenceStallCycles), float64(meas.FenceStallCycles), StallAbsFloor),
+			OLErr:      RelErr(float64(pred.Run.OLStallCycles), float64(meas.OLStallCycles), StallAbsFloor),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BoundFloor is the minimum recorded relative bound. Observed errors
+// below it still get a 2% envelope, absorbing run-to-run quantization
+// the cross-check footprints did not happen to exercise.
+const BoundFloor = 0.02
+
+// DefaultSafety scales observed worst-case errors into recorded
+// bounds, leaving headroom for interpolated footprints between the
+// cross-checked ones.
+const DefaultSafety = 1.5
+
+// ApplyBounds folds cross-check results into the artifact: each
+// family's recorded bound becomes safety × its worst observed absolute
+// relative error, floored at BoundFloor. Families absent from results
+// keep zero bounds and fail every envelope test.
+func ApplyBounds(a *Artifact, results []CheckResult, safety float64) {
+	if safety <= 0 {
+		safety = DefaultSafety
+	}
+	type agg struct {
+		cyc, fence, ol float64
+		cells          int
+	}
+	worst := make(map[entryKey]*agg)
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for _, r := range results {
+		k := entryKey{r.Kernel, r.Primitive.String(), r.TSBytes}
+		w := worst[k]
+		if w == nil {
+			w = &agg{}
+			worst[k] = w
+		}
+		w.cells++
+		if e := abs(r.CyclesErr); e > w.cyc {
+			w.cyc = e
+		}
+		if e := abs(r.FenceErr); e > w.fence {
+			w.fence = e
+		}
+		if e := abs(r.OLErr); e > w.ol {
+			w.ol = e
+		}
+	}
+	bound := func(worst float64) float64 {
+		b := safety * worst
+		if b < BoundFloor {
+			b = BoundFloor
+		}
+		return b
+	}
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		w := worst[entryKey{e.Kernel, e.Primitive, e.TSBytes}]
+		if w == nil {
+			continue
+		}
+		e.CyclesBound = bound(w.cyc)
+		e.FenceBound = bound(w.fence)
+		e.OLBound = bound(w.ol)
+		e.Cells = w.cells
+	}
+}

@@ -1,0 +1,123 @@
+package twin
+
+import (
+	"fmt"
+
+	"orderlight/internal/config"
+	"orderlight/internal/isa"
+	"orderlight/internal/kernel"
+)
+
+// Counts are the exact whole-cell command totals the analytical twin
+// derives in closed form. They replicate the kernel generator's
+// arithmetic (tile count, per-phase command counts, ordering-point
+// placement) without building a kernel image, which is what keeps a
+// twin answer in the microsecond range: counts are combinatorial facts
+// of (config, spec, footprint), not simulation outcomes, so the twin
+// reports them exactly and only *cycle* quantities carry model error.
+type Counts struct {
+	Tiles    int   // tiles per channel
+	MemCmds  int64 // commands occupying DRAM bank timing, all channels
+	ExecCmds int64 // pure-ALU PIM commands, all channels
+	Orders   int64 // ordering primitives emitted (0 when primitive=none)
+
+	// Host-baseline accounting for the roofline model, matching the
+	// generator's: bytes the host would move and int32 ops it would
+	// execute for the same computation.
+	HostBytes int64
+	HostOps   int64
+}
+
+// TotalCmds returns every PIM command the cell issues.
+func (c Counts) TotalCmds() int64 { return c.MemCmds + c.ExecCmds }
+
+// phaseCmds mirrors kernel.PhaseSpec's unexported cmds method: a fixed
+// count wins, otherwise the count scales with the tile size N and is
+// floored at one command.
+func phaseCmds(p kernel.PhaseSpec, n int) int {
+	if p.FixedCmds > 0 {
+		return p.FixedCmds
+	}
+	c := int(p.CmdsPerN*float64(n) + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// CellCounts computes the exact command totals kernel.Build would
+// report for the same (cfg, spec, bytesPerChannel) cell. Every tile
+// emits the same phase structure and every channel emits the same tile
+// count (RandomRows phases randomize addresses, never counts), so the
+// totals are per-tile sums scaled by tiles × channels.
+func CellCounts(cfg config.Config, spec kernel.Spec, bytesPerChannel int64) (Counts, error) {
+	if err := cfg.Validate(); err != nil {
+		return Counts{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return Counts{}, err
+	}
+	n := cfg.CommandsPerTile()
+
+	// Tile count: the primary data structure (first memory phase's
+	// vector) must be covered once — the same rule Build applies.
+	primary := -1
+	perTile := make(map[int]int)
+	for _, p := range spec.Phases {
+		if !p.Kind.IsMemAccess() {
+			continue
+		}
+		if primary < 0 {
+			primary = p.Vec
+		}
+		if c := phaseCmds(p, n); c > perTile[p.Vec] {
+			perTile[p.Vec] = c
+		}
+	}
+	if primary < 0 {
+		return Counts{}, fmt.Errorf("twin: spec %q has no memory phase", spec.Name)
+	}
+	dataCmds := bytesPerChannel / int64(cfg.BytesPerCommand())
+	if dataCmds < 1 {
+		dataCmds = 1
+	}
+	tiles := int((dataCmds + int64(perTile[primary]) - 1) / int64(perTile[primary]))
+	if tiles < 1 {
+		tiles = 1
+	}
+
+	// Per-tile sums. The generator ends every phase with an ordering
+	// point and, when ExtraOrderEvery is set, inserts one more after
+	// each full run of that many commands within a phase (the counter
+	// resets at phase boundaries), i.e. floor((cmds-1)/every) extras.
+	var mem, exec, orders, hostOps int64
+	lanesPerSlot := int64(cfg.BytesPerCommand() / 4) // int32 lanes per slot
+	for _, p := range spec.Phases {
+		c := int64(phaseCmds(p, n))
+		if p.Kind.IsMemAccess() {
+			mem += c
+		} else {
+			exec += c
+		}
+		if p.Op != isa.OpNop {
+			hostOps += c * lanesPerSlot
+		}
+		orders++
+		if e := int64(spec.ExtraOrderEvery); e > 0 {
+			orders += (c - 1) / e
+		}
+	}
+	if prim := cfg.Run.Primitive; prim != config.PrimitiveFence && prim != config.PrimitiveOrderLight {
+		orders = 0
+	}
+
+	scale := int64(tiles) * int64(cfg.Memory.Channels)
+	return Counts{
+		Tiles:     tiles,
+		MemCmds:   mem * scale,
+		ExecCmds:  exec * scale,
+		Orders:    orders * scale,
+		HostBytes: mem * scale * int64(cfg.BytesPerCommand()),
+		HostOps:   hostOps * scale,
+	}, nil
+}

@@ -1,0 +1,170 @@
+package twin
+
+// White-box tests for the calibration plumbing the end-to-end tests
+// exercise only on their happy paths: option defaulting, the bounded
+// worker pool's failure modes, the two check grids, and the predictor
+// accessors around a loaded artifact.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/kernel"
+)
+
+func TestOptionsWithDefaults(t *testing.T) {
+	cfg := config.Default()
+	o, err := Options{}.withDefaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Anchors) != len(DefaultAnchors) {
+		t.Errorf("default anchors %v, want %v", o.Anchors, DefaultAnchors)
+	}
+	if len(o.TSBytes) != len(CalibrationFractions) {
+		t.Errorf("default TS sizes %v, want one per fraction %v", o.TSBytes, CalibrationFractions)
+	}
+	if len(o.Primitives) != len(CalibrationPrimitives) {
+		t.Errorf("default primitives %v, want %v", o.Primitives, CalibrationPrimitives)
+	}
+	if len(o.Specs) != len(kernel.All()) {
+		t.Errorf("default specs cover %d kernels, want all %d", len(o.Specs), len(kernel.All()))
+	}
+	if o.Parallelism < 1 {
+		t.Errorf("default parallelism %d, want >= 1", o.Parallelism)
+	}
+
+	// Explicit fields survive defaulting untouched.
+	o2, err := Options{Anchors: []int64{4 << 10}, TSBytes: []int{128},
+		Primitives: []config.Primitive{config.PrimitiveFence}, Parallelism: 3}.withDefaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o2.Anchors) != 1 || len(o2.TSBytes) != 1 || len(o2.Primitives) != 1 || o2.Parallelism != 3 {
+		t.Errorf("explicit options were overridden: %+v", o2)
+	}
+}
+
+func TestRunPool(t *testing.T) {
+	t.Run("runs every index", func(t *testing.T) {
+		var n atomic.Int64
+		if err := runPool(context.Background(), 17, 4, func(i int) error {
+			n.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 17 {
+			t.Errorf("ran %d jobs, want 17", n.Load())
+		}
+	})
+	t.Run("first error wins and stops the pool", func(t *testing.T) {
+		boom := errors.New("boom")
+		err := runPool(context.Background(), 64, 2, func(i int) error {
+			if i == 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("pool returned %v, want the job error", err)
+		}
+	})
+	t.Run("cancellation surfaces", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		err := runPool(ctx, 8, 2, func(i int) error { return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("pool returned %v, want context.Canceled", err)
+		}
+	})
+	t.Run("more workers than jobs", func(t *testing.T) {
+		var n atomic.Int64
+		if err := runPool(context.Background(), 2, 16, func(i int) error {
+			n.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 2 {
+			t.Errorf("ran %d jobs, want 2", n.Load())
+		}
+	})
+}
+
+func TestDefaultGridMirrorsExperiments(t *testing.T) {
+	cfg := config.Default()
+	cells, err := DefaultGrid(cfg, 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig5: add/none at 1/8 plus add/fence at all four fractions; fig12:
+	// every application kernel x 4 fractions x {fence, orderlight}.
+	want := 1 + len(CalibrationFractions) + len(kernel.Apps())*len(CalibrationFractions)*2
+	if len(cells) != want {
+		t.Errorf("default grid has %d cells, want %d", len(cells), want)
+	}
+	if cells[0].Kernel != "add" || cells[0].Primitive != config.PrimitiveNone {
+		t.Errorf("first cell %+v, want fig5's add/none", cells[0])
+	}
+	for _, c := range cells {
+		if c.Bytes != 128<<10 {
+			t.Fatalf("cell %+v does not carry the requested footprint", c)
+		}
+	}
+}
+
+func TestFullGridCoversEveryFamily(t *testing.T) {
+	cfg := config.Default()
+	foot := []int64{48 << 10, 128 << 10}
+	cells, err := FullGrid(cfg, foot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(kernel.All()) * len(CalibrationPrimitives) * len(CalibrationFractions) * len(foot)
+	if len(cells) != want {
+		t.Fatalf("full grid has %d cells, want %d", len(cells), want)
+	}
+	type family struct {
+		kernel, prim string
+		ts           int
+	}
+	seen := map[family]bool{}
+	for _, c := range cells {
+		seen[family{c.Kernel, c.Primitive.String(), c.TSBytes}] = true
+	}
+	if len(seen) != want/len(foot) {
+		t.Errorf("full grid covers %d families, want %d", len(seen), want/len(foot))
+	}
+}
+
+func TestLoadPredictorAccessors(t *testing.T) {
+	art := &Artifact{
+		ConfigHash: NormalizedConfigHash(config.Default()),
+		BytesMin:   16 << 10, BytesMax: 256 << 10,
+		Anchors: []int64{16 << 10, 256 << 10}, Seed: 1,
+		Entries: []Entry{{Kernel: "add", Primitive: "fence", TSBytes: 256,
+			CyclesBound: 0.02, FenceBound: 0.02, OLBound: 0.02, Cells: 1}},
+	}
+	path := filepath.Join(t.TempDir(), "cal.olcal")
+	if err := Save(art, path); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPredictor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hash() != art.Hash() {
+		t.Errorf("loaded predictor hash %s, want %s", p.Hash(), art.Hash())
+	}
+	if got := p.Artifact(); got.ConfigHash != art.ConfigHash || len(got.Entries) != 1 {
+		t.Errorf("Artifact() returned a different calibration: %+v", got)
+	}
+	if _, err := LoadPredictor(filepath.Join(t.TempDir(), "missing.olcal")); err == nil {
+		t.Error("loading a missing artifact succeeded")
+	}
+}

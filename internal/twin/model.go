@@ -1,0 +1,42 @@
+package twin
+
+// Lin is one fitted model line: quantity ≈ F + S·tiles. Every cell of
+// a (kernel, primitive, TS) family executes the same per-tile phase
+// structure, so its cycle-level quantities are affine in the tile
+// count to first order — F captures fixed cost (drain of the last
+// ordering point, pipeline fill), S the steady-state per-tile cost
+// (command service under the DRAM timing ceiling plus the per-tile
+// ordering stalls). The calibration pass fits both from cycle-engine
+// anchor runs; see DESIGN.md §4j for the derivation and valid ranges.
+type Lin struct {
+	F float64 `json:"f"` // fixed offset at zero tiles
+	S float64 `json:"s"` // slope per tile
+}
+
+// At evaluates the line at the given tile count.
+func (l Lin) At(tiles int) float64 { return l.F + l.S*float64(tiles) }
+
+// fitLin least-squares fits y ≈ F + S·x. With a single point (or all
+// x equal) the slope is indeterminate: the fit degenerates to a flat
+// line through the mean, which keeps interpolation safe and makes the
+// degenerate case explicit instead of dividing by a zero variance.
+func fitLin(x []int, y []float64) Lin {
+	if len(x) == 0 {
+		return Lin{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i, xi := range x {
+		fx := float64(xi)
+		sx += fx
+		sy += y[i]
+		sxx += fx * fx
+		sxy += fx * y[i]
+	}
+	n := float64(len(x))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Lin{F: sy / n}
+	}
+	s := (n*sxy - sx*sy) / den
+	return Lin{F: (sy - s*sx) / n, S: s}
+}

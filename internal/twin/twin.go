@@ -1,0 +1,195 @@
+// Package twin is the calibrated analytical twin of the cycle-level
+// simulator: a closed-form roofline/queueing surrogate that answers an
+// experiment cell in microseconds instead of milliseconds–seconds.
+//
+// The model separates what it knows exactly from what it estimates.
+// Command counts, tile counts and ordering-point counts are replicated
+// exactly from the kernel generator's arithmetic (counts.go); cycle
+// quantities — execution time, fence stall, OrderLight drain stall —
+// are affine-in-tiles lines fitted against cycle-engine anchor runs
+// (model.go) and persisted as a versioned, checksummed calibration
+// artifact (artifact.go). Every artifact carries per-family error
+// bounds recorded by a cross-check pass against the cycle engine
+// (calibrate.go); a twin answer outside the calibrated domain is
+// refused with ErrOutOfConfidence rather than guessed, so callers can
+// escalate to the cycle engine. Twin results never claim functional
+// verification and are never cached as cycle results.
+package twin
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+
+	"orderlight/internal/config"
+	"orderlight/internal/kernel"
+	"orderlight/internal/sim"
+	"orderlight/internal/stats"
+)
+
+// Absolute floors for the error envelope. Relative bounds alone are
+// brittle near zero (a 3-cycle stall predicted as 5 is a 67% "error"
+// that no caller cares about), so the envelope test is
+// |pred-meas| ≤ bound·|meas| + floor with floors far below anything an
+// experiment plots: ~50 ns of simulated time for the cycles line and a
+// fraction of one fence's worth of stall for the stall lines.
+const (
+	CyclesAbsFloor = 1024 // base ticks
+	StallAbsFloor  = 256  // core cycles
+)
+
+// Within reports whether a prediction stays inside the recorded
+// envelope for a measurement: relative bound plus absolute floor.
+func Within(pred, meas, bound, floor float64) bool {
+	return math.Abs(pred-meas) <= bound*math.Abs(meas)+floor
+}
+
+// RelErr returns the signed relative error of pred against meas,
+// flooring the denominator so near-zero measurements do not explode
+// the quotient (the same floor the envelope test uses).
+func RelErr(pred, meas, floor float64) float64 {
+	den := math.Abs(meas)
+	if den < floor {
+		den = floor
+	}
+	return (pred - meas) / den
+}
+
+// NormalizedConfigHash hashes the configuration with the per-cell grid
+// axes — the ordering primitive and the temporary-storage size —
+// zeroed out. One calibration artifact covers the full primitive × TS
+// grid of its base configuration; any other knob (channel count, BMF,
+// DRAM timing, seed) changes the hash and sends the query out of
+// confidence, because the fitted constants were measured under those
+// exact timings.
+func NormalizedConfigHash(cfg config.Config) string {
+	cfg.Run.Primitive = config.PrimitiveNone
+	cfg.PIM.TSBytes = 0
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("twin: config not encodable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Predictor answers what-if queries from a calibration artifact.
+type Predictor struct {
+	art   *Artifact
+	hash  string
+	byKey map[entryKey]int // index into art.Entries
+}
+
+type entryKey struct {
+	kernel    string
+	primitive string
+	tsBytes   int
+}
+
+// NewPredictor wraps an artifact for querying.
+func NewPredictor(a *Artifact) *Predictor {
+	p := &Predictor{art: a, hash: a.Hash(), byKey: make(map[entryKey]int, len(a.Entries))}
+	for i, e := range a.Entries {
+		p.byKey[entryKey{e.Kernel, e.Primitive, e.TSBytes}] = i
+	}
+	return p
+}
+
+// LoadPredictor loads a calibration artifact from disk and wraps it.
+func LoadPredictor(path string) (*Predictor, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewPredictor(a), nil
+}
+
+// Hash returns the content hash of the underlying calibration.
+func (p *Predictor) Hash() string { return p.hash }
+
+// Artifact returns the underlying calibration artifact.
+func (p *Predictor) Artifact() *Artifact { return p.art }
+
+// Prediction is one twin answer: a synthesized stats.Run plus the
+// calibration entry that produced it (whose recorded bounds callers
+// surface as the answer's error bar). Kernel carries the generator's
+// exact accounting counters — command totals and the host-roofline
+// inputs — without any program or memory image; its Programs and Store
+// are nil, which is precisely why the answer takes microseconds.
+type Prediction struct {
+	Run    *stats.Run
+	Kernel *kernel.Kernel
+	Entry  Entry
+	Tiles  int
+	Counts Counts
+}
+
+// Predict answers one cell analytically. Everything it cannot vouch
+// for declines with ErrOutOfConfidence: a base configuration other
+// than the calibrated one, a primitive the model has no line for, a
+// spec that is not byte-for-byte the registered Table 2 kernel of the
+// same name, or a footprint outside the anchored range. Within the
+// domain it synthesizes a stats.Run whose command counts are exact and
+// whose cycle quantities come from the fitted lines; Verified is
+// always false — the twin never claims functional verification.
+func (p *Predictor) Predict(cfg config.Config, spec kernel.Spec, bytesPerChannel int64) (*Prediction, error) {
+	if h := NormalizedConfigHash(cfg); h != p.art.ConfigHash {
+		return nil, fmt.Errorf("%w: config %s is not the calibrated base %s", ErrOutOfConfidence, h, p.art.ConfigHash)
+	}
+	prim := cfg.Run.Primitive
+	switch prim {
+	case config.PrimitiveNone, config.PrimitiveFence, config.PrimitiveOrderLight:
+	default:
+		return nil, fmt.Errorf("%w: primitive %v has no calibrated model", ErrOutOfConfidence, prim)
+	}
+	registered, err := kernel.ByName(spec.Name)
+	if err != nil || !reflect.DeepEqual(spec, registered) {
+		return nil, fmt.Errorf("%w: spec %q is not a registered Table 2 kernel", ErrOutOfConfidence, spec.Name)
+	}
+	if bytesPerChannel < p.art.BytesMin || bytesPerChannel > p.art.BytesMax {
+		return nil, fmt.Errorf("%w: %d bytes/channel outside calibrated range [%d, %d]",
+			ErrOutOfConfidence, bytesPerChannel, p.art.BytesMin, p.art.BytesMax)
+	}
+	i, ok := p.byKey[entryKey{spec.Name, prim.String(), cfg.PIM.TSBytes}]
+	if !ok {
+		return nil, fmt.Errorf("%w: no calibration entry for %s/%v/ts=%dB",
+			ErrOutOfConfidence, spec.Name, prim, cfg.PIM.TSBytes)
+	}
+	entry := p.art.Entries[i]
+
+	counts, err := CellCounts(cfg, spec, bytesPerChannel)
+	if err != nil {
+		return nil, err
+	}
+	run := stats.New(cfg.BytesPerCommand())
+	run.Start = 0
+	run.End = sim.Time(clampRound(entry.Cycles.At(counts.Tiles), 1))
+	run.PIMCommands = counts.TotalCmds()
+	switch prim {
+	case config.PrimitiveFence:
+		run.FenceCount = counts.Orders
+		run.FenceStallCycles = clampRound(entry.FenceStall.At(counts.Tiles), 0)
+	case config.PrimitiveOrderLight:
+		run.OLCount = counts.Orders
+		run.OLStallCycles = clampRound(entry.OLStall.At(counts.Tiles), 0)
+	}
+	run.Correct = entry.Correct
+	k := &kernel.Kernel{
+		Spec:    spec,
+		MemCmds: counts.MemCmds, ExecCmds: counts.ExecCmds, Orders: counts.Orders,
+		HostBytes: counts.HostBytes, HostOps: counts.HostOps,
+	}
+	return &Prediction{Run: run, Kernel: k, Entry: entry, Tiles: counts.Tiles, Counts: counts}, nil
+}
+
+// clampRound rounds x to the nearest integer, flooring at min.
+func clampRound(x float64, min int64) int64 {
+	v := int64(math.Round(x))
+	if v < min {
+		v = min
+	}
+	return v
+}

@@ -1,0 +1,296 @@
+package twin_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+	"orderlight/internal/stats"
+	"orderlight/internal/twin"
+)
+
+// skipRunner is a minimal cycle-engine CellRunner: build the kernel,
+// run the skip-ahead machine — the same path the runner's skip engine
+// takes, without the runner (twin's tests stay leaf-level).
+func skipRunner(ctx context.Context, cfg config.Config, spec kernel.Spec, bytes int64) (*stats.Run, error) {
+	k, err := kernel.Build(cfg, spec, bytes)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// TestCellCountsMatchBuild pins the twin's closed-form counts to the
+// generator's actual output over the full kernel × primitive × TS grid
+// at several footprints, including a non-multiple one.
+func TestCellCountsMatchBuild(t *testing.T) {
+	base := config.Default()
+	prims := []config.Primitive{config.PrimitiveNone, config.PrimitiveFence, config.PrimitiveOrderLight}
+	for _, spec := range kernel.All() {
+		for _, prim := range prims {
+			for _, ts := range []int{128, 256, 512, 1024} {
+				for _, bytes := range []int64{512, 4 << 10, 100_000, 256 << 10} {
+					cfg := base
+					cfg.Run.Primitive = prim
+					cfg.PIM.TSBytes = ts
+					k, err := kernel.Build(cfg, spec, bytes)
+					if err != nil {
+						t.Fatalf("Build(%s/%v/ts=%d): %v", spec.Name, prim, ts, err)
+					}
+					got, err := twin.CellCounts(cfg, spec, bytes)
+					if err != nil {
+						t.Fatalf("CellCounts(%s/%v/ts=%d): %v", spec.Name, prim, ts, err)
+					}
+					if got.MemCmds != k.MemCmds || got.ExecCmds != k.ExecCmds || got.Orders != k.Orders ||
+						got.HostBytes != k.HostBytes || got.HostOps != k.HostOps {
+						t.Errorf("%s/%v/ts=%d bytes=%d: counts = %+v, Build = mem %d exec %d orders %d hostB %d hostOps %d",
+							spec.Name, prim, ts, bytes, got, k.MemCmds, k.ExecCmds, k.Orders, k.HostBytes, k.HostOps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArtifactCodecLadder walks the decode failure ladder: every
+// corruption class maps to its sentinel, and all of them classify as
+// ErrCalibration.
+func TestArtifactCodecLadder(t *testing.T) {
+	art := &twin.Artifact{
+		ConfigHash: "deadbeef00112233", Channels: 16,
+		BytesMin: 16 << 10, BytesMax: 256 << 10,
+		Anchors: []int64{16 << 10, 256 << 10}, Seed: 1,
+		Entries: []twin.Entry{{
+			Kernel: "add", Primitive: "fence", TSBytes: 256,
+			Cycles: twin.Lin{F: 100, S: 10}, CyclesBound: 0.02, Cells: 3,
+		}},
+	}
+	valid, err := twin.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"empty", nil, twin.ErrTruncated},
+		{"magic only", []byte("OLCAL1"), twin.ErrTruncated},
+		{"bad magic", []byte("NOTCAL99999999999999999999999999999999999999999999"), twin.ErrFormat},
+		{"half", valid[:len(valid)/2], twin.ErrTruncated},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xAA), twin.ErrFormat},
+		{"bit flip", flipLast(valid), twin.ErrChecksum},
+		{"future version", bumpVersion(valid), twin.ErrVersion},
+	}
+	for _, tc := range tests {
+		if _, err := twin.Decode(tc.blob); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Decode err = %v, want %v", tc.name, err, tc.want)
+		} else if !errors.Is(err, twin.ErrCalibration) {
+			t.Errorf("%s: %v does not classify as ErrCalibration", tc.name, err)
+		}
+	}
+
+	got, err := twin.Decode(valid)
+	if err != nil {
+		t.Fatalf("valid blob: %v", err)
+	}
+	if got.ConfigHash != art.ConfigHash || len(got.Entries) != 1 || got.Entries[0] != art.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Hash() != art.Hash() {
+		t.Fatalf("hash changed across round trip: %s vs %s", got.Hash(), art.Hash())
+	}
+}
+
+func flipLast(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	out[len(out)-1] ^= 0x01
+	return out
+}
+
+func bumpVersion(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	out[7] = 0x07 // version low byte, after the 6-byte magic
+	return out
+}
+
+// TestSaveLoad round-trips an artifact through disk.
+func TestSaveLoad(t *testing.T) {
+	art := &twin.Artifact{ConfigHash: "cafe", Anchors: []int64{1024}, Entries: []twin.Entry{
+		{Kernel: "copy", Primitive: "orderlight", TSBytes: 128, Cycles: twin.Lin{F: 1, S: 2}},
+	}}
+	path := filepath.Join(t.TempDir(), "calibration.olcal")
+	if err := twin.Save(art, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := twin.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != art.Hash() {
+		t.Fatalf("hash mismatch after disk round trip")
+	}
+	if _, err := twin.Load(filepath.Join(t.TempDir(), "missing.olcal")); err == nil {
+		t.Fatal("loading a missing file did not fail")
+	}
+}
+
+// TestPredictorDeclines pins every out-of-confidence class to
+// ErrOutOfConfidence.
+func TestPredictorDeclines(t *testing.T) {
+	cfg := config.Default()
+	art := &twin.Artifact{
+		ConfigHash: twin.NormalizedConfigHash(cfg),
+		BytesMin:   16 << 10, BytesMax: 256 << 10,
+		Entries: []twin.Entry{{Kernel: "add", Primitive: "fence", TSBytes: 256, Cycles: twin.Lin{F: 10, S: 100}}},
+	}
+	p := twin.NewPredictor(art)
+	add, err := kernel.ByName("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	okCfg := cfg
+	okCfg.Run.Primitive = config.PrimitiveFence
+	if _, err := p.Predict(okCfg, add, 32<<10); err != nil {
+		t.Fatalf("in-domain predict failed: %v", err)
+	}
+
+	foreign := okCfg
+	foreign.Memory.Channels = 8
+	seqno := okCfg
+	seqno.Run.Primitive = config.PrimitiveSeqno
+	noEntry := okCfg
+	noEntry.PIM.TSBytes = 512
+	custom := add
+	custom.Phases = append([]kernel.PhaseSpec(nil), add.Phases...)
+	custom.Phases[0].CmdsPerN = 2
+
+	tests := []struct {
+		name  string
+		cfg   config.Config
+		spec  kernel.Spec
+		bytes int64
+	}{
+		{"foreign config", foreign, add, 32 << 10},
+		{"seqno primitive", seqno, add, 32 << 10},
+		{"no entry for ts", noEntry, add, 32 << 10},
+		{"modified spec", okCfg, custom, 32 << 10},
+		{"below range", okCfg, add, 1 << 10},
+		{"above range", okCfg, add, 1 << 20},
+	}
+	for _, tc := range tests {
+		if _, err := p.Predict(tc.cfg, tc.spec, tc.bytes); !errors.Is(err, twin.ErrOutOfConfidence) {
+			t.Errorf("%s: err = %v, want ErrOutOfConfidence", tc.name, err)
+		}
+	}
+}
+
+// TestCalibrateCrossCheckPredict is the end-to-end harness at reduced
+// scale: calibrate two kernels against the real skip engine, record
+// bounds from a cross-check, and assert a fresh prediction at an
+// uncalibrated intermediate footprint lands inside its envelope.
+func TestCalibrateCrossCheckPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs real simulations")
+	}
+	cfg := config.Default()
+	specs := []kernel.Spec{mustSpec(t, "add"), mustSpec(t, "fc")}
+	opt := twin.Options{
+		Anchors: []int64{4 << 10, 16 << 10, 48 << 10},
+		TSBytes: []int{256},
+		Specs:   specs,
+	}
+	art, err := twin.Calibrate(context.Background(), cfg, skipRunner, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Entries) != len(specs)*3 {
+		t.Fatalf("entries = %d, want %d", len(art.Entries), len(specs)*3)
+	}
+	p := twin.NewPredictor(art)
+
+	var cells []twin.CheckCell
+	for _, s := range specs {
+		for _, prim := range twin.CalibrationPrimitives {
+			cells = append(cells, twin.CheckCell{Kernel: s.Name, Primitive: prim, TSBytes: 256, Bytes: 24 << 10})
+		}
+	}
+	results, err := twin.CrossCheck(context.Background(), cfg, p, skipRunner, cells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin.ApplyBounds(art, results, 0)
+
+	for _, r := range results {
+		i := entryIndex(t, art, r.Kernel, r.Primitive.String(), r.TSBytes)
+		e := art.Entries[i]
+		if e.CyclesBound <= 0 || e.Cells == 0 {
+			t.Fatalf("%s/%v: bounds not applied: %+v", r.Kernel, r.Primitive, e)
+		}
+		if !twin.Within(float64(r.TwinTicks), float64(r.CycleTicks), e.CyclesBound, twin.CyclesAbsFloor) {
+			t.Errorf("%s/%v: cross-checked cell outside its own bound: twin %d cycle %d bound %.3f",
+				r.Kernel, r.Primitive, r.TwinTicks, r.CycleTicks, e.CyclesBound)
+		}
+		if math.Abs(r.CyclesErr) > 0.10 {
+			t.Errorf("%s/%v: relative cycle error %.3f exceeds 10%%", r.Kernel, r.Primitive, r.CyclesErr)
+		}
+	}
+
+	// A fresh in-domain prediction at a footprint no anchor or check
+	// used must stay inside the envelope against a live measurement.
+	c := cfg
+	c.Run.Primitive = config.PrimitiveOrderLight
+	pred, err := p.Predict(c, specs[0], 36<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := skipRunner(context.Background(), c, specs[0], 36<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := entryIndex(t, art, specs[0].Name, "orderlight", 256)
+	if !twin.Within(float64(pred.Run.ExecTime()), float64(meas.ExecTime()), art.Entries[i].CyclesBound, twin.CyclesAbsFloor) {
+		t.Errorf("fresh footprint outside envelope: twin %v cycle %v bound %.3f",
+			pred.Run.ExecTime(), meas.ExecTime(), art.Entries[i].CyclesBound)
+	}
+	if pred.Run.Verified {
+		t.Error("twin prediction claims functional verification")
+	}
+	if pred.Run.PIMCommands != meas.PIMCommands {
+		t.Errorf("twin PIM commands %d != measured %d (counts must be exact)", pred.Run.PIMCommands, meas.PIMCommands)
+	}
+	if pred.Run.OLCount != meas.OLCount {
+		t.Errorf("twin OL count %d != measured %d (counts must be exact)", pred.Run.OLCount, meas.OLCount)
+	}
+}
+
+func mustSpec(t *testing.T, name string) kernel.Spec {
+	t.Helper()
+	s, err := kernel.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func entryIndex(t *testing.T, art *twin.Artifact, k, prim string, ts int) int {
+	t.Helper()
+	for i, e := range art.Entries {
+		if e.Kernel == k && e.Primitive == prim && e.TSBytes == ts {
+			return i
+		}
+	}
+	t.Fatalf("no entry for %s/%s/ts=%d", k, prim, ts)
+	return -1
+}

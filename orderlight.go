@@ -52,6 +52,7 @@ import (
 	"orderlight/internal/serve"
 	"orderlight/internal/stats"
 	"orderlight/internal/trace"
+	"orderlight/internal/twin"
 )
 
 // Sentinel errors every failure from this package can be classified
@@ -84,6 +85,13 @@ var (
 	ErrCheckpointChecksum  = olerrors.ErrCheckpointChecksum
 	ErrCheckpointVersion   = olerrors.ErrCheckpointVersion
 	ErrCheckpointMismatch  = olerrors.ErrCheckpointMismatch
+	// ErrTwinOutOfConfidence reports a cell the twin engine declines to
+	// answer: foreign config, uncalibrated kernel/primitive/footprint,
+	// or a faulted or host cell. WithTwinEscalate re-runs such cells on
+	// the cycle engine instead. ErrTwinCalibration classifies a damaged
+	// or unusable calibration artifact.
+	ErrTwinOutOfConfidence = twin.ErrOutOfConfidence
+	ErrTwinCalibration     = twin.ErrCalibration
 )
 
 // Config is the complete simulator configuration (Table 1 plus PIM and
@@ -375,7 +383,8 @@ func WithParallelEngine() Option {
 }
 
 // WithEngine selects the simulation engine by name: "skip" (the
-// default), "dense" or "parallel". It is the string-typed form the
+// default), "dense", "parallel" or "twin" (the calibrated analytical
+// model — needs WithCalibration). It is the string-typed form the
 // CLIs' -engine flag funnels through; unknown names are rejected by
 // option validation, never silently mapped to a default.
 func WithEngine(name string) Option {
@@ -387,6 +396,40 @@ func WithEngine(name string) Option {
 // with WithParallelEngine. Results are byte-identical for every value.
 func WithParallelShards(n int) Option {
 	return func(o *RunOpts) { o.Shards = n }
+}
+
+// WithTwin answers the run from the calibrated analytical twin instead
+// of simulating: a roofline/queueing model fitted against cycle-engine
+// runs predicts cycle counts and stalls in microseconds. Twin answers
+// are approximations — each carries the calibration's recorded error
+// bound in its manifest, is never marked functionally verified, and is
+// never byte-compared against (or cached as) a cycle-engine result.
+// The artifact at path is the committed calibration (regenerate with
+// `make calibrate`). Cells outside the calibration's confidence domain
+// fail with ErrTwinOutOfConfidence unless WithTwinEscalate is set.
+func WithTwin(path string) Option {
+	return func(o *RunOpts) {
+		o.Engine = "twin"
+		o.Calibration = path
+	}
+}
+
+// WithCalibration points the twin engine at a calibration artifact
+// without selecting the engine — the string-typed form the CLIs'
+// -calibration flag funnels through. Combine with WithEngine("twin");
+// WithTwin does both at once.
+func WithCalibration(path string) Option {
+	return func(o *RunOpts) { o.Calibration = path }
+}
+
+// WithTwinEscalate re-runs cells the twin declines as out-of-confidence
+// (foreign config, uncalibrated kernel or footprint, faulted or host
+// cells) on the skip-ahead cycle engine instead of failing. Escalated
+// cells take the ordinary cycle-engine path — same result-cache domain,
+// same manifest engine name — so they are byte-identical to a direct
+// cycle-engine run.
+func WithTwinEscalate() Option {
+	return func(o *RunOpts) { o.Escalate = true }
 }
 
 // WithScale overrides the data footprint experiments simulate (the

@@ -1,0 +1,248 @@
+package orderlight
+
+// This file is the `make check-twin` gate. It holds the committed
+// calibration artifact to the contract the twin engine advertises:
+// seeded random cells the calibration pass never measured must land
+// inside the artifact's recorded error envelope against the skip-ahead
+// cycle engine, and cells the twin declines must escalate to a
+// byte-identical cycle-engine run. The tests skip when
+// calibration.olcal is absent so a fresh clone's `go test ./...`
+// stays self-contained; the make target fails hard on a missing
+// artifact instead of skipping.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"orderlight/internal/config"
+	"orderlight/internal/gpu"
+	"orderlight/internal/kernel"
+	"orderlight/internal/twin"
+)
+
+const calibrationArtifact = "calibration.olcal"
+
+// checkTwinPredictor loads the committed calibration and confirms it
+// targets the default configuration this gate replays cells on.
+func checkTwinPredictor(t *testing.T) *twin.Predictor {
+	t.Helper()
+	if _, err := os.Stat(calibrationArtifact); err != nil {
+		t.Skipf("%s not present; run `make calibrate`", calibrationArtifact)
+	}
+	p, err := twin.LoadPredictor(calibrationArtifact)
+	if err != nil {
+		t.Fatalf("load %s: %v", calibrationArtifact, err)
+	}
+	if h := twin.NormalizedConfigHash(config.Default()); h != p.Artifact().ConfigHash {
+		t.Fatalf("calibration targets config %s, not the default %s — regenerate with `make calibrate`",
+			p.Artifact().ConfigHash, h)
+	}
+	return p
+}
+
+// TestTwinCheckEnvelope draws seeded random cells per kernel family —
+// a primitive, a temporary-storage size, and a log-uniform footprint
+// inside the anchored range, none of which the calibration pass
+// measured — and answers each on both the twin and the cycle engine.
+// Every twin answer must sit inside the entry's recorded envelope,
+// command counts must be exact, the median relative cycle error must
+// stay under 10%, and the analytical answers must be at least 100x
+// faster in aggregate than simulating — the properties the twin tier
+// exists for.
+func TestTwinCheckEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-engine ground truth is not short")
+	}
+	p := checkTwinPredictor(t)
+	art := p.Artifact()
+
+	byKernel := map[string][]twin.Entry{}
+	for _, e := range art.Entries {
+		byKernel[e.Kernel] = append(byKernel[e.Kernel], e)
+	}
+	var families []string
+	for k := range byKernel {
+		families = append(families, k)
+	}
+	sort.Strings(families)
+
+	// Pinned seed: the sampled grid is identical on every run, so a
+	// violation reproduces. Footprints are log-uniform over the anchored
+	// range (rounded down to 1 KiB) — the anchors are powers of two, so
+	// almost every draw is a size the fit has never seen.
+	const perFamily = 2
+	rng := rand.New(rand.NewSource(20260807))
+	type cell struct {
+		entry twin.Entry
+		bytes int64
+	}
+	var cells []cell
+	lo, hi := math.Log(float64(art.BytesMin)), math.Log(float64(art.BytesMax))
+	for _, fam := range families {
+		es := byKernel[fam]
+		for i := 0; i < perFamily; i++ {
+			e := es[rng.Intn(len(es))]
+			b := int64(math.Exp(lo+rng.Float64()*(hi-lo))) &^ 1023
+			if b < art.BytesMin {
+				b = art.BytesMin
+			}
+			cells = append(cells, cell{e, b})
+		}
+	}
+
+	base := config.Default()
+	var (
+		mu      sync.Mutex
+		twinDur time.Duration
+		cycDur  time.Duration
+		relErrs []float64
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			name := c.entry.Kernel + "/" + c.entry.Primitive
+			if c.entry.Cells == 0 || c.entry.CyclesBound == 0 {
+				t.Errorf("%s ts=%d: entry was never cross-checked (bounds unset) — the artifact is not trustworthy", name, c.entry.TSBytes)
+				return
+			}
+			prim, err := config.ParsePrimitive(c.entry.Primitive)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			spec, err := kernel.ByName(c.entry.Kernel)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			cfg := base
+			cfg.Run.Primitive = prim
+			cfg.PIM.TSBytes = c.entry.TSBytes
+
+			t0 := time.Now()
+			pred, err := p.Predict(cfg, spec, c.bytes)
+			dTwin := time.Since(t0)
+			if err != nil {
+				t.Errorf("%s @ %d B: twin declined an in-domain cell: %v", name, c.bytes, err)
+				return
+			}
+
+			t1 := time.Now()
+			k, err := kernel.Build(cfg, spec, c.bytes)
+			if err != nil {
+				t.Errorf("%s @ %d B: %v", name, c.bytes, err)
+				return
+			}
+			m, err := gpu.NewMachine(cfg, k.Store, k.Programs)
+			if err != nil {
+				t.Errorf("%s @ %d B: %v", name, c.bytes, err)
+				return
+			}
+			meas, err := m.Run()
+			dCyc := time.Since(t1)
+			if err != nil {
+				t.Errorf("%s @ %d B: cycle engine: %v", name, c.bytes, err)
+				return
+			}
+
+			if pred.Run.PIMCommands != meas.PIMCommands {
+				t.Errorf("%s @ %d B: twin PIMCommands %d != cycle %d (counts must be exact)",
+					name, c.bytes, pred.Run.PIMCommands, meas.PIMCommands)
+			}
+			if pred.Run.FenceCount != meas.FenceCount || pred.Run.OLCount != meas.OLCount {
+				t.Errorf("%s @ %d B: twin order counts (%d fence, %d OL) != cycle (%d, %d)",
+					name, c.bytes, pred.Run.FenceCount, pred.Run.OLCount, meas.FenceCount, meas.OLCount)
+			}
+			pc, mc := float64(pred.Run.ExecTime()), float64(meas.ExecTime())
+			if !twin.Within(pc, mc, c.entry.CyclesBound, twin.CyclesAbsFloor) {
+				t.Errorf("%s @ %d B: cycles %0.f vs measured %.0f outside recorded bound %.3f",
+					name, c.bytes, pc, mc, c.entry.CyclesBound)
+			}
+			if !twin.Within(float64(pred.Run.FenceStallCycles), float64(meas.FenceStallCycles), c.entry.FenceBound, twin.StallAbsFloor) {
+				t.Errorf("%s @ %d B: fence stalls %d vs measured %d outside recorded bound %.3f",
+					name, c.bytes, pred.Run.FenceStallCycles, meas.FenceStallCycles, c.entry.FenceBound)
+			}
+			if !twin.Within(float64(pred.Run.OLStallCycles), float64(meas.OLStallCycles), c.entry.OLBound, twin.StallAbsFloor) {
+				t.Errorf("%s @ %d B: OL stalls %d vs measured %d outside recorded bound %.3f",
+					name, c.bytes, pred.Run.OLStallCycles, meas.OLStallCycles, c.entry.OLBound)
+			}
+
+			mu.Lock()
+			twinDur += dTwin
+			cycDur += dCyc
+			relErrs = append(relErrs, math.Abs(twin.RelErr(pc, mc, twin.CyclesAbsFloor)))
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	if len(relErrs) == 0 {
+		t.Fatal("no cells sampled")
+	}
+	sort.Float64s(relErrs)
+	if med := relErrs[len(relErrs)/2]; med > 0.10 {
+		t.Errorf("median relative cycle error %.3f exceeds the 10%% contract", med)
+	}
+	if speedup := float64(cycDur) / float64(twinDur); speedup < 100 {
+		t.Errorf("twin answered %d cells only %.0fx faster than the cycle engine (%v vs %v), want >= 100x",
+			len(cells), speedup, twinDur, cycDur)
+	} else {
+		t.Logf("twin answered %d cells %.0fx faster (%v vs %v), median |cycle err| %.4f",
+			len(cells), speedup, twinDur, cycDur, relErrs[len(relErrs)/2])
+	}
+}
+
+// TestTwinCheckEscalateByteIdentity pins the gate's escape hatch
+// through the public facade: a cell outside the calibrated domain (the
+// seqno related-work baseline has no twin model) fails with
+// ErrTwinOutOfConfidence under WithTwin, and with WithTwinEscalate it
+// falls through to the skip-ahead cycle engine byte-identically. An
+// in-domain cell answered by the twin must never claim functional
+// verification.
+func TestTwinCheckEscalateByteIdentity(t *testing.T) {
+	p := checkTwinPredictor(t)
+	art := p.Artifact()
+	ctx := context.Background()
+
+	cfg := DefaultConfig()
+	cfg.Run.Primitive = PrimitiveSeqno
+	footprint := art.BytesMin // smallest calibrated size: fast ground truth
+
+	if _, err := RunKernelContext(ctx, cfg, "add", footprint, WithTwin(calibrationArtifact)); !errors.Is(err, ErrTwinOutOfConfidence) {
+		t.Fatalf("seqno cell on the twin returned %v, want ErrTwinOutOfConfidence", err)
+	}
+	direct, err := RunKernelContext(ctx, cfg, "add", footprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, err := RunKernelContext(ctx, cfg, "add", footprint, WithTwin(calibrationArtifact), WithTwinEscalate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esc.String() != direct.String() {
+		t.Errorf("escalated cell differs from direct cycle-engine run:\n%s\nvs\n%s", esc, direct)
+	}
+
+	cfg.Run.Primitive = PrimitiveFence
+	res, err := RunKernelContext(ctx, cfg, "add", footprint, WithTwin(calibrationArtifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Error("twin answer claims functional verification")
+	}
+}
