@@ -13,17 +13,19 @@ COVER_FLOOR ?= 80.0
 FUZZTIME ?= 10s
 CKPT_FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race race-parallel smoke smoke-serve smoke-fabric cover fuzz-smoke fuzz-ckpt calibrate check-twin speedup bench bench-compare profile results check-results clean
+.PHONY: ci vet build test race race-parallel smoke smoke-serve smoke-fabric smoke-chaos cover fuzz-smoke fuzz-ckpt calibrate check-twin speedup bench bench-compare profile results check-results clean
 
 # ci is the tier-1 gate: vet, build, the full test suite under the race
 # detector (including the serve handler tests), the parallel-engine
 # suite under the race detector with shards forced past the core count,
 # a parallel-vs-sequential smoke of the CLIs, a daemon lifecycle smoke
 # (start → healthz → submit → SIGTERM drain → resume), a distributed
-# sweep-fabric smoke (coordinator + two workers + mid-run SIGKILL), and
-# a brief run of the checkpoint-decoder fuzzer (crash-safety is a
-# tier-1 property), and the twin-engine envelope gate (check-twin).
-ci: vet build race race-parallel smoke smoke-serve smoke-fabric fuzz-ckpt check-twin
+# sweep-fabric smoke (coordinator + two workers + mid-run SIGKILL), the
+# chaos drill (the same fabric under seeded network+disk fault
+# injection plus a coordinator SIGKILL/restart), a brief run of the
+# checkpoint-decoder fuzzer (crash-safety is a tier-1 property), and
+# the twin-engine envelope gate (check-twin).
+ci: vet build race race-parallel smoke smoke-serve smoke-fabric smoke-chaos fuzz-ckpt check-twin
 
 vet:
 	$(GO) vet ./...
@@ -180,6 +182,70 @@ smoke-fabric:
 	kill $$w2 $$w1b 2>/dev/null; kill -TERM $$pid; wait $$pid || true; pid=; w2=; w1b=; \
 	echo "smoke-fabric: OK (fig12 over 2 workers + mid-run SIGKILL byte-identical to local)"
 
+# smoke-chaos is the fault-injection drill: the smoke-fabric topology
+# (coordinator + two workers, 1-cell leases) runs with -chaos armed on
+# both workers — seeded network faults on every coordinator call,
+# seeded disk faults on every journal write — a journaled coordinator
+# is SIGKILLed mid-run and restarted on the same -fabric-journal, and
+# the reassembled output must STILL be byte-identical to a local run.
+# A second leg pins the determinism claim itself: two identical local
+# runs with the same -chaos-seed must emit the identical injected-fault
+# trace (and identical results), so any failure this target ever finds
+# is replayable from its seed.
+smoke-chaos:
+	@$(GO) build -o /tmp/ol-smoke-olserve ./cmd/olserve
+	@$(GO) build -o /tmp/ol-smoke-olbench ./cmd/olbench
+	@tmp=$$(mktemp -d); pid=; pid2=; w1=; w2=; \
+	trap 'kill -9 $$pid $$pid2 $$w1 $$w2 2>/dev/null; rm -rf $$tmp' EXIT; \
+	/tmp/ol-smoke-olserve -addr localhost:0 -addr-file $$tmp/addr \
+		-fabric -fabric-journal $$tmp/board.journal -lease-timeout 2s -chunk 1 \
+		-workers 2 2>$$tmp/serve1.log & pid=$$!; \
+	i=0; while [ ! -s $$tmp/addr ] && [ $$i -lt 100 ]; do sleep 0.05; i=$$((i+1)); done; \
+	base="http://$$(cat $$tmp/addr)"; \
+	/tmp/ol-smoke-olserve -healthcheck $$base >/dev/null || { \
+		echo "smoke-chaos: FAIL: coordinator never became healthy"; cat $$tmp/serve1.log; exit 1; }; \
+	/tmp/ol-smoke-olserve -worker $$base -worker-name cw1 -worker-checkpoint-dir $$tmp/w1 \
+		-chaos net=0.15,fs=0.15 -chaos-seed 7 2>$$tmp/w1.log & w1=$$!; \
+	/tmp/ol-smoke-olserve -worker $$base -worker-name cw2 -worker-checkpoint-dir $$tmp/w2 \
+		-chaos net=0.15,fs=0.15 -chaos-seed 8 2>$$tmp/w2.log & w2=$$!; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -server $$base -fabric \
+		>$$tmp/chaos.md 2>$$tmp/olbench.log & cpid=$$!; \
+	i=0; until grep -q '"cell"' $$tmp/board.journal 2>/dev/null; do \
+		if [ $$i -ge 600 ]; then \
+			echo "smoke-chaos: FAIL: no cell completed under chaos"; \
+			cat $$tmp/serve1.log $$tmp/w1.log $$tmp/w2.log; exit 1; fi; \
+		sleep 0.05; i=$$((i+1)); done; \
+	kill -9 $$pid; wait $$pid 2>/dev/null; pid=; \
+	/tmp/ol-smoke-olserve -addr $${base#http://} \
+		-fabric -fabric-journal $$tmp/board.journal -lease-timeout 2s -chunk 1 \
+		-workers 2 2>$$tmp/serve2.log & pid2=$$!; \
+	/tmp/ol-smoke-olserve -healthcheck $$base >/dev/null || { \
+		echo "smoke-chaos: FAIL: restarted coordinator never became healthy"; cat $$tmp/serve2.log; exit 1; }; \
+	wait $$cpid || { \
+		echo "smoke-chaos: FAIL: fabric sweep failed under chaos"; \
+		cat $$tmp/serve1.log $$tmp/serve2.log $$tmp/olbench.log $$tmp/w1.log $$tmp/w2.log; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) >$$tmp/local.md 2>/dev/null; \
+	diff $$tmp/local.md $$tmp/chaos.md >/dev/null || { \
+		echo "smoke-chaos: FAIL: chaos-fabric output differs from local run"; exit 1; }; \
+	kill $$w1 $$w2 2>/dev/null; kill -TERM $$pid2; wait $$pid2 2>/dev/null || true; pid2=; w1=; w2=; \
+	echo "smoke-chaos: OK ($(SMOKE_EXP) over 2 chaos workers + coordinator SIGKILL/restart byte-identical to local)"
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -parallel 1 \
+		-cache-dir $$tmp/rc1 -chaos fs=0.4 -chaos-seed 11 >$$tmp/a.md 2>$$tmp/a.log || { \
+		echo "smoke-chaos: FAIL: run did not survive disk chaos"; cat $$tmp/a.log; exit 1; }; \
+	/tmp/ol-smoke-olbench -exp $(SMOKE_EXP) -size $(SMOKE_SIZE) -parallel 1 \
+		-cache-dir $$tmp/rc2 -chaos fs=0.4 -chaos-seed 11 >$$tmp/b.md 2>$$tmp/b.log || { \
+		echo "smoke-chaos: FAIL: second chaos run failed"; cat $$tmp/b.log; exit 1; }; \
+	grep '^chaos:' $$tmp/a.log >$$tmp/a.trace; grep '^chaos:' $$tmp/b.log >$$tmp/b.trace; \
+	[ -s $$tmp/a.trace ] || { \
+		echo "smoke-chaos: FAIL: fs=0.4 injected no faults (trace empty)"; exit 1; }; \
+	diff $$tmp/a.trace $$tmp/b.trace >/dev/null || { \
+		echo "smoke-chaos: FAIL: same seed produced different fault sequences"; \
+		diff $$tmp/a.trace $$tmp/b.trace | head; exit 1; }; \
+	diff $$tmp/a.md $$tmp/b.md >/dev/null || { \
+		echo "smoke-chaos: FAIL: chaos runs not byte-identical"; exit 1; }; \
+	echo "smoke-chaos: OK (seed 11 replayed $$(wc -l <$$tmp/a.trace) injected faults identically; output byte-identical)"
+
 # cover enforces a statement-coverage floor over the internal packages.
 # The floor sits well under the current ~87% so legitimate refactors
 # don't trip it, but a dropped test file does.
@@ -200,6 +266,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/ckpt
 	$(GO) test -run '^$$' -fuzz '^FuzzResultCacheDecode$$' -fuzztime $(FUZZTIME) ./internal/rcache
 	$(GO) test -run '^$$' -fuzz '^FuzzCalibrationDecode$$' -fuzztime $(FUZZTIME) ./internal/twin
+	$(GO) test -run '^$$' -fuzz '^FuzzChaosPlanDecode$$' -fuzztime $(FUZZTIME) ./internal/chaos
 
 # fuzz-ckpt is the short ci-gate slice of the checkpoint fuzzer: a few
 # seconds is enough to replay the committed corpus plus a burst of

@@ -22,6 +22,7 @@
 //	olbench -exp fig5 -server http://localhost:8080  # run on an olserve daemon
 //	olbench -exp all -cache-dir rc     # memoize cells; an identical rerun simulates nothing
 //	olbench -exp fig12 -server URL -fabric  # distribute cells over olserve -worker processes
+//	olbench -exp fig5 -chaos fs=0.2 -chaos-seed 7 -cache-dir rc  # seeded fault injection drill
 //	olbench -list                      # list experiment IDs
 package main
 
@@ -76,6 +77,7 @@ func main() {
 	ckpt := cliflags.RegisterCheckpoint(flag.CommandLine)
 	eng := cliflags.RegisterEngine(flag.CommandLine)
 	rcache := cliflags.RegisterCache(flag.CommandLine)
+	chaosFlags := cliflags.RegisterChaos(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -103,6 +105,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	chaosPlan, err := chaosFlags.Plan(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -121,6 +130,11 @@ func main() {
 		orderlight.WithKernelCache(*cache),
 	}
 	opts = append(opts, eng.Options()...)
+	if chaosPlan != nil {
+		// Local chaos: the run's durability writes (checkpoint journal,
+		// result-cache blobs) go through the plan's seeded sick disk.
+		opts = append(opts, orderlight.WithChaosFS(orderlight.NewChaosFS(chaosPlan, nil)))
+	}
 	if *manifest {
 		opts = append(opts, orderlight.WithManifest())
 	}
@@ -156,7 +170,6 @@ func main() {
 
 	start := time.Now()
 	var tables []*orderlight.Table
-	var err error
 	switch {
 	case *server != "":
 		if ckpt.Active() {
@@ -180,7 +193,7 @@ func main() {
 			Retries:         *retries,
 			CellTimeout:     *cellTime,
 			Fabric:          *fabric,
-		}, &cells)
+		}, &cells, chaosPlan)
 	case *exp == "all":
 		tables, err = orderlight.RunAllExperimentsContext(ctx, cfg, opts...)
 	default:
@@ -225,8 +238,12 @@ func main() {
 // and waits on its event stream. The daemon runs the exact same
 // execution path as the in-process entry points, so the rendered
 // tables are byte-identical to a local run — `olbench` output can be
-// diffed across the two modes.
-func remote(ctx context.Context, base, tenant, exp string, cfg orderlight.Config, ro orderlight.RunOpts, cells *int) ([]*orderlight.Table, error) {
+// diffed across the two modes. The client retries transient transport
+// failures with idempotent submissions and resubmits if the daemon
+// restarts mid-wait, so a chaos-wrapped (or genuinely flaky) link
+// still yields the one result; -chaos here injects faults into this
+// client's own connection, not into the daemon.
+func remote(ctx context.Context, base, tenant, exp string, cfg orderlight.Config, ro orderlight.RunOpts, cells *int, plan *orderlight.ChaosPlan) ([]*orderlight.Table, error) {
 	req := orderlight.JobRequest{Kind: orderlight.JobSweep, Tenant: tenant, Config: &cfg, Opts: ro}
 	if exp != "all" {
 		req.Kind = orderlight.JobExperiment
@@ -234,12 +251,11 @@ func remote(ctx context.Context, base, tenant, exp string, cfg orderlight.Config
 	}
 	// No client timeout: a full sweep legitimately runs for minutes and
 	// the events stream stays open throughout.
-	svc := orderlight.NewServiceClient(base, &http.Client{})
-	id, err := svc.Submit(ctx, req)
-	if err != nil {
-		return nil, err
-	}
-	res, err := orderlight.AwaitJob(ctx, svc, id, func(ev orderlight.WatchEvent) {
+	svc := orderlight.NewServiceClient(base, &http.Client{Transport: orderlight.ChaosTransport(plan, nil)})
+	svc.EnableRetry(orderlight.ServiceRetryPolicy{Attempts: 5, Logf: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "olbench: "+format+"\n", args...)
+	}})
+	res, err := orderlight.SubmitAndAwaitJob(ctx, svc, req, func(ev orderlight.WatchEvent) {
 		if ev.Type != "progress" {
 			return
 		}

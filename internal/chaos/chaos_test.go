@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string // canonical String() form
+		wantErr bool
+	}{
+		{in: "", want: "none"},
+		{in: "none", want: "none"},
+		{in: " None ", want: "none"},
+		{in: "reset=0.25", want: "reset=0.25"},
+		{in: "torn=1", want: "torn=1"},
+		{in: "reset=0.2,enospc=0.1", want: "reset=0.2,enospc=0.1"},
+		{in: "enospc=0.1, reset=0.2", want: "reset=0.2,enospc=0.1"},
+		{in: "net=0.3", want: "reset=0.3,timeout=0.3,http500=0.3,garbage=0.3,dup=0.3,delay=0.3"},
+		{in: "fs=0.5", want: "enospc=0.5,torn=0.5,fsync=0.5,rename=0.5"},
+		{in: "net=0.3,dup=0", want: "reset=0.3,timeout=0.3,http500=0.3,garbage=0.3,delay=0.3"},
+		{in: "fs=0", want: "none"},
+		{in: "reset=0", want: "none"},
+		{in: "reset", wantErr: true},
+		{in: "reset=", wantErr: true},
+		{in: "reset=nope", wantErr: true},
+		{in: "reset=1.5", wantErr: true},
+		{in: "reset=-0.1", wantErr: true},
+		{in: "reset=NaN", wantErr: true},
+		{in: "reset=+Inf", wantErr: true},
+		{in: "bogus=0.5", wantErr: true},
+		{in: "none=0.5", wantErr: true},
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %v", tc.in, spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got := spec.String(); got != tc.want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec, err := ParseSpec("reset=0.125,timeout=0.5,enospc=0.25,rename=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", spec.String(), err)
+	}
+	if again.String() != spec.String() {
+		t.Fatalf("round trip drifted: %q -> %q", spec.String(), again.String())
+	}
+}
+
+func TestSpecPlaneQueries(t *testing.T) {
+	netOnly, _ := ParseSpec("reset=0.5")
+	fsOnly, _ := ParseSpec("torn=0.5")
+	if !netOnly.NetActive() || netOnly.FSActive() {
+		t.Errorf("reset spec: NetActive=%v FSActive=%v", netOnly.NetActive(), netOnly.FSActive())
+	}
+	if fsOnly.NetActive() || !fsOnly.FSActive() {
+		t.Errorf("torn spec: NetActive=%v FSActive=%v", fsOnly.NetActive(), fsOnly.FSActive())
+	}
+	if (Spec{}).Active() {
+		t.Error("zero spec reports active")
+	}
+}
+
+func TestNewPlanInactive(t *testing.T) {
+	p, err := NewPlan(Spec{}, nil)
+	if err != nil || p != nil {
+		t.Fatalf("NewPlan(zero) = %v, %v; want nil, nil", p, err)
+	}
+	if _, err := NewPlan(Spec{Rates: map[Class]float64{ClassReset: 2}}, nil); err == nil {
+		t.Fatal("NewPlan accepted rate 2")
+	}
+}
+
+func TestNilPlanIsQuiet(t *testing.T) {
+	var p *Plan
+	if c, _ := p.NextNet(); c != ClassNone {
+		t.Errorf("nil plan NextNet = %v", c)
+	}
+	if c, _ := p.NextWrite(); c != ClassNone {
+		t.Errorf("nil plan NextWrite = %v", c)
+	}
+	if p.Injections() != 0 || p.Report() != "none" || p.Spec().Active() {
+		t.Error("nil plan leaks state")
+	}
+}
+
+// drive runs a fixed op script against a fresh plan and returns the
+// decision trace.
+func drive(t *testing.T, seed uint64) []string {
+	t.Helper()
+	spec, err := ParseSpec("net=0.3,fs=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = seed
+	var trace []string
+	p, err := NewPlan(spec, func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p.NextNet()
+		p.NextWrite()
+		p.NextSync()
+		p.NextRename()
+	}
+	return trace
+}
+
+func TestPlanDeterministicAcrossRuns(t *testing.T) {
+	a := drive(t, 42)
+	b := drive(t, 42)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("same seed, different traces:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("rate-0.3 plan injected nothing over 200 ops")
+	}
+	c := drive(t, 43)
+	if strings.Join(a, "\n") == strings.Join(c, "\n") {
+		t.Fatal("different seeds produced identical traces")
+	}
+	for _, line := range a {
+		if !strings.HasPrefix(line, "chaos: ") {
+			t.Fatalf("trace line %q not chaos-prefixed", line)
+		}
+	}
+}
+
+func TestPlanCountsInjections(t *testing.T) {
+	spec, _ := ParseSpec("enospc=1")
+	p, err := NewPlan(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if c, _ := p.NextWrite(); c != ClassENOSPC {
+			t.Fatalf("write %d: got %v, want enospc", i, c)
+		}
+	}
+	if got := p.Injections(); got != 5 {
+		t.Fatalf("Injections = %d, want 5", got)
+	}
+	if got := p.Report(); got != "enospc 5" {
+		t.Fatalf("Report = %q", got)
+	}
+	// Rate-1 write faults never bleed into other domains.
+	if c, _ := p.NextNet(); c != ClassNone {
+		t.Fatalf("net drew %v from a write-only plan", c)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for c := Class(1); c < classCount; c++ {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if c, err := ParseClass("none"); err != nil || c != ClassNone {
+		t.Errorf("ParseClass(none) = %v, %v", c, err)
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass(bogus) succeeded")
+	}
+}

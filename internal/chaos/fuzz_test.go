@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// FuzzChaosPlanDecode attacks the chaos spec parser: arbitrary input
+// must either be rejected or yield a spec that validates, builds a
+// plan, and survives a canonical round trip (String -> ParseSpec ->
+// String fixed point). The committed corpus pins the grammar: plain
+// pairs, group shorthands, overrides, and the rejection cases.
+func FuzzChaosPlanDecode(f *testing.F) {
+	seeds := []string{
+		"",
+		"none",
+		"reset=0.2",
+		"net=0.3",
+		"fs=0.5",
+		"net=0.25,fs=0.25",
+		"net=0.3,dup=0",
+		"reset=0.2,timeout=0.1,http500=0.05,garbage=0.05,dup=0.1,delay=0.3",
+		"enospc=1,torn=0.5,fsync=0.25,rename=0.125",
+		"reset=1.5",
+		"reset=-1",
+		"reset=NaN",
+		"bogus=0.5",
+		"reset",
+		"=0.5",
+		"net=0.3,,fs=0.2",
+		"reset=1e-3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec: %v", in, err)
+		}
+		spec.Seed = 1
+		if _, err := NewPlan(spec, nil); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted a spec NewPlan rejects: %v", in, err)
+		}
+		canon := spec.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, in, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", canon, again.String())
+		}
+	})
+}

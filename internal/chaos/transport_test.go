@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// onePlan builds a rate-1 plan for a single class.
+func onePlan(t *testing.T, c Class) *Plan {
+	t.Helper()
+	p, err := NewPlan(Spec{Seed: 7, Rates: map[Class]float64{c: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func postJSON(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(`{"n":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestTransportPassthrough(t *testing.T) {
+	base := http.DefaultTransport
+	if got := Transport(nil, base); got != base {
+		t.Error("nil plan should return base unchanged")
+	}
+	// A plan with only filesystem classes armed leaves the transport alone.
+	if got := Transport(onePlan(t, ClassENOSPC), base); got != base {
+		t.Error("fs-only plan should return base unchanged")
+	}
+	if got := Transport(onePlan(t, ClassReset), nil); got == nil {
+		t.Error("nil base should default to http.DefaultTransport")
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	rt := Transport(onePlan(t, ClassReset), nil)
+	resp, err := postJSON(t, rt, srv.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("reset class returned a response")
+	}
+	if !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("error %v does not look like a reset", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (reset delivers before losing the answer)", hits.Load())
+	}
+}
+
+func TestTransportTimeout(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	rt := Transport(onePlan(t, ClassTimeout), nil)
+	if resp, err := postJSON(t, rt, srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("timeout class returned a response")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("error %v is not a net.Error timeout", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests, want 0 (timeout never sends)", hits.Load())
+	}
+}
+
+func TestTransportFabricated(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	resp, err := postJSON(t, Transport(onePlan(t, ClassHTTP500), nil), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "chaos") {
+		t.Fatalf("500 body %q", body)
+	}
+
+	resp, err = postJSON(t, Transport(onePlan(t, ClassGarbage), nil), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("garbage status %d, want 200", resp.StatusCode)
+	}
+	if strings.HasPrefix(strings.TrimSpace(string(body)), "{") {
+		t.Fatalf("garbage body %q parses as JSON-ish", body)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests, want 0 (fabricated responses never send)", hits.Load())
+	}
+}
+
+func TestTransportDup(t *testing.T) {
+	var hits atomic.Int64
+	var lastBody atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		lastBody.Store(string(b))
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	resp, err := postJSON(t, Transport(onePlan(t, ClassDup), nil), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+	if got := lastBody.Load().(string); got != `{"n":1}` {
+		t.Fatalf("duplicated body %q lost its payload", got)
+	}
+}
+
+func TestTransportDelayDelivers(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	resp, err := postJSON(t, Transport(onePlan(t, ClassDelay), nil), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"orderlight/internal/chaos"
 	"orderlight/internal/gpu"
 	"orderlight/internal/olerrors"
 )
@@ -128,12 +129,22 @@ func Decode(data []byte) (*Checkpoint, error) {
 // leaves either the previous file or no file — the temp file is removed
 // on any error.
 func Save(path string, c *Checkpoint) error {
+	return SaveFS(path, c, chaos.OS)
+}
+
+// SaveFS is Save through an injectable filesystem — the seam the chaos
+// harness uses to make checkpoint publication fail (ENOSPC, torn
+// writes, rename races).
+func SaveFS(path string, c *Checkpoint, fsys chaos.FS) error {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
 	data, err := Encode(c)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("ckpt: save: %w", err)
 	}
@@ -144,10 +155,10 @@ func Save(path string, c *Checkpoint) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = fsys.Rename(tmp, path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("ckpt: save %s: %w", path, err)
 	}
 	return nil

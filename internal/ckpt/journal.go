@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync"
 
+	"orderlight/internal/chaos"
 	"orderlight/internal/fault"
 	"orderlight/internal/stats"
 )
@@ -29,12 +30,21 @@ type JournalEntry struct {
 // for concurrent use by the runner's worker pool.
 type Journal struct {
 	mu sync.Mutex
-	f  *os.File
+	f  chaos.File
 }
 
 // OpenJournal opens (creating if needed) a journal for appending.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	return OpenJournalFS(path, chaos.OS)
+}
+
+// OpenJournalFS is OpenJournal through an injectable filesystem — the
+// seam the chaos harness uses to make journal appends fail.
+func OpenJournalFS(path string, fsys chaos.FS) (*Journal, error) {
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: journal: %w", err)
 	}

@@ -138,6 +138,43 @@ func (e *Engine) Options() []orderlight.Option {
 	return opts
 }
 
+// Chaos receives the shared fault-injection flags. Like the other
+// groups it does no validation: ParseChaosSpec inside Plan reports
+// malformed specs, so every command rejects them identically.
+type Chaos struct {
+	// Spec is -chaos: comma-separated class=rate pairs
+	// ("reset=0.2,enospc=0.1"; "net=R"/"fs=R" group shorthands).
+	Spec string
+	// Seed is -chaos-seed. The injected fault sequence is a pure
+	// function of (seed, op index), so a failing run replays exactly.
+	Seed uint64
+}
+
+// RegisterChaos installs -chaos and -chaos-seed on fs.
+func RegisterChaos(fs *flag.FlagSet) *Chaos {
+	c := &Chaos{}
+	fs.StringVar(&c.Spec, "chaos", "",
+		"inject deterministic infrastructure faults: comma-separated class=rate pairs (reset, timeout, http500, garbage, dup, delay, enospc, torn, fsyncfail, renamerace; net=R / fs=R arm a whole plane), e.g. net=0.2,fs=0.1")
+	fs.Uint64Var(&c.Seed, "chaos-seed", 1,
+		"seed for -chaos; the same seed replays the identical injected-fault sequence")
+	return c
+}
+
+// Active reports whether a chaos spec was given.
+func (c *Chaos) Active() bool { return c.Spec != "" }
+
+// Plan parses the flags into a live chaos plan. Injections are logged
+// through logf (nil discards); an empty or "none" spec yields a nil
+// plan, which every injector treats as chaos-free.
+func (c *Chaos) Plan(logf func(format string, args ...any)) (*orderlight.ChaosPlan, error) {
+	spec, err := orderlight.ParseChaosSpec(c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Seed = c.Seed
+	return orderlight.NewChaosPlan(spec, logf)
+}
+
 // EngineName returns the engine the flags select, for labeling output:
 // "dense", "parallel", "twin", or "skip" (also for unknown names,
 // which never reach a run — validation rejects them first).

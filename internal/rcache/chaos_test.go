@@ -1,0 +1,228 @@
+package rcache
+
+import (
+	"expvar"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orderlight/internal/chaos"
+)
+
+func sickFS(t *testing.T, spec string, seed uint64) chaos.FS {
+	t.Helper()
+	s, err := chaos.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seed = seed
+	p, err := chaos.NewPlan(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaos.NewFS(p, chaos.OS)
+}
+
+func expInt(name string) int64 {
+	return expvar.Get(name).(*expvar.Int).Value()
+}
+
+// TestDegradeOnENOSPC pins the graceful-degradation contract: a full
+// disk costs memoization, never correctness. Puts fail loudly until
+// the breaker trips, then the cache is a memory-only pass-through and
+// stops erroring; the rcache_degraded expvar announces the state.
+func TestDegradeOnENOSPC(t *testing.T) {
+	degradedBefore := expInt("rcache_degraded")
+	c, err := OpenWith(Config{Dir: t.TempDir(), FS: sickFS(t, "enospc=1", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < degradeAfter; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte("v")); err == nil {
+			t.Fatalf("Put %d on a full disk reported success", i)
+		}
+		// The memory front still took the value: the run keeps its
+		// intra-process memoization even while the disk fails.
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("Put %d lost the value from the memory front", i)
+		}
+	}
+	if !c.Degraded() {
+		t.Fatalf("cache not degraded after %d consecutive disk failures", degradeAfter)
+	}
+	if got := expInt("rcache_degraded"); got != degradedBefore+1 {
+		t.Fatalf("rcache_degraded = %d, want %d", got, degradedBefore+1)
+	}
+	// Past the breaker: no more disk attempts, no more errors.
+	if err := c.Put("after", []byte("v")); err != nil {
+		t.Fatalf("degraded Put still errors: %v", err)
+	}
+	if _, ok := c.Get("after"); !ok {
+		t.Fatal("degraded cache lost a stored value")
+	}
+	st := c.Stats()
+	if !st.Degraded || st.DiskErrors < degradeAfter {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDegradeOnReadOnlyStore covers the other common sick-disk shape:
+// the directory exists but nothing can be written.
+func TestDegradeOnReadOnlyStore(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory write bits")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < degradeAfter; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if !c.Degraded() {
+		t.Fatal("cache not degraded on a read-only store")
+	}
+	if err := c.Put("after", []byte("v")); err != nil {
+		t.Fatalf("degraded Put still errors: %v", err)
+	}
+}
+
+// TestFlakyDiskSelfHeals pins the streak semantics: isolated failures
+// with successes between them never trip the breaker.
+func TestFlakyDiskSelfHeals(t *testing.T) {
+	// rename=0.3 with this seed fails 13 of 40 Puts but never
+	// degradeAfter in a row; interleaved successes reset the streak.
+	c, err := OpenWith(Config{Dir: t.TempDir(), FS: sickFS(t, "rename=0.3", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures int
+	for i := 0; i < 40; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("rename=0.3 plan never fired; test is vacuous")
+	}
+	if c.Degraded() {
+		t.Fatalf("flaky-but-alive disk (%d/40 failures) tripped the breaker", failures)
+	}
+}
+
+// TestDiskCapLRU pins the size-capped GC: the store never exceeds the
+// cap, the least recently used blobs go first, and a touched blob
+// survives eviction of its elders.
+func TestDiskCapLRU(t *testing.T) {
+	dir := t.TempDir()
+	blob, err := Encode("probe", []byte("xy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := int64(len(blob)) + 2 // per-blob footprint (keys here are same-length)
+	cap := 4 * per              // room for ~4 blobs
+	// MemBytes 1 with 2-byte payloads: nothing fits the memory front,
+	// so every Get exercises the disk path and its LRU touching.
+	c, err := OpenWith(Config{Dir: dir, DiskBytes: cap, MemBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Put(fmt.Sprintf("key%02d", i), []byte("xy")); err != nil {
+			t.Fatal(err)
+		}
+		// Keep key00 hot so eviction passes over it.
+		if i >= 1 {
+			if _, ok := c.Get("key00"); !ok {
+				t.Fatalf("hot key00 evicted after put %d", i)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("8 puts into a 4-blob cap evicted nothing")
+	}
+	if st.DiskBytes > cap {
+		t.Fatalf("disk footprint %d exceeds cap %d", st.DiskBytes, cap)
+	}
+	if _, ok := c.Get("key00"); !ok {
+		t.Fatal("most recently used key evicted")
+	}
+	if _, ok := c.Get("key01"); ok {
+		t.Fatal("cold oldest key survived past the cap")
+	}
+	files, _ := os.ReadDir(dir)
+	var n int
+	for _, f := range files {
+		if filepath.Ext(f.Name()) == ".res" {
+			n++
+		}
+	}
+	if int64(n)*per > cap+per {
+		t.Fatalf("%d blobs on disk, cap holds ~4", n)
+	}
+}
+
+// TestDiskCapGovernsPreexistingBlobs proves a reopened store inherits
+// its inventory into the LRU: blobs written by a previous process are
+// counted and evicted under the cap.
+func TestDiskCapGovernsPreexistingBlobs(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Put(fmt.Sprintf("key%02d", i), []byte("xy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := c.Stats().DiskBytes
+	if full == 0 {
+		t.Fatal("no disk footprint recorded")
+	}
+	reopened, err := OpenWith(Config{Dir: dir, DiskBytes: full / 2, MemBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := reopened.Stats()
+	if st.DiskBytes > full/2 {
+		t.Fatalf("reopened store holds %d bytes, cap %d", st.DiskBytes, full/2)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("reopening over-cap store evicted nothing")
+	}
+}
+
+// TestWarmCacheStillServesUnderCap: with a cap roomy enough for the
+// working set, a rerun is still fully served from disk.
+func TestWarmCacheStillServesUnderCap(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenWith(Config{Dir: dir, DiskBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Put(fmt.Sprintf("key%02d", i), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm, err := OpenWith(Config{Dir: dir, DiskBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := warm.Get(fmt.Sprintf("key%02d", i)); !ok {
+			t.Fatalf("warm rerun missed key%02d", i)
+		}
+	}
+	if warm.Stats().Evictions != 0 {
+		t.Fatal("roomy cap evicted from the working set")
+	}
+}

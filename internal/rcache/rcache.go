@@ -9,9 +9,13 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+
+	"orderlight/internal/chaos"
 )
 
 // Version is the current blob format version. Decode rejects any other
@@ -54,6 +58,10 @@ var (
 	expBytesRead    = expvar.NewInt("rcache_bytes_read")
 	expBytesWritten = expvar.NewInt("rcache_bytes_written")
 	expCorrupt      = expvar.NewInt("rcache_corrupt_dropped")
+	expEvictions    = expvar.NewInt("rcache_evictions")
+	expDiskBytes    = expvar.NewInt("rcache_disk_bytes")
+	expDiskErrors   = expvar.NewInt("rcache_disk_errors")
+	expDegraded     = expvar.NewInt("rcache_degraded")
 )
 
 // Stats is a point-in-time snapshot of one cache's counters.
@@ -64,6 +72,10 @@ type Stats struct {
 	BytesRead    int64 // payload bytes served from disk (not memory)
 	BytesWritten int64 // container bytes written to disk
 	Corrupt      int64 // damaged blobs dropped instead of served
+	Evictions    int64 // blobs removed by the disk size cap
+	DiskBytes    int64 // current on-disk footprint
+	DiskErrors   int64 // disk operations that failed
+	Degraded     bool  // disk store abandoned; memory-only pass-through
 }
 
 // Cache is a content-addressed result store: an optional on-disk blob
@@ -74,14 +86,31 @@ type Stats struct {
 // runner keys cells by config hash + kernel spec + footprint + engine).
 // Values are opaque byte slices, typically a gob encoding.
 type Cache struct {
-	dir string // "" = memory-only
+	dir  string // "" = memory-only
+	fsys chaos.FS
 
 	mu       sync.Mutex
 	mem      map[string]*list.Element
 	ll       *list.List // front = most recent
 	memBytes int64
 	memCap   int64
-	stats    Stats
+
+	// Disk LRU state, keyed by blob file base name (the hex key hash)
+	// so blobs found at open — whose keys are unrecoverable — still
+	// participate in eviction. diskCap 0 means unbounded (no GC).
+	disk      map[string]*list.Element
+	dll       *list.List // front = most recent
+	diskBytes int64
+	diskCap   int64
+
+	// errStreak counts consecutive failed disk operations; at
+	// degradeAfter the disk store is abandoned for the life of the
+	// Cache and Get/Put become memory-only pass-throughs. A run on a
+	// sick disk loses memoization, never correctness.
+	errStreak int
+	degraded  bool
+
+	stats Stats
 }
 
 type memEntry struct {
@@ -89,30 +118,122 @@ type memEntry struct {
 	data []byte
 }
 
+type diskEntry struct {
+	file string // base name inside c.dir
+	size int64
+}
+
 // DefaultMemBytes is the in-memory LRU budget when Open is given a
 // non-positive one. Cell results are a few hundred bytes each, so this
 // holds on the order of 10^5 hot entries.
 const DefaultMemBytes = 32 << 20
+
+// degradeAfter is how many consecutive disk failures the cache
+// tolerates before declaring the disk sick and going memory-only.
+// One flaky operation self-heals; a full or read-only store trips the
+// breaker within a handful of cells.
+const degradeAfter = 3
+
+// Config describes a cache to OpenWith.
+type Config struct {
+	// Dir is the blob directory; "" means memory-only.
+	Dir string
+
+	// MemBytes bounds the in-memory LRU front; <= 0 uses
+	// DefaultMemBytes.
+	MemBytes int64
+
+	// DiskBytes caps the on-disk store; past it the least recently
+	// used blobs are evicted. <= 0 leaves the store unbounded.
+	DiskBytes int64
+
+	// FS is the filesystem the blob store writes through; nil means
+	// the real one. The chaos harness injects its sick disk here.
+	FS chaos.FS
+}
 
 // Open returns a cache backed by dir, creating it if needed. An empty
 // dir gives a memory-only cache (still useful inside one process: the
 // daemon shares one across jobs and tenants). memBytes bounds the
 // in-memory front; <= 0 uses DefaultMemBytes.
 func Open(dir string, memBytes int64) (*Cache, error) {
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("rcache: open %s: %w", dir, err)
+	return OpenWith(Config{Dir: dir, MemBytes: memBytes})
+}
+
+// OpenWith is Open with the full configuration surface: disk size cap
+// and injectable filesystem. Blobs already in the directory are
+// inventoried (oldest first) so the size cap governs pre-existing
+// state too.
+func OpenWith(cfg Config) (*Cache, error) {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	if cfg.Dir != "" {
+		if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rcache: open %s: %w", cfg.Dir, err)
 		}
 	}
-	if memBytes <= 0 {
-		memBytes = DefaultMemBytes
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = DefaultMemBytes
 	}
-	return &Cache{
-		dir:    dir,
-		mem:    make(map[string]*list.Element),
-		ll:     list.New(),
-		memCap: memBytes,
-	}, nil
+	c := &Cache{
+		dir:     cfg.Dir,
+		fsys:    fsys,
+		mem:     make(map[string]*list.Element),
+		ll:      list.New(),
+		memCap:  cfg.MemBytes,
+		disk:    make(map[string]*list.Element),
+		dll:     list.New(),
+		diskCap: cfg.DiskBytes,
+	}
+	if c.dir != "" {
+		if err := c.scanDisk(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// scanDisk inventories existing blobs into the disk LRU, oldest
+// modification first, and applies the size cap to what it found.
+func (c *Cache) scanDisk() error {
+	ents, err := c.fsys.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("rcache: open %s: %w", c.dir, err)
+	}
+	type found struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var blobs []found
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".res") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue // raced with a concurrent eviction; skip
+		}
+		blobs = append(blobs, found{ent.Name(), info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(blobs, func(i, j int) bool {
+		if blobs[i].mtime != blobs[j].mtime {
+			return blobs[i].mtime < blobs[j].mtime
+		}
+		return blobs[i].name < blobs[j].name
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range blobs {
+		c.disk[b.name] = c.dll.PushFront(&diskEntry{file: b.name, size: b.size})
+		c.diskBytes += b.size
+	}
+	c.stats.DiskBytes = c.diskBytes
+	expDiskBytes.Add(c.diskBytes)
+	c.evictDiskLocked()
+	return nil
 }
 
 // Dir reports the backing directory ("" for memory-only).
@@ -189,7 +310,8 @@ func Decode(blob []byte) (key string, data []byte, err error) {
 // Get looks key up, memory first then disk. It never returns an error:
 // a truncated, bit-flipped, or mis-keyed blob counts as a miss and the
 // damaged file is removed so the slot is recomputed and rewritten —
-// the cache can lose work to corruption but can never serve it.
+// the cache can lose work to corruption but can never serve it. A
+// degraded cache (sick disk) answers from memory only.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.mem[key]; ok {
@@ -200,25 +322,32 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		expHits.Add(1)
 		return data, true
 	}
+	degraded := c.degraded
 	c.mu.Unlock()
 
-	if c.dir == "" {
+	if c.dir == "" || degraded {
 		c.miss()
 		return nil, false
 	}
-	blob, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	blob, err := c.fsys.ReadFile(path)
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.noteDiskErr()
+		}
 		c.miss()
 		return nil, false
 	}
+	c.noteDiskOK()
 	gotKey, data, err := Decode(blob)
 	if err == nil && gotKey != key {
 		err = fmt.Errorf("%w: blob carries %q", ErrKeyMismatch, gotKey)
 	}
 	if err != nil {
-		os.Remove(c.path(key))
+		c.fsys.Remove(path)
 		c.mu.Lock()
 		c.stats.Corrupt++
+		c.dropDiskLocked(filepath.Base(path))
 		c.mu.Unlock()
 		expCorrupt.Add(1)
 		c.miss()
@@ -227,6 +356,9 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	c.stats.Hits++
 	c.stats.BytesRead += int64(len(data))
+	if el, ok := c.disk[filepath.Base(path)]; ok {
+		c.dll.MoveToFront(el)
+	}
 	c.insertMemLocked(key, data)
 	c.mu.Unlock()
 	expHits.Add(1)
@@ -245,40 +377,32 @@ func (c *Cache) miss() {
 // rename, so a crash mid-write leaves the previous blob or none) and
 // in the LRU front. Storing the same key again overwrites — entries
 // are content-addressed, so any two writers write the same bytes.
+// A disk failure is reported to the caller but also counted toward
+// the degradation breaker: after degradeAfter consecutive failures
+// the disk store is abandoned and Put becomes memory-only (and stops
+// returning errors) — graceful pass-through instead of a failing run.
 func (c *Cache) Put(key string, data []byte) error {
-	if c.dir != "" {
+	if c.dir != "" && !c.Degraded() {
 		blob, err := Encode(key, data)
 		if err != nil {
 			return err
 		}
 		path := c.path(key)
-		// Unique temp name per writer: two goroutines racing to store
-		// the same key write identical content, and whichever rename
-		// lands last wins without clobbering the other's temp file.
-		f, err := os.CreateTemp(c.dir, filepath.Base(path)+".*.tmp")
-		if err != nil {
-			return fmt.Errorf("rcache: put: %w", err)
+		if err := c.writeBlob(path, blob); err != nil {
+			c.noteDiskErr()
+			c.mu.Lock()
+			c.stats.Stores++
+			c.insertMemLocked(key, data)
+			c.mu.Unlock()
+			expStores.Add(1)
+			return err
 		}
-		tmp := f.Name()
-		if _, err = f.Write(blob); err == nil {
-			err = f.Sync()
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err == nil {
-			err = os.Chmod(tmp, 0o644)
-		}
-		if err == nil {
-			err = os.Rename(tmp, path)
-		}
-		if err != nil {
-			os.Remove(tmp)
-			return fmt.Errorf("rcache: put %s: %w", path, err)
-		}
+		c.noteDiskOK()
 		expBytesWritten.Add(int64(len(blob)))
 		c.mu.Lock()
 		c.stats.BytesWritten += int64(len(blob))
+		c.recordDiskLocked(filepath.Base(path), int64(len(blob)))
+		c.evictDiskLocked()
 		c.mu.Unlock()
 	}
 	c.mu.Lock()
@@ -287,6 +411,117 @@ func (c *Cache) Put(key string, data []byte) error {
 	c.mu.Unlock()
 	expStores.Add(1)
 	return nil
+}
+
+// writeBlob lands one container atomically at path.
+func (c *Cache) writeBlob(path string, blob []byte) error {
+	// Unique temp name per writer: two goroutines racing to store
+	// the same key write identical content, and whichever rename
+	// lands last wins without clobbering the other's temp file.
+	f, err := c.fsys.CreateTemp(c.dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("rcache: put: %w", err)
+	}
+	tmp := f.Name()
+	if _, err = f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = c.fsys.Chmod(tmp, 0o644)
+	}
+	if err == nil {
+		err = c.fsys.Rename(tmp, path)
+	}
+	if err != nil {
+		c.fsys.Remove(tmp)
+		return fmt.Errorf("rcache: put %s: %w", path, err)
+	}
+	return nil
+}
+
+// recordDiskLocked adds (or refreshes) a disk LRU entry. Caller holds
+// c.mu.
+func (c *Cache) recordDiskLocked(file string, size int64) {
+	if el, ok := c.disk[file]; ok {
+		ent := el.Value.(*diskEntry)
+		c.diskBytes += size - ent.size
+		expDiskBytes.Add(size - ent.size)
+		ent.size = size
+		c.dll.MoveToFront(el)
+	} else {
+		c.disk[file] = c.dll.PushFront(&diskEntry{file: file, size: size})
+		c.diskBytes += size
+		expDiskBytes.Add(size)
+	}
+	c.stats.DiskBytes = c.diskBytes
+}
+
+// dropDiskLocked forgets a disk LRU entry (corrupt blob removal,
+// eviction). Caller holds c.mu.
+func (c *Cache) dropDiskLocked(file string) {
+	el, ok := c.disk[file]
+	if !ok {
+		return
+	}
+	ent := el.Value.(*diskEntry)
+	c.dll.Remove(el)
+	delete(c.disk, file)
+	c.diskBytes -= ent.size
+	c.stats.DiskBytes = c.diskBytes
+	expDiskBytes.Add(-ent.size)
+}
+
+// evictDiskLocked removes least-recently-used blobs past the size
+// cap. Caller holds c.mu. Removal failures are ignored: the entry
+// leaves the accounting either way, and a genuinely sick disk trips
+// the degradation breaker through the Put/Get paths.
+func (c *Cache) evictDiskLocked() {
+	if c.diskCap <= 0 {
+		return
+	}
+	for c.diskBytes > c.diskCap {
+		tail := c.dll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*diskEntry)
+		c.fsys.Remove(filepath.Join(c.dir, ent.file))
+		c.dropDiskLocked(ent.file)
+		c.stats.Evictions++
+		expEvictions.Add(1)
+	}
+}
+
+// noteDiskErr counts one failed disk operation toward the degradation
+// breaker.
+func (c *Cache) noteDiskErr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.DiskErrors++
+	expDiskErrors.Add(1)
+	c.errStreak++
+	if !c.degraded && c.errStreak >= degradeAfter {
+		c.degraded = true
+		c.stats.Degraded = true
+		expDegraded.Add(1)
+	}
+}
+
+// noteDiskOK resets the consecutive-failure streak.
+func (c *Cache) noteDiskOK() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errStreak = 0
+}
+
+// Degraded reports whether the cache has abandoned its disk store.
+func (c *Cache) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
 }
 
 // insertMemLocked adds (or refreshes) a memory entry and evicts from

@@ -2,7 +2,10 @@ package runner
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +47,11 @@ type Lease struct {
 	Hi      int    `json:"hi"` // last cell index, exclusive
 	Total   int    `json:"total"`
 	Request []byte `json:"request"`
+	// HeartbeatMillis is the cadence the worker should call Heartbeat
+	// at while executing this lease. Heartbeats extend the lease and
+	// drive the board's liveness view; a worker that skips them is
+	// merely reclaimed on the full TTL like before.
+	HeartbeatMillis int64 `json:"heartbeat_ms,omitempty"`
 }
 
 // DefaultLeaseTTL and DefaultChunk are the Board defaults: leases
@@ -56,7 +64,31 @@ const (
 
 type leaseState struct {
 	lo, hi   int
+	worker   string
 	deadline time.Time
+}
+
+// flapStreak is how many consecutive expired leases mark a worker as
+// flapping. A flapping worker still gets work — preemptible workers
+// are the fabric's design center — but on short (ttl/4) leases, so a
+// crash-looping host cannot pin a range for a full TTL per loop.
+const flapStreak = 2
+
+// workerInfo is the board's liveness record for one worker name.
+type workerInfo struct {
+	lastSeen time.Time
+	streak   int // consecutive expired leases; reset by any Complete
+	leases   int // currently held
+}
+
+// WorkerStatus is one worker's liveness snapshot, served by /healthz
+// on fabric coordinators.
+type WorkerStatus struct {
+	Name     string    `json:"name"`
+	LastSeen time.Time `json:"last_seen"`
+	Leases   int       `json:"leases"`
+	Expiries int       `json:"expired_streak,omitempty"`
+	Flapping bool      `json:"flapping,omitempty"`
 }
 
 type boardJob struct {
@@ -76,13 +108,32 @@ type boardJob struct {
 // concurrent use. Expired leases are reclaimed lazily on the next
 // Lease call — workers poll, so reclamation needs no timer goroutine.
 type Board struct {
-	mu    sync.Mutex
-	ttl   time.Duration
-	chunk int
-	seq   int
-	jobs  map[string]*boardJob
-	order []string // FIFO job dispatch order
-	now   func() time.Time
+	mu      sync.Mutex
+	ttl     time.Duration
+	chunk   int
+	seq     int
+	jobs    map[string]*boardJob
+	order   []string // FIFO job dispatch order
+	now     func() time.Time
+	workers map[string]*workerInfo
+
+	// hbGrace, when non-zero, arms heartbeat-driven early reclaim: a
+	// lease whose holder has not been heard from (lease, heartbeat or
+	// complete) for hbGrace is reclaimed before its TTL deadline.
+	hbGrace time.Duration
+
+	// journal, when non-nil, receives every board mutation so a killed
+	// coordinator restarts with leases' work intact. See boardjournal.go.
+	journal *boardJournal
+}
+
+// JobKey is the board's content-addressed job identity: identical
+// request bytes always map to the same key. That is what lets a client
+// resubmit after a coordinator restart and attach to the replayed
+// job's progress instead of starting over.
+func JobKey(request []byte) string {
+	sum := sha256.Sum256(request)
+	return "fj-" + hex.EncodeToString(sum[:8])
 }
 
 // NewBoard creates a board. ttl <= 0 uses DefaultLeaseTTL, chunk <= 0
@@ -94,56 +145,159 @@ func NewBoard(ttl time.Duration, chunk int) *Board {
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
-	return &Board{ttl: ttl, chunk: chunk, jobs: make(map[string]*boardJob), now: time.Now}
+	return &Board{
+		ttl: ttl, chunk: chunk,
+		jobs:    make(map[string]*boardJob),
+		workers: make(map[string]*workerInfo),
+		now:     time.Now,
+	}
 }
 
-// Post registers a job of total cells with the board. request is the
-// opaque serialized job the workers rebuild cells from; progress, when
-// non-nil, is called under no board lock ordering guarantees after
-// each newly completed cell.
-func (b *Board) Post(jobID string, request []byte, total int, progress func(done, total int)) error {
-	if total <= 0 {
-		return fmt.Errorf("runner: %w: fabric job %q has no cells", olerrors.ErrInvalidSpec, jobID)
+// EnableHeartbeats arms early lease reclaim: a worker silent for grace
+// (no lease poll, heartbeat or completion) loses its leases without
+// waiting out the TTL. grace <= 0 means half the lease TTL. Off by
+// default so a board driven without heartbeats keeps pure-TTL
+// semantics.
+func (b *Board) EnableHeartbeats(grace time.Duration) {
+	if grace <= 0 {
+		grace = b.ttl / 2
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.jobs[jobID]; ok {
-		return fmt.Errorf("runner: fabric job %q already posted", jobID)
+	b.hbGrace = grace
+	b.mu.Unlock()
+}
+
+// touchLocked updates a worker's liveness record. Caller holds b.mu.
+func (b *Board) touchLocked(worker string, now time.Time) *workerInfo {
+	if worker == "" {
+		return nil
 	}
+	w := b.workers[worker]
+	if w == nil {
+		w = &workerInfo{}
+		b.workers[worker] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// Workers reports every known worker's liveness snapshot, flapping
+// workers first, then by name.
+func (b *Board) Workers() []WorkerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(b.workers))
+	for name, w := range b.workers {
+		out = append(out, WorkerStatus{
+			Name: name, LastSeen: w.lastSeen, Leases: w.leases,
+			Expiries: w.streak, Flapping: w.streak >= flapStreak,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flapping != out[j].Flapping {
+			return out[i].Flapping
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Post registers a job of total cells with the board and returns its
+// content-addressed key (JobKey of the request bytes). Posting a
+// request the board already tracks — typically a resubmission after a
+// coordinator restart replayed the job from its journal — attaches to
+// the existing job: the caller's progress callback takes over and Wait
+// picks up from however many cells are already complete, rather than
+// re-running them. progress, when non-nil, is called under no board
+// lock ordering guarantees after each newly completed cell.
+func (b *Board) Post(request []byte, total int, progress func(done, total int)) (string, error) {
+	key := JobKey(request)
+	if total <= 0 {
+		return "", fmt.Errorf("runner: %w: fabric job %q has no cells", olerrors.ErrInvalidSpec, key)
+	}
+	b.mu.Lock()
+	if j, ok := b.jobs[key]; ok {
+		if j.total != total {
+			b.mu.Unlock()
+			return "", fmt.Errorf("runner: fabric job %q posted with %d cells, board holds %d — cell enumeration is not deterministic across builds?", key, total, j.total)
+		}
+		j.progress = progress
+		done := j.done
+		b.mu.Unlock()
+		if progress != nil && done > 0 {
+			progress(done, total)
+		}
+		return key, nil
+	}
+	j := newBoardJob(request, total, b.chunk)
+	j.progress = progress
+	b.jobs[key] = j
+	b.order = append(b.order, key)
+	b.appendJournalLocked(boardRecord{Op: "post", Job: key, Total: total, Request: request})
+	b.mu.Unlock()
+	return key, nil
+}
+
+// newBoardJob builds a job record with its full pending list. Shared
+// by Post and journal replay.
+func newBoardJob(request []byte, total, chunk int) *boardJob {
 	j := &boardJob{
 		request:  request,
 		total:    total,
 		leases:   make(map[string]leaseState),
 		outcomes: make([]*CellOutcome, total),
 		doneCh:   make(chan struct{}),
-		progress: progress,
 	}
-	for lo := 0; lo < total; lo += b.chunk {
-		hi := lo + b.chunk
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
 		if hi > total {
 			hi = total
 		}
 		j.pending = append(j.pending, [2]int{lo, hi})
 	}
-	b.jobs[jobID] = j
-	b.order = append(b.order, jobID)
-	return nil
+	return j
 }
 
 // reclaimLocked returns expired leases' ranges to their jobs' pending
-// lists. Caller holds b.mu.
+// lists and charges each expiry to its holder's flap streak. With
+// heartbeats armed, a lease whose holder has been silent for hbGrace
+// is reclaimed early — a SIGKILLed worker's range comes back after the
+// grace, not the full TTL. Caller holds b.mu.
 func (b *Board) reclaimLocked(now time.Time) {
 	for _, j := range b.jobs {
 		if j.finished {
 			continue
 		}
 		for id, ls := range j.leases {
-			if now.After(ls.deadline) {
-				delete(j.leases, id)
-				j.pending = append(j.pending, [2]int{ls.lo, ls.hi})
+			expired := now.After(ls.deadline)
+			if !expired && b.hbGrace > 0 {
+				if w := b.workers[ls.worker]; w != nil && now.Sub(w.lastSeen) > b.hbGrace {
+					expired = true
+				}
+			}
+			if !expired {
+				continue
+			}
+			delete(j.leases, id)
+			j.pending = append(j.pending, [2]int{ls.lo, ls.hi})
+			if w := b.workers[ls.worker]; w != nil {
+				w.streak++
+				if w.leases > 0 {
+					w.leases--
+				}
 			}
 		}
 	}
+}
+
+// leaseTTLLocked is the deadline extension a worker earns: the full
+// TTL normally, a quarter of it while the worker is flapping. Caller
+// holds b.mu.
+func (b *Board) leaseTTLLocked(w *workerInfo) time.Duration {
+	if w != nil && w.streak >= flapStreak {
+		return b.ttl / 4
+	}
+	return b.ttl
 }
 
 // Lease grants the next pending range to a worker, or returns nil when
@@ -154,6 +308,7 @@ func (b *Board) Lease(worker string) *Lease {
 	defer b.mu.Unlock()
 	now := b.now()
 	b.reclaimLocked(now)
+	w := b.touchLocked(worker, now)
 	for _, id := range b.order {
 		j := b.jobs[id]
 		if j == nil || j.finished || len(j.pending) == 0 {
@@ -163,23 +318,65 @@ func (b *Board) Lease(worker string) *Lease {
 		j.pending = j.pending[1:]
 		b.seq++
 		leaseID := fmt.Sprintf("l%06d", b.seq)
-		j.leases[leaseID] = leaseState{lo: span[0], hi: span[1], deadline: now.Add(b.ttl)}
-		return &Lease{Job: id, ID: leaseID, Lo: span[0], Hi: span[1], Total: j.total, Request: j.request}
+		j.leases[leaseID] = leaseState{lo: span[0], hi: span[1], worker: worker, deadline: now.Add(b.leaseTTLLocked(w))}
+		if w != nil {
+			w.leases++
+		}
+		return &Lease{
+			Job: id, ID: leaseID, Lo: span[0], Hi: span[1], Total: j.total, Request: j.request,
+			HeartbeatMillis: (b.ttl / 4).Milliseconds(),
+		}
 	}
 	return nil
 }
 
-// Complete records a lease's outcomes. Late completions of expired
-// (and possibly re-issued) leases are accepted: results are
+// Heartbeat records that worker is still executing a lease, extending
+// its deadline (by the full TTL, or TTL/4 while the worker is
+// flapping). It returns false when the lease is no longer held — it
+// expired and was re-issued, or its job finished — which the worker
+// may treat as a hint to abandon the range; finishing anyway is
+// harmless, since completions are first-fill-wins.
+func (b *Board) Heartbeat(worker, jobID, leaseID string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	// Reclaim first — like Lease — so a beat on a lease that already
+	// sat out its deadline honestly answers "lost" instead of quietly
+	// resurrecting it.
+	b.reclaimLocked(now)
+	w := b.touchLocked(worker, now)
+	j := b.jobs[jobID]
+	if j == nil || j.finished {
+		return false
+	}
+	ls, ok := j.leases[leaseID]
+	if !ok || ls.worker != worker {
+		return false
+	}
+	ls.deadline = now.Add(b.leaseTTLLocked(w))
+	j.leases[leaseID] = ls
+	return true
+}
+
+// Complete records a lease's outcomes from worker. Late completions
+// of expired (and possibly re-issued) leases are accepted: results are
 // deterministic, so duplicate indices carry identical payloads and
 // only the first fill counts. An outcome with a non-empty Err fails
-// the whole job, mirroring a local sweep's first-error semantics.
-func (b *Board) Complete(jobID, leaseID string, outcomes []CellOutcome) error {
+// the whole job, mirroring a local sweep's first-error semantics. A
+// successful completion clears the worker's flap streak.
+func (b *Board) Complete(jobID, leaseID, worker string, outcomes []CellOutcome) error {
 	b.mu.Lock()
+	w := b.touchLocked(worker, b.now())
+	if w != nil {
+		w.streak = 0
+	}
 	j := b.jobs[jobID]
 	if j == nil {
 		b.mu.Unlock()
 		return fmt.Errorf("runner: fabric job %q unknown (completed or forgotten)", jobID)
+	}
+	if _, held := j.leases[leaseID]; held && w != nil && w.leases > 0 {
+		w.leases--
 	}
 	delete(j.leases, leaseID)
 	if j.finished {
@@ -189,9 +386,8 @@ func (b *Board) Complete(jobID, leaseID string, outcomes []CellOutcome) error {
 	for i := range outcomes {
 		o := outcomes[i]
 		if o.Err != "" {
-			j.errMsg = fmt.Sprintf("cell %d (%s): %s", o.Index, o.Key, o.Err)
-			j.finished = true
-			close(j.doneCh)
+			b.applyFailureLocked(j, &o)
+			b.appendJournalLocked(boardRecord{Op: "cell", Job: jobID, Outcome: &o})
 			b.mu.Unlock()
 			return nil
 		}
@@ -204,6 +400,7 @@ func (b *Board) Complete(jobID, leaseID string, outcomes []CellOutcome) error {
 		}
 		j.outcomes[o.Index] = &o
 		j.done++
+		b.appendJournalLocked(boardRecord{Op: "cell", Job: jobID, Outcome: &o})
 	}
 	progress, done, total := j.progress, j.done, j.total
 	if j.done == j.total {
@@ -215,6 +412,14 @@ func (b *Board) Complete(jobID, leaseID string, outcomes []CellOutcome) error {
 		progress(done, total)
 	}
 	return nil
+}
+
+// applyFailureLocked marks a job failed by one cell's error outcome.
+// Shared by Complete and journal replay. Caller holds b.mu.
+func (b *Board) applyFailureLocked(j *boardJob, o *CellOutcome) {
+	j.errMsg = fmt.Sprintf("cell %d (%s): %s", o.Index, o.Key, o.Err)
+	j.finished = true
+	close(j.doneCh)
 }
 
 // Wait blocks until the job finishes (all cells complete, or a worker
@@ -259,6 +464,7 @@ func (b *Board) Forget(jobID string) {
 			break
 		}
 	}
+	b.appendJournalLocked(boardRecord{Op: "forget", Job: jobID})
 }
 
 // ExecuteLease runs cells[lo:hi] on this engine and maps the results

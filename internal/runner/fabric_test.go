@@ -31,8 +31,12 @@ func fabricCells(t *testing.T, n int) []Cell {
 
 func TestBoardLeaseCompleteWait(t *testing.T) {
 	b := NewBoard(time.Minute, 2)
-	if err := b.Post("j1", []byte("req"), 5, nil); err != nil {
+	key, err := b.Post([]byte("req"), 5, nil)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if key != JobKey([]byte("req")) {
+		t.Fatalf("Post key = %q, want content hash %q", key, JobKey([]byte("req")))
 	}
 	var leases []*Lease
 	for {
@@ -53,14 +57,14 @@ func TestBoardLeaseCompleteWait(t *testing.T) {
 	var werr error
 	go func() {
 		defer close(done)
-		got, werr = b.Wait(context.Background(), "j1")
+		got, werr = b.Wait(context.Background(), key)
 	}()
 	for _, l := range leases {
 		outs := make([]CellOutcome, 0, l.Hi-l.Lo)
 		for i := l.Lo; i < l.Hi; i++ {
 			outs = append(outs, CellOutcome{Index: i, Key: "k", Run: stats.New(512)})
 		}
-		if err := b.Complete(l.Job, l.ID, outs); err != nil {
+		if err := b.Complete(l.Job, l.ID, "w", outs); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,7 +88,8 @@ func TestBoardLeaseExpiryAndDuplicates(t *testing.T) {
 	b := NewBoard(time.Minute, 4)
 	now := time.Unix(1000, 0)
 	b.now = func() time.Time { return now }
-	if err := b.Post("j", nil, 4, nil); err != nil {
+	key, err := b.Post(nil, 4, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	l1 := b.Lease("w1")
@@ -104,13 +109,13 @@ func TestBoardLeaseExpiryAndDuplicates(t *testing.T) {
 		outs[i] = CellOutcome{Index: i, Run: stats.New(512)}
 	}
 	// The dead-but-alive w1 completes late, then w2 duplicates.
-	if err := b.Complete("j", l1.ID, outs); err != nil {
+	if err := b.Complete(key, l1.ID, "w1", outs); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Complete("j", l2.ID, outs); err != nil {
+	if err := b.Complete(key, l2.ID, "w2", outs); err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.Wait(context.Background(), "j")
+	got, err := b.Wait(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +126,15 @@ func TestBoardLeaseExpiryAndDuplicates(t *testing.T) {
 
 func TestBoardWorkerErrorFailsJob(t *testing.T) {
 	b := NewBoard(time.Minute, 8)
-	if err := b.Post("j", nil, 3, nil); err != nil {
+	key, err := b.Post(nil, 3, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	l := b.Lease("w")
-	if err := b.Complete("j", l.ID, []CellOutcome{{Index: 1, Key: "bad/cell", Err: "simulated blowup"}}); err != nil {
+	if err := b.Complete(key, l.ID, "w", []CellOutcome{{Index: 1, Key: "bad/cell", Err: "simulated blowup"}}); err != nil {
 		t.Fatal(err)
 	}
-	_, err := b.Wait(context.Background(), "j")
+	_, err = b.Wait(context.Background(), key)
 	if err == nil || !strings.Contains(err.Error(), "simulated blowup") || !strings.Contains(err.Error(), "bad/cell") {
 		t.Fatalf("Wait error = %v", err)
 	}
@@ -139,16 +145,17 @@ func TestBoardWorkerErrorFailsJob(t *testing.T) {
 
 func TestBoardWaitCancel(t *testing.T) {
 	b := NewBoard(time.Minute, 1)
-	if err := b.Post("j", nil, 1, nil); err != nil {
+	key, err := b.Post(nil, 1, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := b.Wait(ctx, "j"); !errors.Is(err, olerrors.ErrCanceled) {
+	if _, err := b.Wait(ctx, key); !errors.Is(err, olerrors.ErrCanceled) {
 		t.Fatalf("Wait = %v, want ErrCanceled", err)
 	}
 	// The job is forgotten; a straggler Complete errors but does not panic.
-	if err := b.Complete("j", "l000001", nil); err == nil {
+	if err := b.Complete(key, "l000001", "w", nil); err == nil {
 		t.Fatal("Complete on forgotten job succeeded")
 	}
 }
@@ -157,11 +164,12 @@ func TestBoardProgress(t *testing.T) {
 	b := NewBoard(time.Minute, 1)
 	var mu sync.Mutex
 	var ticks []int
-	if err := b.Post("j", nil, 3, func(done, total int) {
+	key, err := b.Post(nil, 3, func(done, total int) {
 		mu.Lock()
 		ticks = append(ticks, done)
 		mu.Unlock()
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	for {
@@ -169,11 +177,11 @@ func TestBoardProgress(t *testing.T) {
 		if l == nil {
 			break
 		}
-		if err := b.Complete("j", l.ID, []CellOutcome{{Index: l.Lo, Run: stats.New(512)}}); err != nil {
+		if err := b.Complete(key, l.ID, "w", []CellOutcome{{Index: l.Lo, Run: stats.New(512)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := b.Wait(context.Background(), "j"); err != nil {
+	if _, err := b.Wait(context.Background(), key); err != nil {
 		t.Fatal(err)
 	}
 	if len(ticks) != 3 || ticks[2] != 3 {

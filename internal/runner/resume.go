@@ -124,6 +124,28 @@ func (e *Engine) backoff(ctx context.Context, hash string, attempt int) error {
 	}
 }
 
+// journalAppend records a completed cell, degrading on failure: the
+// first failed append disables journaling for the rest of the engine's
+// life and counts a durability error, but the cell's result stands.
+// Appending past a torn write would turn the journal's tolerable torn
+// tail into a loud corrupt middle on the next resume, so once one
+// append fails none may follow it.
+func (e *Engine) journalAppend(journal *ckpt.Journal, ent ckpt.JournalEntry) {
+	if e.journalDown.Load() {
+		return
+	}
+	if jerr := journal.Append(ent); jerr != nil {
+		e.journalDown.Store(true)
+		e.durabilityErrs.Add(1)
+	}
+}
+
+// DurabilityErrors reports how many checkpoint saves or journal appends
+// failed and were degraded (skipped) during this engine's runs. Zero
+// means full crash-resume coverage; non-zero means results are still
+// correct but a crash would resume from further back.
+func (e *Engine) DurabilityErrors() int64 { return e.durabilityErrs.Load() }
+
 // runCellRetry drives one cell through the watchdog and the retry loop,
 // and journals the completed result. Retries rerun the cell from
 // scratch (or from its last on-disk checkpoint when resume is on) after
@@ -152,13 +174,10 @@ func (e *Engine) runCellRetry(ctx context.Context, c *Cell, journal *ckpt.Journa
 				// Journal the served cell like any completed one, so a
 				// later resume of this sweep replays it even without the
 				// cache directory.
-				ent := ckpt.JournalEntry{
+				e.journalAppend(journal, ckpt.JournalEntry{
 					Key: c.Key, Hash: hash, Run: res.Run,
 					HostLatency: res.HostLatency, HostServed: res.HostServed,
-				}
-				if jerr := journal.Append(ent); jerr != nil {
-					return Result{}, jerr
-				}
+				})
 			}
 			return res, nil
 		}
@@ -173,14 +192,11 @@ func (e *Engine) runCellRetry(ctx context.Context, c *Cell, journal *ckpt.Journa
 				res.Manifest.CacheKey = e.cellCacheKey(c)
 			}
 			if journal != nil {
-				ent := ckpt.JournalEntry{
+				e.journalAppend(journal, ckpt.JournalEntry{
 					Key: c.Key, Hash: hash, Run: res.Run,
 					HostLatency: res.HostLatency, HostServed: res.HostServed,
 					Fault: res.Fault,
-				}
-				if jerr := journal.Append(ent); jerr != nil {
-					return Result{}, jerr
-				}
+				})
 				// The cell is journal-complete; its checkpoint is spent.
 				os.Remove(e.ckptPath(hash))
 			}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
@@ -13,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orderlight/internal/chaos"
 	"orderlight/internal/ckpt"
 	"orderlight/internal/config"
 	"orderlight/internal/fault"
@@ -193,6 +193,13 @@ type Options struct {
 	// of failing it. The escalated cell is byte-identical to a direct
 	// cycle-engine run. Only meaningful with TwinEngine.
 	TwinEscalate bool
+
+	// FS is the filesystem checkpoints and the progress journal write
+	// through; nil means the real one. The chaos harness injects its
+	// sick disk here. Durability failures under a sick disk degrade
+	// (see Engine.DurabilityErrors) instead of failing cells: a run on
+	// a dying disk loses crash-resume coverage, never results.
+	FS chaos.FS
 }
 
 // Engine executes cell lists. An Engine is safe for concurrent use and
@@ -219,10 +226,19 @@ type Engine struct {
 	twinEng   bool
 	twin      *twin.Predictor
 	twinEsc   bool
+	fs        chaos.FS
 	retryBase time.Duration // backoff base; test seam, 0 means 10ms
 	grace     time.Duration // watchdog abandon grace; test seam
 
 	simulated atomic.Int64 // cells actually executed (not replayed or cache-served)
+
+	// Durability degradation state: a failed journal append stops
+	// journaling for the rest of the engine's life (appending past a
+	// torn line would turn a tolerable torn tail into a loud corrupt
+	// middle on the next resume); failed checkpoint saves are counted
+	// and skipped. Both cost resume coverage, never correctness.
+	journalDown    atomic.Bool
+	durabilityErrs atomic.Int64
 
 	mu   sync.Mutex // serializes progress callbacks
 	done int
@@ -249,6 +265,10 @@ func New(opts Options) *Engine {
 		twinEng:   opts.TwinEngine,
 		twin:      opts.Twin,
 		twinEsc:   opts.TwinEscalate,
+		fs:        opts.FS,
+	}
+	if e.fs == nil {
+		e.fs = chaos.OS
 	}
 	if !opts.DisableKernelCache {
 		e.cache = newKernelCache()
@@ -327,7 +347,7 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
 		doneCells map[string]ckpt.JournalEntry
 	)
 	if e.ckptDir != "" {
-		if err := os.MkdirAll(e.ckptDir, 0o755); err != nil {
+		if err := e.fs.MkdirAll(e.ckptDir, 0o755); err != nil {
 			return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
 		}
 		jpath := filepath.Join(e.ckptDir, journalName)
@@ -338,7 +358,7 @@ func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
 			}
 			doneCells = m
 		}
-		j, err := ckpt.OpenJournal(jpath)
+		j, err := ckpt.OpenJournalFS(jpath, e.fs)
 		if err != nil {
 			return nil, err
 		}
@@ -541,7 +561,14 @@ func (e *Engine) runCell(c *Cell, hash string, stop *atomic.Bool) (res Result, e
 			mm := meta
 			mm.CoreCycle = st.Engine.Now.CoreCycles()
 			mm.SimTime = int64(st.Engine.Now)
-			return ckpt.Save(path, &ckpt.Checkpoint{Meta: mm, Machine: st})
+			if serr := ckpt.SaveFS(path, &ckpt.Checkpoint{Meta: mm, Machine: st}, e.fs); serr != nil {
+				// A failed save costs this cell its restart point, not
+				// the run: the atomic protocol left the previous
+				// checkpoint (or none) intact, so resume still works —
+				// from further back.
+				e.durabilityErrs.Add(1)
+			}
+			return nil
 		})
 		if e.resume {
 			switch ck, lerr := ckpt.Load(path); {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -43,6 +44,30 @@ func Await(ctx context.Context, svc Service, id JobID, onEvent func(WatchEvent))
 		case <-ctx.Done():
 			return cancelAndCollect(ctx, svc, id)
 		}
+	}
+}
+
+// SubmitAndAwait is Submit followed by Await, hardened against a
+// service restart: if the job vanishes mid-wait (ErrUnknownJob — a
+// daemon restarted and lost its in-memory job store), the identical
+// request is resubmitted and awaited again. With a retry-armed client
+// the submission carries an idempotency key, and on a fabric
+// coordinator with a journal the resubmitted job attaches to the
+// replayed board state — completed cells are not re-run. Bounded at a
+// few resubmissions so a crash-looping daemon fails loudly instead of
+// forever.
+func SubmitAndAwait(ctx context.Context, svc Service, req JobRequest, onEvent func(WatchEvent)) (*JobResult, error) {
+	const resubmits = 4
+	for attempt := 0; ; attempt++ {
+		id, err := svc.Submit(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Await(ctx, svc, id, onEvent)
+		if err != nil && errors.Is(err, ErrUnknownJob) && attempt < resubmits && ctx.Err() == nil {
+			continue
+		}
+		return res, err
 	}
 }
 

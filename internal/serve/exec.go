@@ -65,7 +65,7 @@ func Execute(ctx context.Context, req *JobRequest) (*JobResult, error) {
 	cache := o.Cache
 	if cache == nil && o.CacheDir != "" {
 		var err error
-		if cache, err = rcache.Open(o.CacheDir, 0); err != nil {
+		if cache, err = rcache.OpenWith(rcache.Config{Dir: o.CacheDir, FS: o.FS}); err != nil {
 			return nil, fmt.Errorf("serve: open result cache: %w", err)
 		}
 	}
@@ -102,6 +102,7 @@ func Execute(ctx context.Context, req *JobRequest) (*JobResult, error) {
 		CellTimeout:        o.CellTimeout,
 		HaltAfterCycles:    o.HaltAfter,
 		ResultCache:        cache,
+		FS:                 o.FS,
 	})
 	sc := experiments.Scale{BytesPerChannel: o.BytesPerChannel}
 

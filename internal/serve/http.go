@@ -38,6 +38,7 @@ type Drainer interface {
 //	GET    /v1/jobs/{id}/events lifecycle stream (server-sent events)
 //	POST   /v1/work/lease       fabric worker leases a cell range (204 when idle)
 //	POST   /v1/work/complete    fabric worker reports a range's outcomes
+//	POST   /v1/work/heartbeat   fabric worker extends a held lease mid-execution
 //	GET    /healthz             liveness + queue load
 //	GET    /v1/version          protocol + toolchain versions
 //
@@ -56,6 +57,7 @@ func NewHandler(svc Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
 	mux.HandleFunc("POST /v1/work/lease", h.workLease)
 	mux.HandleFunc("POST /v1/work/complete", h.workComplete)
+	mux.HandleFunc("POST /v1/work/heartbeat", h.workHeartbeat)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /v1/version", h.version)
 	return mux
@@ -237,6 +239,28 @@ func (h *handler) workComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// workHeartbeat extends a held lease; the reply says whether the
+// lease is still held.
+func (h *handler) workHeartbeat(w http.ResponseWriter, r *http.Request) {
+	wp, ok := h.workProvider(w)
+	if !ok {
+		return
+	}
+	var hb WorkHeartbeat
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hb); err != nil {
+		writeError(w, fmt.Errorf("serve: %w: malformed work heartbeat: %v", olerrors.ErrInvalidSpec, err))
+		return
+	}
+	held, err := wp.HeartbeatWork(r.Context(), hb)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, WorkHeartbeatReply{Held: held})
 }
 
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"orderlight/internal/chaos"
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
 	"orderlight/internal/fault"
@@ -230,6 +231,11 @@ type RunOpts struct {
 	// TwinPredictor is an already-loaded calibration (the daemon
 	// attaches its shared one); takes precedence over Calibration.
 	TwinPredictor *twin.Predictor `json:"-"`
+	// FS is the filesystem the run's durability layers (checkpoints,
+	// journals, result-cache blobs) write through; nil means the real
+	// one. The chaos harness injects its seeded sick disk here. Never
+	// crosses the wire — a daemon's disks are its own.
+	FS chaos.FS `json:"-"`
 }
 
 // Validate reports structurally invalid option combinations. This is
@@ -309,6 +315,15 @@ type JobRequest struct {
 	// Tenant is the quota key for admission control; empty means the
 	// "default" tenant.
 	Tenant string `json:"tenant,omitempty"`
+
+	// IdempotencyKey, when non-empty, makes Submit idempotent: a
+	// submission whose key matches a queued, running or done job hands
+	// back that job's ID instead of enqueueing a duplicate. Retry-armed
+	// clients stamp it automatically (a client that lost a response
+	// cannot tell whether the daemon lost the request), deriving it
+	// from the request content so identical retries collide and
+	// different jobs never do.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 
 	// Kernel names a Table 2 workload (KindKernel).
 	Kernel string `json:"kernel,omitempty"`

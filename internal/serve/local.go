@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"orderlight/internal/chaos"
 	"orderlight/internal/experiments"
 	"orderlight/internal/fault"
 	"orderlight/internal/obs"
@@ -73,6 +74,26 @@ type LocalConfig struct {
 	// FabricChunk is how many cells one lease spans; <= 0 means
 	// runner.DefaultChunk.
 	FabricChunk int
+
+	// FabricJournal, when set (and Fabric is on), journals every board
+	// mutation to this file so a killed coordinator restarts with its
+	// jobs' completions intact: workers re-lease only unfinished ranges
+	// and a resubmitted identical request attaches to the replayed job.
+	// An unreplayable journal fails fabric submissions, not startup.
+	FabricJournal string
+
+	// CacheBytes caps the result cache's on-disk footprint; past it the
+	// least recently used blobs are evicted. <= 0 means uncapped.
+	CacheBytes int64
+
+	// FS is the filesystem the fabric journal and result cache write
+	// through; nil means the real one (the chaos harness injects its
+	// sick disk here).
+	FS chaos.FS
+
+	// Logf receives operational notices (journal replay and degrade,
+	// flapping workers); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // job is the service-side record of one submission.
@@ -121,8 +142,10 @@ type Local struct {
 	twinErr error
 
 	// board is the fabric coordinator's work ledger (nil without
-	// cfg.Fabric).
-	board *runner.Board
+	// cfg.Fabric); boardErr records a journal replay failure, surfaced
+	// on fabric submissions.
+	board    *runner.Board
+	boardErr error
 
 	mu       sync.Mutex
 	seq      int
@@ -149,7 +172,7 @@ func NewLocal(cfg LocalConfig) *Local {
 		queue:      make(chan *job, cfg.QueueDepth),
 	}
 	if cfg.CacheDir != "" {
-		s.cache, s.cacheErr = rcache.Open(cfg.CacheDir, 0)
+		s.cache, s.cacheErr = rcache.OpenWith(rcache.Config{Dir: cfg.CacheDir, DiskBytes: cfg.CacheBytes, FS: cfg.FS})
 		if s.cacheErr != nil {
 			s.cacheErr = fmt.Errorf("serve: %w: result cache %q: %v", olerrors.ErrInvalidSpec, cfg.CacheDir, s.cacheErr)
 		}
@@ -161,7 +184,19 @@ func NewLocal(cfg LocalConfig) *Local {
 		}
 	}
 	if cfg.Fabric {
-		s.board = runner.NewBoard(cfg.LeaseTTL, cfg.FabricChunk)
+		if cfg.FabricJournal != "" {
+			s.board, s.boardErr = runner.NewJournaledBoard(cfg.LeaseTTL, cfg.FabricChunk, cfg.FabricJournal, cfg.FS, cfg.Logf)
+			if s.boardErr != nil {
+				s.boardErr = fmt.Errorf("serve: %w: fabric journal %q: %v", olerrors.ErrInvalidSpec, cfg.FabricJournal, s.boardErr)
+			}
+		} else {
+			s.board = runner.NewBoard(cfg.LeaseTTL, cfg.FabricChunk)
+		}
+		if s.board != nil {
+			// Heartbeat-driven liveness: a silent worker loses its leases
+			// after half the TTL instead of the full TTL.
+			s.board.EnableHeartbeats(0)
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -186,12 +221,29 @@ func (s *Local) Submit(ctx context.Context, req JobRequest) (JobID, error) {
 		return "", s.twinErr
 	}
 	if req.Opts.Fabric && s.board == nil {
+		if s.boardErr != nil {
+			return "", s.boardErr
+		}
 		return "", fmt.Errorf("serve: %w: this service has no fabric coordinator (start olserve with -fabric)", olerrors.ErrInvalidSpec)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return "", fmt.Errorf("serve: %w", ErrDraining)
+	}
+	// Idempotent resubmission: a retrying client cannot tell a lost
+	// response from a lost request, so it stamps submissions with a
+	// content-derived key. If that exact submission is already queued,
+	// running or done, hand back its job instead of enqueueing a
+	// duplicate. Failed and canceled jobs are excluded on purpose — an
+	// explicit resubmit after failure should rerun.
+	if req.IdempotencyKey != "" {
+		for _, j := range s.jobs {
+			if j.req.IdempotencyKey == req.IdempotencyKey &&
+				(j.state == StateQueued || j.state == StateRunning || j.state == StateDone) {
+				return j.id, nil
+			}
+		}
 	}
 	if s.cfg.PerTenant > 0 && s.inflightLocked(req.Tenant) >= s.cfg.PerTenant {
 		return "", fmt.Errorf("serve: %w: tenant %q already has %d job(s) in flight",
@@ -371,10 +423,11 @@ func (s *Local) executeFabric(ctx context.Context, id JobID, req *JobRequest) (*
 	if err != nil {
 		return nil, fmt.Errorf("serve: encode fabric request: %w", err)
 	}
-	if err := s.board.Post(string(id), wire, len(plan.cells), req.Opts.Progress); err != nil {
+	key, err := s.board.Post(wire, len(plan.cells), req.Opts.Progress)
+	if err != nil {
 		return nil, err
 	}
-	outs, err := s.board.Wait(ctx, string(id))
+	outs, err := s.board.Wait(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -405,10 +458,20 @@ func (s *Local) CompleteWork(_ context.Context, comp WorkCompletion) error {
 	if s.board == nil {
 		return fmt.Errorf("serve: %w: this service has no fabric coordinator", olerrors.ErrInvalidSpec)
 	}
-	if err := s.board.Complete(comp.Job, comp.Lease, comp.Outcomes); err != nil {
+	if err := s.board.Complete(comp.Job, comp.Lease, comp.Worker, comp.Outcomes); err != nil {
 		return fmt.Errorf("serve: %w: %v", ErrUnknownJob, err)
 	}
 	return nil
+}
+
+// HeartbeatWork implements WorkProvider: a worker mid-lease proves it
+// is alive, extending the lease. false means the lease is no longer
+// held (expired and re-issued, or the job finished).
+func (s *Local) HeartbeatWork(_ context.Context, hb WorkHeartbeat) (bool, error) {
+	if s.board == nil {
+		return false, fmt.Errorf("serve: %w: this service has no fabric coordinator", olerrors.ErrInvalidSpec)
+	}
+	return s.board.Heartbeat(hb.Worker, hb.Job, hb.Lease), nil
 }
 
 // jobMemoizable excludes jobs whose results the cache must not serve:
@@ -437,6 +500,7 @@ func jobMemoizable(req *JobRequest) bool {
 func jobCacheKey(req *JobRequest) string {
 	r := *req
 	r.Tenant = ""
+	r.IdempotencyKey = ""
 	o := r.Opts
 	o.Parallelism, o.Shards = 0, 0
 	o.CheckpointDir, o.CheckpointEvery, o.Resume = "", 0, false
@@ -679,6 +743,12 @@ type HealthInfo struct {
 	// both zero when the daemon runs uncached.
 	CacheHits   int64 `json:"cache_hits,omitempty"`
 	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// CacheDegraded reports the result cache has tripped its disk
+	// breaker and now serves memory-only (see internal/rcache).
+	CacheDegraded bool `json:"cache_degraded,omitempty"`
+	// FabricWorkers is the coordinator's per-worker liveness view,
+	// flapping workers first. Empty on non-fabric daemons.
+	FabricWorkers []runner.WorkerStatus `json:"fabric_workers,omitempty"`
 }
 
 // Health reports the service's current load.
@@ -692,6 +762,10 @@ func (s *Local) Health() HealthInfo {
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		h.CacheHits, h.CacheMisses = cs.Hits, cs.Misses
+		h.CacheDegraded = cs.Degraded
+	}
+	if s.board != nil {
+		h.FabricWorkers = s.board.Workers()
 	}
 	for _, j := range s.jobs {
 		switch j.state {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"orderlight/internal/chaos"
 	"orderlight/internal/config"
 	"orderlight/internal/experiments"
 	"orderlight/internal/olerrors"
@@ -37,7 +38,22 @@ type WorkLeaseRequest struct {
 type WorkCompletion struct {
 	Job      string               `json:"job"`
 	Lease    string               `json:"lease"`
+	Worker   string               `json:"worker,omitempty"`
 	Outcomes []runner.CellOutcome `json:"outcomes"`
+}
+
+// WorkHeartbeat is a worker's mid-lease liveness proof.
+type WorkHeartbeat struct {
+	Job    string `json:"job"`
+	Lease  string `json:"lease"`
+	Worker string `json:"worker,omitempty"`
+}
+
+// WorkHeartbeatReply is the coordinator's answer: Held false means the
+// lease expired and was (or will be) re-issued — the worker may finish
+// anyway (completions are first-fill-wins) or abandon the range.
+type WorkHeartbeatReply struct {
+	Held bool `json:"held"`
 }
 
 // WorkProvider is the coordinator surface a worker drives. Local
@@ -54,6 +70,10 @@ type WorkProvider interface {
 	// or re-issued lease is accepted (results are deterministic);
 	// completing a forgotten job errors with ErrUnknownJob.
 	CompleteWork(ctx context.Context, comp WorkCompletion) error
+
+	// HeartbeatWork extends a held lease and feeds the coordinator's
+	// worker-liveness view. false means the lease is no longer held.
+	HeartbeatWork(ctx context.Context, hb WorkHeartbeat) (bool, error)
 }
 
 // fabricPlan is a multi-cell request decomposed for the fabric: the
@@ -153,8 +173,31 @@ type WorkerOptions struct {
 	// worker; <= 0 keeps the job's own setting.
 	Parallelism int
 
+	// FS is the filesystem this worker's journal, checkpoints and
+	// result cache write through; nil means the real one (the chaos
+	// harness injects its sick disk here).
+	FS chaos.FS
+
 	// Logf receives worker progress lines; nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// pollJitter spreads worker polls over [poll/2, 3*poll/2): cadence is
+// derived deterministically from the worker's name and the poll index
+// (same splitmix-style mix the runner's retry backoff uses), so a
+// fleet of workers started together decorrelates without
+// nondeterministic randomness — and a given worker's poll pattern is
+// exactly reproducible.
+func pollJitter(name string, n uint64, poll time.Duration) time.Duration {
+	var seed uint64
+	for _, b := range []byte(name) {
+		seed = seed*131 + uint64(b)
+	}
+	seed += n * 0x9e37_79b9_7f4a_7c15
+	seed ^= seed >> 33
+	seed *= 0xff51_afd7_ed55_8ccd
+	seed ^= seed >> 33
+	return poll/2 + time.Duration(seed%uint64(poll)+1)
 }
 
 // RunWorker drives one fabric worker until ctx is canceled: poll for
@@ -172,6 +215,7 @@ func RunWorker(ctx context.Context, wp WorkProvider, opts WorkerOptions) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	var polls uint64
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -182,31 +226,74 @@ func RunWorker(ctx context.Context, wp WorkProvider, opts WorkerOptions) error {
 				return nil
 			}
 			logf("worker %s: lease: %v", opts.Name, err)
-			if !sleepCtx(ctx, poll) {
+			polls++
+			if !sleepCtx(ctx, pollJitter(opts.Name, polls, poll)) {
 				return nil
 			}
 			continue
 		}
 		if lease == nil {
-			if !sleepCtx(ctx, poll) {
+			polls++
+			if !sleepCtx(ctx, pollJitter(opts.Name, polls, poll)) {
 				return nil
 			}
 			continue
 		}
 		logf("worker %s: leased %s %s cells [%d,%d) of %d", opts.Name, lease.Job, lease.ID, lease.Lo, lease.Hi, lease.Total)
+		hbStop := startHeartbeats(ctx, wp, lease, opts.Name, logf)
 		outs := executeLeasedRange(ctx, lease, opts)
+		hbStop()
 		if ctx.Err() != nil {
 			// Preempted mid-lease: report nothing. The lease expires and
 			// the range is re-issued; our journal keeps the cells that
 			// finished.
 			return nil
 		}
-		if err := wp.CompleteWork(ctx, WorkCompletion{Job: lease.Job, Lease: lease.ID, Outcomes: outs}); err != nil {
+		if err := wp.CompleteWork(ctx, WorkCompletion{Job: lease.Job, Lease: lease.ID, Worker: opts.Name, Outcomes: outs}); err != nil {
 			// A forgotten job (canceled, collected) or a coordinator
 			// hiccup; either way the work is durable in our journal and
 			// re-deliverable, so keep serving.
 			logf("worker %s: complete %s %s: %v", opts.Name, lease.Job, lease.ID, err)
 		}
+	}
+}
+
+// startHeartbeats beats the coordinator at the lease's advertised
+// cadence while the worker executes its range, and returns a stop
+// function. Heartbeat failures are logged and tolerated — the worker's
+// recourse is the same either way: finish the range and complete it
+// (first-fill-wins makes a late completion harmless). A lease with no
+// cadence hint gets no heartbeats, reproducing pure-TTL behavior.
+func startHeartbeats(ctx context.Context, wp WorkProvider, lease *runner.Lease, name string, logf func(string, ...any)) func() {
+	if lease.HeartbeatMillis <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(time.Duration(lease.HeartbeatMillis) * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				held, err := wp.HeartbeatWork(ctx, WorkHeartbeat{Job: lease.Job, Lease: lease.ID, Worker: name})
+				if err != nil {
+					logf("worker %s: heartbeat %s %s: %v", name, lease.Job, lease.ID, err)
+				} else if !held {
+					logf("worker %s: lease %s %s no longer held; finishing anyway", name, lease.Job, lease.ID)
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
 	}
 }
 
@@ -242,7 +329,7 @@ func workerEngine(req *JobRequest, opts WorkerOptions) (*runner.Engine, error) {
 	var cache *rcache.Cache
 	if o.CacheDir != "" {
 		var err error
-		if cache, err = rcache.Open(o.CacheDir, 0); err != nil {
+		if cache, err = rcache.OpenWith(rcache.Config{Dir: o.CacheDir, FS: opts.FS}); err != nil {
 			return nil, fmt.Errorf("open result cache: %v", err)
 		}
 	}
@@ -262,6 +349,7 @@ func workerEngine(req *JobRequest, opts WorkerOptions) (*runner.Engine, error) {
 		CheckpointEvery:    opts.CheckpointEvery,
 		Resume:             opts.CheckpointDir != "",
 		ResultCache:        cache,
+		FS:                 opts.FS,
 	}), nil
 }
 
